@@ -1,0 +1,295 @@
+(* Benchmark driver.
+
+   Two parts:
+   1. Regenerate every experiment table/figure (E1..E15) — the paper has
+      no evaluation section, so these tables ARE the evaluation; see
+      EXPERIMENTS.md for the claim-by-claim mapping.
+   2. Bechamel micro-benchmarks: one Test.make per experiment (timing
+      the experiment's workload kernel — a single representative
+      execution) plus engine micro-benchmarks. *)
+
+open Bechamel
+open Toolkit
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+open Goalcom_harness
+
+let seed = 1
+
+(* Part 1: experiment tables *)
+
+let print_experiments () =
+  print_endline "==================================================";
+  print_endline " Experiment tables (one per paper claim)";
+  print_endline "==================================================";
+  List.iter
+    (fun (e : Experiment.t) ->
+      Printf.printf "\n# %s (%s) — %s\n# claim: %s\n%!" e.id
+        (Experiment.kind_to_string e.kind)
+        e.title e.claim;
+      Table.print (e.run ~seed))
+    Experiment.all
+
+(* Part 2: bechamel kernels *)
+
+let alphabet = 6
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+
+let run_once ~horizon ~goal ~user ~server k =
+  ignore
+    (Exec.run ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+       (Rng.make (seed + k)))
+
+let e1_kernel =
+  let goal = Printing.goal ~docs:[ [ 3; 1; 4 ] ] ~alphabet () in
+  let server = Printing.server ~alphabet (dialect 2) in
+  fun () ->
+    run_once ~horizon:2000 ~goal
+      ~user:(Printing.universal_user ~alphabet dialects)
+      ~server 1
+
+let e2_kernel =
+  let goal = Printing.goal ~docs:[ [ 5; 2 ] ] ~alphabet () in
+  let server = Printing.server ~alphabet (dialect (alphabet - 1)) in
+  fun () ->
+    run_once ~horizon:4000 ~goal
+      ~user:(Printing.universal_user ~alphabet dialects)
+      ~server 2
+
+let maze_scenario = Maze.scenario ~width:8 ~height:8 ~start:(0, 0) ~target:(5, 4) ()
+
+let e3_kernel =
+  let goal = Maze.goal ~scenarios:[ maze_scenario ] ~alphabet () in
+  let server = Maze.server ~alphabet (dialect 3) in
+  fun () ->
+    run_once ~horizon:4000 ~goal
+      ~user:(Maze.universal_user ~alphabet ~scenario:maze_scenario dialects)
+      ~server 3
+
+let e4_kernel = fun () -> ignore (Levin.work_before ~index:10 ~budget:64 ())
+
+let e5_kernel =
+  let goal = Printing.goal ~docs:[ [ 7; 3; 9 ] ] ~alphabet () in
+  let server = Printing.server ~alphabet (dialect 1) in
+  let user = Printing.universal_user ~alphabet dialects in
+  let history =
+    Exec.run ~config:(Exec.config ~horizon:1000 ()) ~goal ~user ~server
+      (Rng.make seed)
+  in
+  fun () -> ignore (Sensing.verdicts Printing.sensing history)
+
+let e6_kernel =
+  let ctl_alphabet = 4 in
+  let ctl_dialects = Dialect.enumerate_rotations ~size:ctl_alphabet in
+  let goal = Control.goal ~alphabet:ctl_alphabet () in
+  let server = Control.server ~alphabet:ctl_alphabet (Enum.get_exn ctl_dialects 2) in
+  fun () ->
+    run_once ~horizon:1500 ~goal
+      ~user:(Control.universal_user ~alphabet:ctl_alphabet ctl_dialects)
+      ~server 6
+
+let e7_kernel =
+  let dlg_alphabet = 4 in
+  let dlg_dialects = Dialect.enumerate_rotations ~size:dlg_alphabet in
+  let goal = Delegation.goal ~alphabet:dlg_alphabet () in
+  let server = Delegation.server ~alphabet:dlg_alphabet (Enum.get_exn dlg_dialects 2) in
+  fun () ->
+    run_once ~horizon:2000 ~goal
+      ~user:(Delegation.universal_user ~alphabet:dlg_alphabet dlg_dialects)
+      ~server 7
+
+let e8_kernel =
+  let goal = Password.goal () in
+  let server = Password.server_with_password 40 in
+  fun () ->
+    run_once ~horizon:600 ~goal ~user:(Password.sweeper ~space:64) ~server 8
+
+let e9_kernel =
+  let goal = Printing.goal ~docs:[ [ 6; 6; 6 ] ] ~alphabet () in
+  let server = Printing.server ~alphabet (dialect 2) in
+  fun () ->
+    ignore
+      (Helpful.check
+         ~config:(Exec.config ~horizon:2000 ())
+         ~trials:1 ~goal
+         ~user_class:(Printing.user_class ~alphabet dialects)
+         ~server (Rng.make seed))
+
+let e10_kernel =
+  let goal = Transfer.goal ~payloads:[ Listx.range 1 17 ] ~alphabet () in
+  let server = Transfer.server ~alphabet (dialect (alphabet - 1)) in
+  fun () ->
+    run_once ~horizon:4000 ~goal
+      ~user:(Transfer.universal_user_fast ~alphabet dialects)
+      ~server 10
+
+let e11_kernel =
+  let ms_alphabet = 4 in
+  let ms_dialects = Dialect.enumerate_rotations ~size:ms_alphabet in
+  let base = Printing.goal ~docs:[ [ 2; 5 ] ] ~alphabet:ms_alphabet () in
+  let goal = Multi_session.goal ~session_length:30 base in
+  let server = Printing.server ~alphabet:ms_alphabet (Enum.get_exn ms_dialects 2) in
+  fun () ->
+    run_once ~horizon:600 ~goal
+      ~user:
+        (Universal.compact ~grace:1
+           ~enum:
+             (Multi_session.wrap_class
+                (Printing.user_class ~alphabet:ms_alphabet ms_dialects))
+           ~sensing:Multi_session.sensing ())
+      ~server 11
+
+let e12_kernel =
+  let goal = Printing.goal ~docs:[ [ 4; 2; 6 ] ] ~alphabet () in
+  let server =
+    Goalcom_servers.Channel.delayed ~rounds:2
+      (Printing.server ~alphabet (dialect 2))
+  in
+  fun () ->
+    run_once ~horizon:4000 ~goal
+      ~user:(Printing.universal_user ~alphabet dialects)
+      ~server 12
+
+let e13_kernel =
+  let p = { Prediction.num_attributes = 6 } in
+  let pr_alphabet = 3 in
+  let pr_dialects = Dialect.enumerate_rotations ~size:pr_alphabet in
+  let goal = Prediction.goal ~params:p ~alphabet:pr_alphabet () in
+  let server = Prediction.server ~alphabet:pr_alphabet (Enum.get_exn pr_dialects 1) in
+  fun () ->
+    run_once ~horizon:800 ~goal
+      ~user:(Prediction.universal_user ~params:p ~alphabet:pr_alphabet pr_dialects)
+      ~server 13
+
+let e15_kernel =
+  let cp = { Counting.num_vars = 5; num_clauses = 8; clause_len = 3 } in
+  let ct_alphabet = 4 in
+  let ct_dialects = Dialect.enumerate_rotations ~size:ct_alphabet in
+  let goal = Counting.goal ~params:cp ~alphabet:ct_alphabet () in
+  let server = Counting.server ~alphabet:ct_alphabet (Enum.get_exn ct_dialects 2) in
+  fun () ->
+    run_once ~horizon:2000 ~goal
+      ~user:(Counting.universal_user ~params:cp ~alphabet:ct_alphabet ct_dialects)
+      ~server 15
+
+let e14_kernel =
+  let ctl_alphabet = 4 in
+  let ctl_dialects = Dialect.enumerate_rotations ~size:ctl_alphabet in
+  let goal = Control.goal ~alphabet:ctl_alphabet () in
+  let server =
+    Control.server ~alphabet:ctl_alphabet
+      (Enum.get_exn ctl_dialects (ctl_alphabet - 1))
+  in
+  fun () ->
+    run_once ~horizon:2000 ~goal
+      ~user:
+        (Universal.compact ~grace:2 ~growth:`Doubling
+           ~enum:(Control.user_class ~alphabet:ctl_alphabet ctl_dialects)
+           ~sensing:(Control.sensing ()) ())
+      ~server 14
+
+(* Engine micro-benchmarks. *)
+
+let micro_exec_round =
+  let world =
+    World.make ~name:"noop"
+      ~init:(fun () -> ())
+      ~step:(fun _rng () _ -> ((), Io.World.silent))
+      ~view:(fun () -> Msg.Silence)
+  in
+  let goal =
+    Goal.make ~name:"noop" ~worlds:[ world ]
+      ~referee:(Referee.finite "t" (fun _ -> true))
+  in
+  let user = Strategy.stateless ~name:"mute" (fun (_ : Io.User.obs) -> Io.User.silent) in
+  let server = Strategy.stateless ~name:"mute" (fun (_ : Io.Server.obs) -> Io.Server.silent) in
+  fun () -> run_once ~horizon:1000 ~goal ~user ~server 11
+
+let micro_mealy_decode =
+  fun () ->
+  for code = 0 to 255 do
+    ignore (Mealy.decode ~states:2 ~inputs:2 ~outputs:2 code)
+  done
+
+let micro_dpll =
+  let rng = Rng.make seed in
+  let instances =
+    List.map
+      (fun _ -> fst (Goalcom_sat.Gen.planted rng ~num_vars:10 ~num_clauses:30 ~clause_len:3))
+      (Listx.range 0 8)
+  in
+  fun () -> List.iter (fun cnf -> ignore (Goalcom_sat.Dpll.solve cnf)) instances
+
+let micro_dist_sample =
+  let d = Dist.of_weighted [ (0, 0.1); (1, 0.2); (2, 0.3); (3, 0.4) ] in
+  let rng = Rng.make seed in
+  fun () ->
+    for _ = 1 to 1000 do
+      ignore (Dist.sample rng d)
+    done
+
+let tests =
+  Test.make_grouped ~name:"goalcom"
+    [
+      Test.make ~name:"e1_universality" (Staged.stage e1_kernel);
+      Test.make ~name:"e2_overhead_curve" (Staged.stage e2_kernel);
+      Test.make ~name:"e3_levin" (Staged.stage e3_kernel);
+      Test.make ~name:"e4_levin_overhead" (Staged.stage e4_kernel);
+      Test.make ~name:"e5_sensing_ablation" (Staged.stage e5_kernel);
+      Test.make ~name:"e6_compact_convergence" (Staged.stage e6_kernel);
+      Test.make ~name:"e7_delegation" (Staged.stage e7_kernel);
+      Test.make ~name:"e8_lower_bound" (Staged.stage e8_kernel);
+      Test.make ~name:"e9_helpfulness" (Staged.stage e9_kernel);
+      Test.make ~name:"e10_amortisation" (Staged.stage e10_kernel);
+      Test.make ~name:"e11_multi_session" (Staged.stage e11_kernel);
+      Test.make ~name:"e12_channel_robustness" (Staged.stage e12_kernel);
+      Test.make ~name:"e13_online_learning" (Staged.stage e13_kernel);
+      Test.make ~name:"e14_grace_ablation" (Staged.stage e14_kernel);
+      Test.make ~name:"e15_interactive_proof" (Staged.stage e15_kernel);
+      Test.make ~name:"micro_exec_1000_rounds" (Staged.stage micro_exec_round);
+      Test.make ~name:"micro_mealy_decode_256" (Staged.stage micro_mealy_decode);
+      Test.make ~name:"micro_dpll_8x(10v,30c)" (Staged.stage micro_dpll);
+      Test.make ~name:"micro_dist_sample_1000" (Staged.stage micro_dist_sample);
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let print_bench () =
+  print_endline "\n==================================================";
+  print_endline " Bechamel timings (monotonic clock, ns per run)";
+  print_endline "==================================================";
+  let results = benchmark () in
+  let clock_results = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> Printf.sprintf "%.0f" est
+        | _ -> "-"
+      in
+      rows := [ name; estimate ] :: !rows)
+    clock_results;
+  let rows = List.sort compare !rows in
+  Table.print
+    (Table.make ~title:"bechamel (ns/run)" ~columns:[ "benchmark"; "time (ns)" ]
+       rows)
+
+let () =
+  print_experiments ();
+  print_bench ()

@@ -1,0 +1,340 @@
+(* goalcom — CLI for the goal-oriented-communication library.
+
+   Subcommands:
+     list                      enumerate the experiment registry
+     run <id> [--seed] [--csv] run one experiment
+     all [--seed]              run every experiment
+     demo <goal> [options]     run one goal with a chosen user and report
+     check <goal>              validate sensing safety/viability and
+                               helpfulness for a goal's server class *)
+
+open Cmdliner
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+open Goalcom_harness
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* list *)
+
+let list_cmd =
+  let run () =
+    let rows =
+      List.map
+        (fun (e : Experiment.t) ->
+          [ e.id; Experiment.kind_to_string e.kind; e.title ])
+        Experiment.all
+    in
+    Table.print
+      (Table.make ~title:"experiments" ~columns:[ "id"; "kind"; "title" ] rows)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiment registry.")
+    Term.(const run $ const ())
+
+(* run *)
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e1..e10).")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run id seed csv =
+    match Experiment.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `goalcom list`\n" id;
+        exit 1
+    | Some e ->
+        Printf.printf "# %s — %s\n# claim: %s\n%!" e.Experiment.id
+          e.Experiment.title e.Experiment.claim;
+        let table = e.Experiment.run ~seed in
+        if csv then print_string (Table.to_csv table) else Table.print table
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment.")
+    Term.(const run $ id_arg $ seed_arg $ csv_arg)
+
+(* all *)
+
+let all_cmd =
+  let run seed =
+    List.iter
+      (fun (e : Experiment.t) ->
+        Printf.printf "# %s — %s\n%!" e.id e.title;
+        Table.print (e.run ~seed))
+      Experiment.all
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") Term.(const run $ seed_arg)
+
+(* demo *)
+
+let goal_conv =
+  Arg.enum
+    [
+      ("printing", `Printing); ("maze", `Maze); ("control", `Control);
+      ("password", `Password); ("delegation", `Delegation); ("transfer", `Transfer);
+      ("prediction", `Prediction); ("counting", `Counting);
+    ]
+
+let user_conv =
+  Arg.enum
+    [
+      ("universal", `Universal); ("oracle", `Oracle); ("fixed", `Fixed);
+      ("random", `Random);
+    ]
+
+let demo_cmd =
+  let goal_arg =
+    Arg.(required & pos 0 (some goal_conv) None
+         & info [] ~docv:"GOAL"
+             ~doc:"One of printing, maze, control, password, delegation, transfer.")
+  in
+  let user_arg =
+    Arg.(value & opt user_conv `Universal
+         & info [ "user" ] ~docv:"USER" ~doc:"universal | oracle | fixed | random.")
+  in
+  let dialect_arg =
+    Arg.(value & opt int 1
+         & info [ "dialect" ] ~docv:"K"
+             ~doc:"Index of the server's dialect (or the password).")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 8000 & info [ "horizon" ] ~docv:"N" ~doc:"Round budget.")
+  in
+  let run goal_kind user_kind dialect_idx horizon seed =
+    let alphabet = 6 in
+    let dialects = Dialect.enumerate_rotations ~size:alphabet in
+    let dialect i = Enum.get_exn dialects (i mod alphabet) in
+    let scenario = Maze.scenario ~width:8 ~height:8 ~start:(0, 0) ~target:(5, 4) () in
+    let space = 16 in
+    let goal, server, user_class, universal, oracle =
+      match goal_kind with
+      | `Printing ->
+          ( Printing.goal ~alphabet (),
+            Printing.server ~alphabet (dialect dialect_idx),
+            Printing.user_class ~alphabet dialects,
+            (fun () -> Printing.universal_user ~alphabet dialects),
+            fun () -> Printing.informed_user ~alphabet (dialect dialect_idx) )
+      | `Maze ->
+          ( Maze.goal ~scenarios:[ scenario ] ~alphabet (),
+            Maze.server ~alphabet (dialect dialect_idx),
+            Maze.user_class ~alphabet ~scenario dialects,
+            (fun () -> Maze.universal_user ~alphabet ~scenario dialects),
+            fun () -> Maze.informed_user ~alphabet ~scenario (dialect dialect_idx) )
+      | `Control ->
+          ( Control.goal ~alphabet (),
+            Control.server ~alphabet (dialect dialect_idx),
+            Control.user_class ~alphabet dialects,
+            (fun () -> Control.universal_user ~alphabet dialects),
+            fun () -> Control.informed_user ~alphabet (dialect dialect_idx) )
+      | `Password ->
+          ( Password.goal (),
+            Password.server_with_password (dialect_idx mod space),
+            Password.user_class ~space,
+            (fun () -> Password.universal_user ~space ()),
+            fun () -> Password.informed_user (dialect_idx mod space) )
+      | `Delegation ->
+          ( Delegation.goal ~alphabet (),
+            Delegation.server ~alphabet (dialect dialect_idx),
+            Delegation.user_class ~alphabet dialects,
+            (fun () -> Delegation.universal_user ~alphabet dialects),
+            fun () -> Delegation.informed_user ~alphabet (dialect dialect_idx) )
+      | `Transfer ->
+          ( Transfer.goal ~alphabet (),
+            Transfer.server ~alphabet (dialect dialect_idx),
+            Transfer.user_class ~alphabet dialects,
+            (fun () -> Transfer.universal_user_fast ~alphabet dialects),
+            fun () -> Transfer.informed_user ~alphabet (dialect dialect_idx) )
+      | `Prediction ->
+          ( Prediction.goal ~alphabet (),
+            Prediction.server ~alphabet (dialect dialect_idx),
+            Prediction.user_class ~alphabet dialects,
+            (fun () -> Prediction.universal_user ~alphabet dialects),
+            fun () -> Prediction.teacher_user ~alphabet (dialect dialect_idx) )
+      | `Counting ->
+          ( Counting.goal ~alphabet (),
+            Counting.server ~alphabet (dialect dialect_idx),
+            Counting.user_class ~alphabet dialects,
+            (fun () -> Counting.universal_user ~alphabet dialects),
+            fun () -> Counting.verifier_user ~alphabet (dialect dialect_idx) )
+    in
+    let user =
+      match user_kind with
+      | `Universal -> universal ()
+      | `Oracle -> oracle ()
+      | `Fixed -> Goalcom_baselines.Baselines.fixed user_class
+      | `Random -> Goalcom_baselines.Baselines.random_actions ~alphabet ()
+    in
+    let outcome, history =
+      Exec.run_outcome
+        ~config:(Exec.config ~horizon ())
+        ~goal ~user ~server (Rng.make seed)
+    in
+    Format.printf "goal    : %s@." (Goal.name goal);
+    Format.printf "user    : %s@." (Strategy.name user);
+    Format.printf "server  : %s@." (Strategy.name server);
+    Format.printf "outcome : %a@." Outcome.pp outcome;
+    Format.printf "rounds  : %d@." (History.length history)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run one goal once and report the outcome.")
+    Term.(const run $ goal_arg $ user_arg $ dialect_arg $ horizon_arg $ seed_arg)
+
+(* check *)
+
+let check_cmd =
+  let goal_arg =
+    Arg.(required & pos 0 (some goal_conv) None
+         & info [] ~docv:"GOAL" ~doc:"Goal whose sensing/helpfulness to validate.")
+  in
+  let run goal_kind seed =
+    let alphabet = 4 in
+    let dialects = Dialect.enumerate_rotations ~size:alphabet in
+    let report r = Format.printf "%a@." Sensing.pp_report r in
+    let rng = Rng.make seed in
+    (match goal_kind with
+    | `Printing ->
+        let goal = Printing.goal ~alphabet () in
+        let users = Enum.to_list (Printing.user_class ~alphabet dialects) in
+        let servers = Enum.to_list (Printing.server_class ~alphabet dialects) in
+        report
+          (Sensing.check_safety_finite ~goal ~users ~servers Printing.sensing rng)
+    | `Maze ->
+        let scenario = Maze.scenario ~width:6 ~height:6 ~start:(0, 0) ~target:(4, 3) () in
+        let goal = Maze.goal ~scenarios:[ scenario ] ~alphabet () in
+        let users = Enum.to_list (Maze.user_class ~alphabet ~scenario dialects) in
+        let servers = Enum.to_list (Maze.server_class ~alphabet dialects) in
+        report (Sensing.check_safety_finite ~goal ~users ~servers Maze.sensing rng)
+    | `Control ->
+        let goal = Control.goal ~alphabet () in
+        let users = Enum.to_list (Control.user_class ~alphabet dialects) in
+        let servers = Enum.to_list (Control.server_class ~alphabet dialects) in
+        report
+          (Sensing.check_safety_compact
+             ~config:(Exec.config ~horizon:1500 ())
+             ~goal ~users ~servers (Control.sensing ()) rng)
+    | `Password ->
+        let goal = Password.goal () in
+        let users = Enum.to_list (Password.user_class ~space:8) in
+        let servers = Enum.to_list (Password.server_class ~space:8) in
+        report
+          (Sensing.check_safety_finite
+             ~config:(Exec.config ~horizon:200 ())
+             ~goal ~users ~servers Password.sensing rng)
+    | `Delegation ->
+        let goal = Delegation.goal ~alphabet () in
+        let users = Enum.to_list (Delegation.user_class ~alphabet dialects) in
+        let servers = Enum.to_list (Delegation.server_class ~alphabet dialects) in
+        report
+          (Sensing.check_safety_finite
+             ~config:(Exec.config ~horizon:500 ())
+             ~goal ~users ~servers Delegation.sensing rng)
+    | `Transfer ->
+        let goal = Transfer.goal ~alphabet () in
+        let users = Enum.to_list (Transfer.user_class ~alphabet dialects) in
+        let servers = Enum.to_list (Transfer.server_class ~alphabet dialects) in
+        report
+          (Sensing.check_safety_finite
+             ~config:(Exec.config ~horizon:500 ())
+             ~goal ~users ~servers Transfer.goal_sensing rng)
+    | `Prediction ->
+        let goal = Prediction.goal ~alphabet () in
+        let users = Enum.to_list (Prediction.user_class ~alphabet dialects) in
+        let servers = Enum.to_list (Prediction.server_class ~alphabet dialects) in
+        report
+          (Sensing.check_safety_compact
+             ~config:(Exec.config ~horizon:800 ())
+             ~goal ~users ~servers Prediction.sensing rng)
+    | `Counting ->
+        let goal = Counting.goal ~alphabet () in
+        let users = Enum.to_list (Counting.user_class ~alphabet dialects) in
+        let servers = Enum.to_list (Counting.server_class ~alphabet dialects) in
+        report
+          (Sensing.check_safety_finite
+             ~config:(Exec.config ~horizon:300 ())
+             ~goal ~users ~servers Counting.sensing rng));
+    ()
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate sensing properties for a goal.")
+    Term.(const run $ goal_arg $ seed_arg)
+
+(* transcript *)
+
+let transcript_cmd =
+  let goal_arg =
+    Arg.(required & pos 0 (some goal_conv) None
+         & info [] ~docv:"GOAL" ~doc:"Goal to run and dump.")
+  in
+  let dialect_arg =
+    Arg.(value & opt int 1 & info [ "dialect" ] ~docv:"K" ~doc:"Server dialect index.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 25 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds to print.")
+  in
+  let run goal_kind dialect_idx rounds seed =
+    let alphabet = 6 in
+    let dialects = Dialect.enumerate_rotations ~size:alphabet in
+    let dialect i = Enum.get_exn dialects (i mod alphabet) in
+    let goal, user, server =
+      match goal_kind with
+      | `Printing ->
+          ( Printing.goal ~alphabet (),
+            Printing.informed_user ~alphabet (dialect dialect_idx),
+            Printing.server ~alphabet (dialect dialect_idx) )
+      | `Maze ->
+          let scenario =
+            Maze.scenario ~width:8 ~height:8 ~start:(0, 0) ~target:(5, 4) ()
+          in
+          ( Maze.goal ~scenarios:[ scenario ] ~alphabet (),
+            Maze.informed_user ~alphabet ~scenario (dialect dialect_idx),
+            Maze.server ~alphabet (dialect dialect_idx) )
+      | `Control ->
+          ( Control.goal ~alphabet (),
+            Control.informed_user ~alphabet (dialect dialect_idx),
+            Control.server ~alphabet (dialect dialect_idx) )
+      | `Password ->
+          ( Password.goal (),
+            Password.informed_user (dialect_idx mod 16),
+            Password.server_with_password (dialect_idx mod 16) )
+      | `Delegation ->
+          ( Delegation.goal ~alphabet (),
+            Delegation.informed_user ~alphabet (dialect dialect_idx),
+            Delegation.server ~alphabet (dialect dialect_idx) )
+      | `Transfer ->
+          ( Transfer.goal ~alphabet (),
+            Transfer.informed_user ~alphabet (dialect dialect_idx),
+            Transfer.server ~alphabet (dialect dialect_idx) )
+      | `Prediction ->
+          ( Prediction.goal ~alphabet (),
+            Prediction.teacher_user ~alphabet (dialect dialect_idx),
+            Prediction.server ~alphabet (dialect dialect_idx) )
+      | `Counting ->
+          ( Counting.goal ~alphabet (),
+            Counting.verifier_user ~alphabet (dialect dialect_idx),
+            Counting.server ~alphabet (dialect dialect_idx) )
+    in
+    let history =
+      Exec.run
+        ~config:(Exec.config ~horizon:(max rounds 1) ())
+        ~goal ~user ~server (Rng.make seed)
+    in
+    Format.printf "%a@." History.pp (History.prefix rounds history)
+  in
+  Cmd.v
+    (Cmd.info "transcript"
+       ~doc:"Run an informed user on a goal and print the round-by-round history.")
+    Term.(const run $ goal_arg $ dialect_arg $ rounds_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "goalcom" ~version:"1.0.0"
+      ~doc:"A theory of goal-oriented communication, executable (PODC 2011)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; demo_cmd; check_cmd; transcript_cmd ]))

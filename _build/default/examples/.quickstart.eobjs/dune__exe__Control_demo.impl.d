@@ -1,0 +1,1 @@
+examples/control_demo.ml: Control Dialect Enum Exec Format Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude History Io List Msg Outcome Rng Strategy String

@@ -1,0 +1,1 @@
+examples/delegation_demo.ml: Delegation Dialect Enum Exec Format Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers History List Listx Msg Outcome Rng Transform

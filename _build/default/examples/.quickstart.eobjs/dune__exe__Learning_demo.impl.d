@@ -1,0 +1,1 @@
+examples/learning_demo.ml: Dialect Enum Exec Format Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers Outcome Prediction Rng Transform

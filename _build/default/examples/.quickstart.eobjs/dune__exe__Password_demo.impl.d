@@ -1,0 +1,1 @@
+examples/password_demo.ml: Exec Format Goalcom Goalcom_goals Goalcom_prelude History List Password Rng

@@ -1,0 +1,1 @@
+examples/peers_demo.mli:

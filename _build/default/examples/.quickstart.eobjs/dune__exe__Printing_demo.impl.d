@@ -1,0 +1,1 @@
+examples/printing_demo.ml: Char Dialect Enum Exec Format Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude History List Listx Outcome Printing Rng String Universal

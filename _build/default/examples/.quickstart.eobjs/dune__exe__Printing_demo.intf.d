@@ -1,0 +1,1 @@
+examples/printing_demo.mli:

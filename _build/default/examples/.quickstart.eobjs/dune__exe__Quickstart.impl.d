@@ -1,0 +1,1 @@
+examples/quickstart.ml: Enum Exec Format Goal Goalcom Goalcom_automata Goalcom_prelude History Io List Msg Outcome Printf Referee Rng Sensing Strategy Universal View World

@@ -1,0 +1,61 @@
+(* Online learning as goal-oriented communication (the Juba–Vempala
+   connection the paper points to): the world scores predictions of a
+   secret parity concept; "achieving the goal" = finitely many
+   mistakes.  Three routes to success:
+     - ask a teacher (if you can figure out its dialect),
+     - learn the concept yourself (halving algorithm, no server at all),
+     - be universal over a class containing both.
+
+   Run with:  dune exec examples/learning_demo.exe *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_goals
+
+let alphabet = 3
+let params = { Prediction.num_attributes = 6 }
+let goal = Prediction.goal ~params ~alphabet ()
+let horizon = 1200
+
+let show label user server seed =
+  let history =
+    Exec.run ~config:(Exec.config ~horizon ()) ~goal ~user ~server (Rng.make seed)
+  in
+  let outcome = Outcome.judge goal history in
+  Format.printf "%-36s mistakes=%4d  converged=%b@." label
+    (Prediction.mistakes history)
+    outcome.Outcome.achieved
+
+let () =
+  let dialects = Dialect.enumerate_rotations ~size:alphabet in
+  let d i = Enum.get_exn dialects i in
+  Format.printf
+    "secret parity concept over %d attributes; %d rounds; mistake counts:@.@."
+    params.Prediction.num_attributes horizon;
+  show "teacher-user, right dialect"
+    (Prediction.teacher_user ~params ~alphabet (d 0))
+    (Prediction.server ~alphabet (d 0))
+    1;
+  show "teacher-user, wrong dialect"
+    (Prediction.teacher_user ~params ~alphabet (d 1))
+    (Prediction.server ~alphabet (d 0))
+    2;
+  show "halving learner, no server"
+    (Prediction.learner_user ~params ())
+    (Transform.silent ())
+    3;
+  show "universal, teacher server"
+    (Prediction.universal_user ~params ~alphabet dialects)
+    (Prediction.server ~alphabet (d 2))
+    4;
+  show "universal, silent server"
+    (Prediction.universal_user ~params ~alphabet dialects)
+    (Transform.silent ())
+    5;
+  Format.printf
+    "@.the halving learner's mistakes stay below n = %d; the universal user@."
+    params.Prediction.num_attributes;
+  Format.printf
+    "converges with any server, because the learner is in its class.@."

@@ -1,0 +1,40 @@
+(* Why the enumeration overhead is essentially necessary: a lock that
+   gives no feedback on wrong guesses.  Every lock is helpful (the user
+   that knows the password opens it immediately), sensing is safe and
+   viable — and still, any universal user must pay about half the
+   password space.
+
+   Run with:  dune exec examples/password_demo.exe *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_goals
+
+let () =
+  let goal = Password.goal () in
+  Format.printf "the lock accepts one password out of N; wrong guesses produce silence@.@.";
+  List.iter
+    (fun space ->
+      let secrets = [ 0; space / 2; space - 1 ] in
+      let costs =
+        List.map
+          (fun w ->
+            let server = Password.server_with_password w in
+            let user = Password.sweeper ~space in
+            let history =
+              Exec.run
+                ~config:(Exec.config ~horizon:(8 * (space + 10)) ())
+                ~goal ~user ~server (Rng.make (space + w))
+            in
+            (w, History.length history))
+          secrets
+      in
+      Format.printf "N = %3d:" space;
+      List.iter (fun (w, c) -> Format.printf "  secret=%3d -> %4d rounds" w c) costs;
+      Format.printf "@.")
+    [ 8; 32; 128 ];
+  Format.printf
+    "@.the informed user always needs ~4 rounds; the universal sweeper pays@.";
+  Format.printf
+    "rounds proportional to the secret's position — no sensing can help,@.";
+  Format.printf "because the lock is silent until the first success.@."

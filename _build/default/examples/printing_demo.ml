@@ -1,0 +1,53 @@
+(* The paper's motivating example: using a printer without a common
+   language.  The printer understands PRINT/CLEAR commands, but in an
+   unknown relabelling (dialect) of the command alphabet.  The
+   universal user enumerates candidate dialects with the Levin
+   schedule, sensing progress through the world's (document, page)
+   broadcasts, and halts once the document has appeared on the page.
+
+   Run with:  dune exec examples/printing_demo.exe *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+
+let alphabet = 6
+let doc = [ 104; 105 ] (* "hi" *)
+
+let () =
+  let dialects = Dialect.enumerate_rotations ~size:alphabet in
+  let goal = Printing.goal ~docs:[ doc ] ~alphabet () in
+  Format.printf "document to print: %s@."
+    (String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) doc));
+  Format.printf "server class: %d rotation dialects of a %d-symbol alphabet@.@."
+    alphabet alphabet;
+  (* Try the universal user against every server in the class. *)
+  List.iter
+    (fun i ->
+      let server = Printing.server ~alphabet (Enum.get_exn dialects i) in
+      let stats = Universal.new_stats () in
+      let user = Printing.universal_user ~stats ~alphabet dialects in
+      let outcome, history =
+        Exec.run_outcome
+          ~config:(Exec.config ~horizon:20_000 ())
+          ~goal ~user ~server (Rng.make (100 + i))
+      in
+      Format.printf
+        "printer dialect %d: achieved=%b in %4d rounds (%2d sessions, settled on candidate %d)@."
+        i outcome.Outcome.achieved (History.length history)
+        stats.Universal.sessions stats.Universal.current_index)
+    (Listx.range 0 alphabet);
+  (* And show what a fixed-protocol user does. *)
+  Format.printf "@.fixed-protocol user (assumes dialect 0):@.";
+  List.iter
+    (fun i ->
+      let server = Printing.server ~alphabet (Enum.get_exn dialects i) in
+      let user = Printing.informed_user ~alphabet (Enum.get_exn dialects 0) in
+      let outcome, _ =
+        Exec.run_outcome
+          ~config:(Exec.config ~horizon:2_000 ())
+          ~goal ~user ~server (Rng.make (200 + i))
+      in
+      Format.printf "printer dialect %d: achieved=%b@." i outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)

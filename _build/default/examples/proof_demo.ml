@@ -1,0 +1,72 @@
+(* Interactive proofs inside the model: the user delegates #SAT to an
+   exponential-time prover and verifies the claim with the sum-check
+   protocol — no certificate exists, so verification is necessarily
+   interactive, just as in the PSPACE delegation that preceded the
+   paper.
+
+   Run with:  dune exec examples/proof_demo.exe *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_sat
+open Goalcom_ip
+open Goalcom_goals
+
+let alphabet = 4
+let params = { Counting.num_vars = 6; num_clauses = 10; clause_len = 3 }
+
+let () =
+  (* First, the bare protocol. *)
+  let rng = Rng.make 7 in
+  let cnf = Gen.uniform rng ~num_vars:6 ~num_clauses:10 ~clause_len:3 in
+  let count = Arith.count_models_mod cnf in
+  Format.printf "formula: %s@." (Cnf.to_string cnf);
+  Format.printf "true model count: %d (of 64 assignments)@.@." count;
+  let accepted, rounds =
+    Sumcheck.run rng cnf ~claimed:count ~prover:Sumcheck.honest_prover
+  in
+  Format.printf "honest prover, true claim      : accepted=%b after %d rounds@."
+    accepted rounds;
+  let accepted, rounds =
+    Sumcheck.run rng cnf ~claimed:(count + 1) ~prover:Sumcheck.honest_prover
+  in
+  Format.printf "honest prover, false claim     : accepted=%b after %d round(s)@."
+    accepted rounds;
+  let accepted, rounds =
+    Sumcheck.run rng cnf ~claimed:count
+      ~prover:(Sumcheck.tampered_prover ~tamper_round:3 ~offset:9)
+  in
+  Format.printf "tampered round 3, true claim   : accepted=%b after %d rounds@.@."
+    accepted rounds;
+  (* Then the protocol mounted inside the model, behind a dialect. *)
+  let dialects = Dialect.enumerate_rotations ~size:alphabet in
+  let goal = Counting.goal ~params ~alphabet () in
+  List.iter
+    (fun i ->
+      let user = Counting.universal_user ~params ~alphabet dialects in
+      let server = Counting.server ~alphabet (Enum.get_exn dialects i) in
+      let outcome, history =
+        Exec.run_outcome
+          ~config:(Exec.config ~horizon:4000 ())
+          ~goal ~user ~server (Rng.make (20 + i))
+      in
+      Format.printf
+        "universal verifier vs honest prover @@ dialect %d: achieved=%b in %3d rounds@."
+        i outcome.Outcome.achieved (History.length history))
+    (Listx.range 0 alphabet);
+  let liar =
+    Transform.with_dialect (Enum.get_exn dialects 0)
+      (Counting.lying_prover ~alphabet ~offset:1)
+  in
+  let user = Counting.verifier_user ~params ~alphabet (Enum.get_exn dialects 0) in
+  let outcome, history =
+    Exec.run_outcome
+      ~config:(Exec.config ~horizon:500 ())
+      ~goal ~user ~server:liar (Rng.make 30)
+  in
+  Format.printf
+    "@.verifier vs lying prover: achieved=%b (%d proofs attempted, all rejected)@."
+    outcome.Outcome.achieved
+    (Counting.claim_requests history)

@@ -1,0 +1,1 @@
+lib/automata/alphabet.ml: Array Goalcom_prelude List Listx String

@@ -1,0 +1,1 @@
+lib/automata/dialect.ml: Array Enum Format Goalcom_prelude List Listx Printf Rng String

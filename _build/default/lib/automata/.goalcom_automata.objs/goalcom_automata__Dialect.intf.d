@@ -1,0 +1,1 @@
+lib/automata/dialect.mli: Enum Format Goalcom_prelude

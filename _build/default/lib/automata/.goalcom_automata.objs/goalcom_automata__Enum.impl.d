@@ -1,0 +1,1 @@
+lib/automata/enum.ml: Array Coding Goalcom_prelude List Listx Option Printf

@@ -1,0 +1,1 @@
+lib/automata/mealy.ml: Array Coding Enum Format Goalcom_prelude Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/automata/prob_mealy.ml: Array Dist Goalcom_prelude List Listx Mealy

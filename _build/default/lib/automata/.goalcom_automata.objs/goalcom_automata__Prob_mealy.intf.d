@@ -1,0 +1,1 @@
+lib/automata/prob_mealy.mli: Dist Goalcom_prelude Mealy Rng

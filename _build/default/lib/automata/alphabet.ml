@@ -1,0 +1,34 @@
+open Goalcom_prelude
+
+type t = { names : string array }
+
+let make names =
+  if names = [] then invalid_arg "Alphabet.make: empty";
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Alphabet.make: duplicate names";
+  List.iter
+    (fun n -> if n = "" then invalid_arg "Alphabet.make: empty name")
+    names;
+  { names = Array.of_list names }
+
+let of_size n =
+  if n <= 0 then invalid_arg "Alphabet.of_size: non-positive size";
+  { names = Array.init n (fun i -> "s" ^ string_of_int i) }
+
+let size t = Array.length t.names
+
+let name t i =
+  if i < 0 || i >= size t then invalid_arg "Alphabet.name: out of range";
+  t.names.(i)
+
+let index t n =
+  let rec go i =
+    if i >= size t then None
+    else if t.names.(i) = n then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let symbols t = Listx.range 0 (size t)
+let mem t i = i >= 0 && i < size t

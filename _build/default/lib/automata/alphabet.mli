@@ -1,0 +1,28 @@
+(** Finite message alphabets.
+
+    Symbols are dense integers [0 .. size-1] with optional human-readable
+    names; strategies and dialects operate on the integer form, examples
+    and logs on the names. *)
+
+type t
+
+val make : string list -> t
+(** [make names] builds an alphabet from distinct, non-empty names.
+    @raise Invalid_argument on duplicates or an empty list. *)
+
+val of_size : int -> t
+(** [of_size n] has symbols named ["s0" .. "s{n-1}"].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val size : t -> int
+
+val name : t -> int -> string
+(** @raise Invalid_argument if the symbol is out of range. *)
+
+val index : t -> string -> int option
+(** Symbol with the given name, if any. *)
+
+val symbols : t -> int list
+(** [0; 1; ...; size-1]. *)
+
+val mem : t -> int -> bool

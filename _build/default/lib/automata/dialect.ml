@@ -1,0 +1,104 @@
+open Goalcom_prelude
+
+type t = { fwd : int array; inv : int array }
+
+let size t = Array.length t.fwd
+
+let of_array a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Dialect.of_array: empty";
+  let inv = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n then invalid_arg "Dialect.of_array: out of range";
+      if inv.(v) <> -1 then invalid_arg "Dialect.of_array: not injective";
+      inv.(v) <- i)
+    a;
+  { fwd = Array.copy a; inv }
+
+let identity n = of_array (Array.init n (fun i -> i))
+let to_array t = Array.copy t.fwd
+
+let apply t i =
+  if i < 0 || i >= size t then invalid_arg "Dialect.apply: out of range";
+  t.fwd.(i)
+
+let unapply t i =
+  if i < 0 || i >= size t then invalid_arg "Dialect.unapply: out of range";
+  t.inv.(i)
+
+let inverse t = { fwd = Array.copy t.inv; inv = Array.copy t.fwd }
+
+let compose f g =
+  if size f <> size g then invalid_arg "Dialect.compose: size mismatch";
+  of_array (Array.init (size f) (fun i -> f.fwd.(g.fwd.(i))))
+
+let equal a b = a.fwd = b.fwd
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.fwd)))
+
+let rotation ~size:n k =
+  if n <= 0 then invalid_arg "Dialect.rotation: non-positive size";
+  let k = ((k mod n) + n) mod n in
+  of_array (Array.init n (fun i -> (i + k) mod n))
+
+let factorial n =
+  let rec go acc k =
+    if k <= 1 then acc
+    else if acc > max_int / k then max_int
+    else go (acc * k) (k - 1)
+  in
+  if n < 0 then invalid_arg "Dialect.factorial: negative" else go 1 n
+
+let of_lehmer ~size:n code =
+  if n <= 0 || code < 0 then None
+  else begin
+    let total = factorial n in
+    if total <> max_int && code >= total then None
+    else begin
+      (* Factorial-base digits select from the remaining symbols. *)
+      let remaining = ref (Listx.range 0 n) in
+      let result = Array.make n 0 in
+      let rest = ref code in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let f = factorial (n - 1 - i) in
+        let d = if f = 0 then 0 else !rest / f in
+        if d >= List.length !remaining then ok := false
+        else begin
+          result.(i) <- List.nth !remaining d;
+          remaining := List.filteri (fun j _ -> j <> d) !remaining;
+          rest := !rest mod f
+        end
+      done;
+      if !ok then Some (of_array result) else None
+    end
+  end
+
+let to_lehmer t =
+  let n = size t in
+  let code = ref 0 in
+  for i = 0 to n - 1 do
+    let smaller_later =
+      let c = ref 0 in
+      for j = i + 1 to n - 1 do
+        if t.fwd.(j) < t.fwd.(i) then incr c
+      done;
+      !c
+    in
+    code := !code + (smaller_later * factorial (n - 1 - i))
+  done;
+  !code
+
+let enumerate_all ~size:n =
+  Enum.make ~name:(Printf.sprintf "dialects(S_%d)" n) ~card:(factorial n)
+    (fun i -> of_lehmer ~size:n i)
+
+let enumerate_rotations ~size:n =
+  Enum.tabulate ~name:(Printf.sprintf "rotations(%d)" n) n (fun k ->
+      rotation ~size:n k)
+
+let random rng n =
+  of_array (Rng.permutation rng n)

@@ -1,0 +1,57 @@
+(** Dialects: the paper's "no common language".
+
+    A dialect is a bijective relabelling of a finite command alphabet.
+    A server that "speaks dialect d" expects the user's canonical
+    command [c] to arrive encoded as [apply d c], and encodes its own
+    replies the same way.  The incompatibility studied by the paper is
+    modelled by drawing the server's dialect adversarially from a class
+    the user does not know. *)
+
+type t
+(** A permutation of [0 .. size-1]. *)
+
+val size : t -> int
+
+val identity : int -> t
+
+val of_array : int array -> t
+(** @raise Invalid_argument if the array is not a permutation. *)
+
+val to_array : t -> int array
+
+val apply : t -> int -> int
+(** Encode a canonical symbol.  @raise Invalid_argument out of range. *)
+
+val unapply : t -> int -> int
+(** Decode back to canonical.  @raise Invalid_argument out of range. *)
+
+val inverse : t -> t
+val compose : t -> t -> t
+(** [compose f g] applies [g] first, then [f]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val rotation : size:int -> int -> t
+(** [rotation ~size k] maps [i] to [(i + k) mod size]. *)
+
+val of_lehmer : size:int -> int -> t option
+(** [of_lehmer ~size code] decodes a Lehmer code (factorial-base index)
+    into the [code]-th permutation of [0..size-1] in lexicographic
+    order; [None] if out of range ([code >= size!]). *)
+
+val to_lehmer : t -> int
+(** Inverse of {!of_lehmer}. *)
+
+val factorial : int -> int
+(** [n!], saturating at [max_int]. *)
+
+val enumerate_all : size:int -> t Enum.t
+(** All [size!] permutations in lexicographic order.  Keep [size] small
+    (≤ 10) or indexes will saturate. *)
+
+val enumerate_rotations : size:int -> t Enum.t
+(** The [size] rotations — a convenient large-alphabet dialect class. *)
+
+val random : Goalcom_prelude.Rng.t -> int -> t
+(** Uniform random dialect. *)

@@ -1,0 +1,191 @@
+open Goalcom_prelude
+
+type t = {
+  states : int;
+  inputs : int;
+  outputs : int;
+  next : int array array;
+  out : int array array;
+}
+
+let check_table name ~rows ~cols ~bound table =
+  if Array.length table <> rows then
+    invalid_arg (Printf.sprintf "Mealy.make: %s has %d rows, expected %d" name
+                   (Array.length table) rows);
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg (Printf.sprintf "Mealy.make: ragged %s table" name);
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= bound then
+            invalid_arg (Printf.sprintf "Mealy.make: %s entry %d out of range" name v))
+        row)
+    table
+
+let make ~states ~inputs ~outputs ~next ~out =
+  if states <= 0 || inputs <= 0 || outputs <= 0 then
+    invalid_arg "Mealy.make: dimensions must be positive";
+  check_table "next" ~rows:states ~cols:inputs ~bound:states next;
+  check_table "out" ~rows:states ~cols:inputs ~bound:outputs out;
+  { states; inputs; outputs; next; out }
+
+let constant ~inputs ~outputs sym =
+  if sym < 0 || sym >= outputs then invalid_arg "Mealy.constant: symbol out of range";
+  make ~states:1 ~inputs ~outputs
+    ~next:[| Array.make inputs 0 |]
+    ~out:[| Array.make inputs sym |]
+
+let identity ~size =
+  make ~states:1 ~inputs:size ~outputs:size
+    ~next:[| Array.make size 0 |]
+    ~out:[| Array.init size (fun i -> i) |]
+
+let map_output f ~outputs m =
+  let out = Array.map (Array.map f) m.out in
+  make ~states:m.states ~inputs:m.inputs ~outputs ~next:m.next ~out
+
+let map_input f m =
+  let remap table =
+    Array.map (fun row -> Array.init m.inputs (fun i -> row.(f i))) table
+  in
+  make ~states:m.states ~inputs:m.inputs ~outputs:m.outputs
+    ~next:(remap m.next) ~out:(remap m.out)
+
+let step m s i =
+  if s < 0 || s >= m.states then invalid_arg "Mealy.step: state out of range";
+  if i < 0 || i >= m.inputs then invalid_arg "Mealy.step: input out of range";
+  (m.next.(s).(i), m.out.(s).(i))
+
+let run m word =
+  let rec go s = function
+    | [] -> []
+    | i :: rest ->
+        let s', o = step m s i in
+        o :: go s' rest
+  in
+  go 0 word
+
+let cascade m1 m2 =
+  if m1.outputs <> m2.inputs then
+    invalid_arg "Mealy.cascade: alphabet mismatch";
+  (* Product state (s1, s2) encoded as s1 * m2.states + s2. *)
+  let states = m1.states * m2.states in
+  let next = Array.make_matrix states m1.inputs 0 in
+  let out = Array.make_matrix states m1.inputs 0 in
+  for s1 = 0 to m1.states - 1 do
+    for s2 = 0 to m2.states - 1 do
+      let s = (s1 * m2.states) + s2 in
+      for i = 0 to m1.inputs - 1 do
+        let s1', mid = step m1 s1 i in
+        let s2', o = step m2 s2 mid in
+        next.(s).(i) <- (s1' * m2.states) + s2';
+        out.(s).(i) <- o
+      done
+    done
+  done;
+  make ~states ~inputs:m1.inputs ~outputs:m2.outputs ~next ~out
+
+let saturating_mul a b =
+  if a <> 0 && b > max_int / a then max_int else a * b
+
+let count ~states ~inputs ~outputs =
+  (* Each of the [states * inputs] cells independently chooses a
+     (successor, output) pair among [states * outputs] options. *)
+  let per_cell = saturating_mul states outputs in
+  let cells = states * inputs in
+  let rec pow acc k =
+    if k = 0 then acc else pow (saturating_mul acc per_cell) (k - 1)
+  in
+  pow 1 cells
+
+let cell_radices m =
+  Array.make (m.states * m.inputs) (m.states * m.outputs)
+
+let encode m =
+  let digits =
+    Array.init
+      (m.states * m.inputs)
+      (fun cell ->
+        let s = cell / m.inputs and i = cell mod m.inputs in
+        (m.next.(s).(i) * m.outputs) + m.out.(s).(i))
+  in
+  Coding.encode_tuple ~radices:(cell_radices m) digits
+
+let decode ~states ~inputs ~outputs code =
+  if states <= 0 || inputs <= 0 || outputs <= 0 then None
+  else if code < 0 || code >= count ~states ~inputs ~outputs then None
+  else begin
+    let radices = Array.make (states * inputs) (states * outputs) in
+    let digits = Coding.decode_tuple ~radices code in
+    let next = Array.make_matrix states inputs 0 in
+    let out = Array.make_matrix states inputs 0 in
+    Array.iteri
+      (fun cell d ->
+        let s = cell / inputs and i = cell mod inputs in
+        next.(s).(i) <- d / outputs;
+        out.(s).(i) <- d mod outputs)
+      digits;
+    Some (make ~states ~inputs ~outputs ~next ~out)
+  end
+
+let enumerate ~states ~inputs ~outputs =
+  let card = count ~states ~inputs ~outputs in
+  Enum.make
+    ~name:(Printf.sprintf "mealy(%d states,%d in,%d out)" states inputs outputs)
+    ~card
+    (fun i -> decode ~states ~inputs ~outputs i)
+
+let enumerate_up_to ~max_states ~inputs ~outputs =
+  if max_states <= 0 then invalid_arg "Mealy.enumerate_up_to";
+  let rec build n =
+    let this = enumerate ~states:n ~inputs ~outputs in
+    if n = max_states then this else Enum.append this (build (n + 1))
+  in
+  build 1
+
+let equal_behaviour ~depth a b =
+  if a.inputs <> b.inputs || a.outputs <> b.outputs then
+    invalid_arg "Mealy.equal_behaviour: alphabet mismatch";
+  (* Breadth-first walk of the product machine, stopping at [depth] or
+     when every reachable state pair has been checked. *)
+  let seen = Hashtbl.create 16 in
+  let rec go frontier d =
+    if frontier = [] || d > depth then true
+    else begin
+      let next_frontier = ref [] in
+      let ok =
+        List.for_all
+          (fun (sa, sb) ->
+            let rec inputs_ok i =
+              if i >= a.inputs then true
+              else begin
+                let sa', oa = step a sa i in
+                let sb', ob = step b sb i in
+                if oa <> ob then false
+                else begin
+                  if not (Hashtbl.mem seen (sa', sb')) then begin
+                    Hashtbl.add seen (sa', sb') ();
+                    next_frontier := (sa', sb') :: !next_frontier
+                  end;
+                  inputs_ok (i + 1)
+                end
+              end
+            in
+            inputs_ok 0)
+          frontier
+      in
+      ok && go !next_frontier (d + 1)
+    end
+  in
+  Hashtbl.add seen (0, 0) ();
+  go [ (0, 0) ] 1
+
+let pp ppf m =
+  Format.fprintf ppf "mealy{states=%d;in=%d;out=%d" m.states m.inputs m.outputs;
+  for s = 0 to m.states - 1 do
+    for i = 0 to m.inputs - 1 do
+      Format.fprintf ppf "; %d--%d/%d->%d" s i m.out.(s).(i) m.next.(s).(i)
+    done
+  done;
+  Format.fprintf ppf "}"

@@ -1,0 +1,66 @@
+(** Deterministic Mealy machines (finite-state transducers).
+
+    These are the concrete, {e enumerable} strategy descriptions behind
+    Theorem 1: a countable class of finite-state strategies is obtained
+    by decoding natural numbers into machines.  States and symbols are
+    dense integers; the initial state is always 0. *)
+
+type t = private {
+  states : int;   (** number of states; the initial state is 0 *)
+  inputs : int;   (** input alphabet size *)
+  outputs : int;  (** output alphabet size *)
+  next : int array array;  (** [next.(s).(i)] is the successor state *)
+  out : int array array;   (** [out.(s).(i)] is the emitted symbol *)
+}
+
+val make :
+  states:int -> inputs:int -> outputs:int ->
+  next:int array array -> out:int array array -> t
+(** Validates all dimensions and ranges.  @raise Invalid_argument. *)
+
+val constant : inputs:int -> outputs:int -> int -> t
+(** One-state machine that always emits the given symbol. *)
+
+val identity : size:int -> t
+(** One-state machine that echoes its input. *)
+
+val map_output : (int -> int) -> outputs:int -> t -> t
+(** Post-compose a relabelling on outputs (e.g. a dialect permutation). *)
+
+val map_input : (int -> int) -> t -> t
+(** Pre-compose a relabelling on inputs.  [f] must map [0..inputs-1]
+    into range; the input alphabet size is unchanged. *)
+
+val step : t -> int -> int -> int * int
+(** [step m s i] is [(s', o)].  @raise Invalid_argument out of range. *)
+
+val run : t -> int list -> int list
+(** Outputs along the run from state 0 over the given input word. *)
+
+val cascade : t -> t -> t
+(** [cascade m1 m2] feeds [m1]'s output into [m2]; requires
+    [m1.outputs = m2.inputs].  @raise Invalid_argument otherwise. *)
+
+val count : states:int -> inputs:int -> outputs:int -> int
+(** Number of distinct machines with these dimensions, saturating at
+    [max_int] on overflow. *)
+
+val encode : t -> int
+(** Canonical index of the machine among machines of its dimensions
+    (mixed-radix over the transition table). *)
+
+val decode : states:int -> inputs:int -> outputs:int -> int -> t option
+(** Inverse of {!encode}; [None] if the code is out of range. *)
+
+val enumerate : states:int -> inputs:int -> outputs:int -> t Enum.t
+(** All machines of exactly these dimensions, in {!encode} order. *)
+
+val enumerate_up_to : max_states:int -> inputs:int -> outputs:int -> t Enum.t
+(** All machines with 1, 2, ..., [max_states] states, smaller first. *)
+
+val equal_behaviour : depth:int -> t -> t -> bool
+(** Do the two machines produce identical outputs on every input word of
+    length at most [depth]?  (Exact bisimulation check up to [depth];
+    machines must share input/output alphabet sizes.) *)
+
+val pp : Format.formatter -> t -> unit

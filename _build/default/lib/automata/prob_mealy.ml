@@ -1,0 +1,71 @@
+open Goalcom_prelude
+
+type t = {
+  states : int;
+  inputs : int;
+  outputs : int;
+  trans : (int * int) Dist.t array array;
+}
+
+let make ~states ~inputs ~outputs ~trans =
+  if states <= 0 || inputs <= 0 || outputs <= 0 then
+    invalid_arg "Prob_mealy.make: dimensions must be positive";
+  if Array.length trans <> states then
+    invalid_arg "Prob_mealy.make: wrong number of rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> inputs then
+        invalid_arg "Prob_mealy.make: ragged transition table";
+      Array.iter
+        (fun dist ->
+          List.iter
+            (fun (s', o) ->
+              if s' < 0 || s' >= states || o < 0 || o >= outputs then
+                invalid_arg "Prob_mealy.make: outcome out of range")
+            (Dist.support dist))
+        row)
+    trans;
+  { states; inputs; outputs; trans }
+
+let of_mealy (m : Mealy.t) =
+  let trans =
+    Array.init m.states (fun s ->
+        Array.init m.inputs (fun i ->
+            Dist.return (m.next.(s).(i), m.out.(s).(i))))
+  in
+  make ~states:m.states ~inputs:m.inputs ~outputs:m.outputs ~trans
+
+let perturb ~flip_prob (m : Mealy.t) =
+  if flip_prob < 0. || flip_prob > 1. then
+    invalid_arg "Prob_mealy.perturb: flip_prob out of range";
+  let trans =
+    Array.init m.states (fun s ->
+        Array.init m.inputs (fun i ->
+            let s' = m.next.(s).(i) and o = m.out.(s).(i) in
+            if flip_prob = 0. then Dist.return (s', o)
+            else begin
+              let noise = flip_prob /. float_of_int m.outputs in
+              Dist.of_weighted
+                (((s', o), 1. -. flip_prob)
+                :: List.map
+                     (fun sym -> ((s', sym), noise))
+                     (Listx.range 0 m.outputs))
+            end))
+  in
+  make ~states:m.states ~inputs:m.inputs ~outputs:m.outputs ~trans
+
+let step_dist t s i =
+  if s < 0 || s >= t.states then invalid_arg "Prob_mealy.step_dist: state out of range";
+  if i < 0 || i >= t.inputs then invalid_arg "Prob_mealy.step_dist: input out of range";
+  t.trans.(s).(i)
+
+let step rng t s i = Dist.sample rng (step_dist t s i)
+
+let run rng t word =
+  let rec go s = function
+    | [] -> []
+    | i :: rest ->
+        let s', o = step rng t s i in
+        o :: go s' rest
+  in
+  go 0 word

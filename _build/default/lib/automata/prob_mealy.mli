@@ -1,0 +1,38 @@
+(** Probabilistic Mealy machines.
+
+    The paper's strategies are probabilistic: each step yields a
+    {e distribution} over (state, output).  Deterministic machines embed
+    via {!of_mealy}; {!perturb} builds the noisy variants used by the
+    robustness experiments. *)
+
+open Goalcom_prelude
+
+type t = private {
+  states : int;
+  inputs : int;
+  outputs : int;
+  trans : (int * int) Dist.t array array;
+      (** [trans.(s).(i)] is the distribution over (successor, output). *)
+}
+
+val make :
+  states:int -> inputs:int -> outputs:int ->
+  trans:(int * int) Dist.t array array -> t
+(** Validates dimensions and that every outcome is in range.
+    @raise Invalid_argument. *)
+
+val of_mealy : Mealy.t -> t
+
+val perturb : flip_prob:float -> Mealy.t -> t
+(** With probability [flip_prob] the emitted symbol is replaced by a
+    uniformly random one (successor state unchanged): a noisy channel
+    on the machine's output. *)
+
+val step_dist : t -> int -> int -> (int * int) Dist.t
+(** @raise Invalid_argument out of range. *)
+
+val step : Rng.t -> t -> int -> int -> int * int
+(** Sample one step. *)
+
+val run : Rng.t -> t -> int list -> int list
+(** Sampled outputs along a run from state 0. *)

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Enum Goalcom Goalcom_automata Goalcom_prelude Io Msg Printf Rng Strategy

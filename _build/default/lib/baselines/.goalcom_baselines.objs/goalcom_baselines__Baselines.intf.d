@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Enum Goalcom Goalcom_automata Strategy

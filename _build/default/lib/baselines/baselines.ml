@@ -1,0 +1,47 @@
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+
+let fixed enum =
+  match Enum.get enum 0 with
+  | None -> invalid_arg "Baselines.fixed: empty class"
+  | Some u -> Strategy.rename (Printf.sprintf "fixed(%s)" (Strategy.name u)) u
+
+let oracle enum i =
+  Strategy.rename
+    (Printf.sprintf "oracle(%d)" i)
+    (Enum.get_exn enum i)
+
+let random_actions ~alphabet ?(halt_prob = 0.01) () =
+  if alphabet <= 0 then invalid_arg "Baselines.random_actions: bad alphabet";
+  if halt_prob < 0. || halt_prob > 1. then
+    invalid_arg "Baselines.random_actions: bad halt_prob";
+  Strategy.stateless_random ~name:"random-user" (fun rng _obs ->
+      {
+        Io.User.to_server = Msg.Sym (Rng.int rng alphabet);
+        to_world = Msg.Silence;
+        halt = Rng.bernoulli rng halt_prob;
+      })
+
+let blind_round_robin ?(quantum = 20) enum =
+  if quantum <= 0 then invalid_arg "Baselines.blind_round_robin: bad quantum";
+  let card =
+    match Enum.cardinality enum with
+    | Some c when c > 0 -> c
+    | Some _ -> invalid_arg "Baselines.blind_round_robin: empty class"
+    | None -> invalid_arg "Baselines.blind_round_robin: infinite class"
+  in
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:(Printf.sprintf "blind-round-robin(%s)" (Enum.name enum))
+    ~init:(fun () -> (0, I.create (Enum.get_exn enum 0), 0))
+    ~step:(fun rng (idx, inst, used) obs ->
+      let idx, inst, used =
+        if used >= quantum then begin
+          let idx = (idx + 1) mod card in
+          (idx, I.create (Enum.get_exn enum idx), 0)
+        end
+        else (idx, inst, used)
+      in
+      let act = { (I.step rng inst obs) with Io.User.halt = false } in
+      ((idx, inst, used + 1), act))

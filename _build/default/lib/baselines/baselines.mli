@@ -1,0 +1,34 @@
+(** Baseline (non-universal) users — the comparators in every experiment.
+
+    - {!fixed}: commits to one strategy of the class (typically the
+      canonical dialect) and never adapts: the "components designed
+      together" assumption that the paper drops.
+    - {!oracle}: is told the right strategy — the informed lower bound
+      on cost that the universal user's overhead is measured against.
+    - {!random_actions}: sanity floor.
+    - {!blind_round_robin}: enumeration {e without sensing} — cycles
+      through the class on a fixed quantum regardless of feedback and
+      never halts; shows that enumeration alone, without safe sensing,
+      does not yield a (finite-goal) universal user. *)
+
+open Goalcom
+open Goalcom_automata
+
+val fixed : Strategy.user Enum.t -> Strategy.user
+(** Strategy 0 of the class, renamed.  @raise Invalid_argument if the
+    enumeration is empty. *)
+
+val oracle : Strategy.user Enum.t -> int -> Strategy.user
+(** [oracle class i] is strategy [i] (the one that matches the server
+    the experiment will pair it with). *)
+
+val random_actions :
+  alphabet:int -> ?halt_prob:float -> unit -> Strategy.user
+(** Sends a uniformly random command symbol to the server each round
+    and halts with probability [halt_prob] (default 0.01) per round. *)
+
+val blind_round_robin :
+  ?quantum:int -> Strategy.user Enum.t -> Strategy.user
+(** Cycles through the class, [quantum] (default 20) rounds per
+    strategy, ignoring all feedback, never halting.
+    @raise Invalid_argument on an empty enumeration or bad quantum. *)

@@ -1,0 +1,1 @@
+lib/core/exec.ml: Goal Goalcom_prelude History Io List Msg Outcome Rng Strategy World

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Goal Goalcom_prelude History Outcome Strategy

@@ -1,0 +1,1 @@
+lib/core/forgiving.ml: Exec Format Goal Goalcom_prelude List Listx Outcome Printf Rng Strategy

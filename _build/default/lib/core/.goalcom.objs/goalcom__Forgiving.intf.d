@@ -1,0 +1,1 @@
+lib/core/forgiving.mli: Exec Format Goal Goalcom_prelude Strategy

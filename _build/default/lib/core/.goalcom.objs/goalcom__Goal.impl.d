@@ -1,0 +1,1 @@
+lib/core/goal.ml: List Referee World

@@ -1,0 +1,1 @@
+lib/core/goal.mli: Referee World

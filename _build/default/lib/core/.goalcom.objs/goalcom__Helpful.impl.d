@@ -1,0 +1,1 @@
+lib/core/helpful.ml: Enum Exec Goal Goalcom_automata Goalcom_prelude List Listx Outcome Rng

@@ -1,0 +1,1 @@
+lib/core/helpful.mli: Exec Goal Goalcom_automata Goalcom_prelude Strategy

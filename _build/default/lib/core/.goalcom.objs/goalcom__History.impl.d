@@ -1,0 +1,1 @@
+lib/core/history.ml: Format Goalcom_prelude List Listx Msg Printf

@@ -1,0 +1,1 @@
+lib/core/machine_user.ml: Enum Goalcom_automata Io Mealy Msg Printf Strategy

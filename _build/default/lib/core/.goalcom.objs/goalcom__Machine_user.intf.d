@@ -1,0 +1,1 @@
+lib/core/machine_user.mli: Goalcom_automata Io Mealy Strategy

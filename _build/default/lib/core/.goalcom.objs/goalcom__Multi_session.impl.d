@@ -1,0 +1,1 @@
+lib/core/multi_session.ml: Enum Goal Goalcom_automata History Io List Msg Referee Sensing Strategy View World

@@ -1,0 +1,1 @@
+lib/core/multi_session.mli: Goal Goalcom_automata History Msg Sensing Strategy

@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Format Goal Goalcom_prelude History List Listx Referee

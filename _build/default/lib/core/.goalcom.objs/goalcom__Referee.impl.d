@@ -1,0 +1,1 @@
+lib/core/referee.ml: History List Msg

@@ -1,0 +1,1 @@
+lib/core/referee.mli: History Msg

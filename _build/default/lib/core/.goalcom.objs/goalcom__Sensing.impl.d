@@ -1,0 +1,1 @@
+lib/core/sensing.ml: Exec Format Goal Goalcom_prelude History Io List Listx Outcome Printf Rng Strategy View

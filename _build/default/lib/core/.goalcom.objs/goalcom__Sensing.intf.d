@@ -1,0 +1,1 @@
+lib/core/sensing.mli: Exec Format Goal Goalcom_prelude History Strategy View

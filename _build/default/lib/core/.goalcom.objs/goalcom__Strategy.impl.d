@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Goalcom_prelude Io Printf Rng

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Goalcom_prelude Io

@@ -1,0 +1,1 @@
+lib/core/symmetric.ml: Exec Io Strategy

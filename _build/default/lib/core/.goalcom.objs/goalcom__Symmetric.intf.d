@@ -1,0 +1,1 @@
+lib/core/symmetric.mli: Exec Goal Goalcom_prelude History Outcome Strategy

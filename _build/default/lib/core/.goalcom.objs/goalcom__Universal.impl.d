@@ -1,0 +1,1 @@
+lib/core/universal.ml: Enum Goalcom_automata Io Levin Option Printf Sensing Seq Strategy View

@@ -1,0 +1,1 @@
+lib/core/view.ml: Goalcom_prelude History List Listx Msg

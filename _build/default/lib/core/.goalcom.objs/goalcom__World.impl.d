@@ -1,0 +1,1 @@
+lib/core/world.ml: Goalcom_prelude Io Msg Rng

@@ -1,0 +1,1 @@
+lib/core/world.mli: Goalcom_prelude Io Msg

@@ -1,0 +1,51 @@
+(** The synchronous execution engine (§2).
+
+    Rounds are numbered from 1.  In round [r] every party simultaneously
+    observes the messages emitted for it in round [r-1] (silence in
+    round 1) and emits its round-[r] messages.  After the user halts it
+    emits silence forever; execution continues for [drain] extra rounds
+    so in-flight messages (e.g. the user's final answer to the world)
+    are delivered and reflected in the world state, then stops.
+
+    Compact goals never halt: the run is truncated at [horizon]. *)
+
+type config = {
+  horizon : int;  (** maximum number of rounds; must be positive *)
+  drain : int;  (** extra rounds executed after the user halts *)
+  world_choice : int;  (** which non-deterministic world to couple *)
+}
+
+val config : ?horizon:int -> ?drain:int -> ?world_choice:int -> unit -> config
+(** Defaults: [horizon = 1000], [drain = 2], [world_choice = 0]. *)
+
+val run :
+  ?config:config ->
+  goal:Goal.t ->
+  user:Strategy.user ->
+  server:Strategy.server ->
+  Goalcom_prelude.Rng.t ->
+  History.t
+(** Execute the coupled system and return its history.  The generator
+    is split into independent streams for the three parties, so a
+    party's randomness does not depend on the others' sampling order. *)
+
+val run_outcome :
+  ?config:config ->
+  ?tail_window:int ->
+  goal:Goal.t ->
+  user:Strategy.user ->
+  server:Strategy.server ->
+  Goalcom_prelude.Rng.t ->
+  Outcome.t * History.t
+(** {!run} followed by {!Outcome.judge}. *)
+
+val success_rate :
+  ?config:config ->
+  ?tail_window:int ->
+  trials:int ->
+  goal:Goal.t ->
+  user:Strategy.user ->
+  server:Strategy.server ->
+  Goalcom_prelude.Rng.t ->
+  float
+(** Fraction of [trials] independent runs that achieve the goal. *)

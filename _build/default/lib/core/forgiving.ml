@@ -1,0 +1,60 @@
+open Goalcom_prelude
+
+type report = {
+  goal : string;
+  holds : bool;
+  checked : int;
+  counterexamples : string list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>forgivingness of %s: %s (%d cases)%a@]" r.goal
+    (if r.holds then "HOLDS" else "VIOLATED")
+    r.checked
+    (fun ppf -> function
+      | [] -> ()
+      | exs ->
+          List.iter (fun e -> Format.fprintf ppf "@,  counterexample: %s" e) exs)
+    r.counterexamples
+
+let max_counterexamples = 5
+
+let check ?config ?tail_window ?(prefix_lengths = [ 0; 5; 20; 60 ]) ?(trials = 3)
+    ~goal ~vandal ~rescuer server rng =
+  let checked = ref 0 in
+  let counterexamples = ref [] in
+  List.iter
+    (fun k ->
+      if k < 0 then invalid_arg "Forgiving.check: negative prefix length";
+      let user = Strategy.switch_after k vandal rescuer in
+      List.iter
+        (fun world_choice ->
+          for trial = 1 to trials do
+            incr checked;
+            let config =
+              let base =
+                match config with Some c -> c | None -> Exec.config ()
+              in
+              Exec.{ base with world_choice }
+            in
+            let trial_rng = Rng.split rng in
+            let outcome, _ =
+              Exec.run_outcome ~config ?tail_window ~goal ~user ~server
+                trial_rng
+            in
+            if not outcome.Outcome.achieved then
+              counterexamples :=
+                Printf.sprintf
+                  "prefix=%d world=%d trial=%d: %s could not rescue after %s"
+                  k world_choice trial (Strategy.name rescuer)
+                  (Strategy.name vandal)
+                :: !counterexamples
+          done)
+        (Listx.range 0 (Goal.num_worlds goal)))
+    prefix_lengths;
+  {
+    goal = Goal.name goal;
+    holds = !counterexamples = [];
+    checked = !checked;
+    counterexamples = Listx.take max_counterexamples (List.rev !counterexamples);
+  }

@@ -1,0 +1,41 @@
+(** Forgiving goals (§2).
+
+    "We focus exclusively on forgiving goals in which every finite
+    partial history can be extended to a successful history."
+    Forgivingness is what makes enumeration-based universality possible
+    at all: the failed experiments of early candidate strategies must
+    not doom the execution.
+
+    The checker below is the executable (Monte-Carlo) version: for a
+    sample of adversarial prefixes — produced by running a
+    damage-dealing user (by default, random actions) for k rounds — a
+    designated rescuing strategy is spliced in and must still achieve
+    the goal.  Quantifiers are sampled, not exhausted: a [holds = true]
+    report is evidence, a [holds = false] report with counterexamples
+    is a disproof. *)
+
+type report = {
+  goal : string;
+  holds : bool;
+  checked : int;
+  counterexamples : string list;  (** truncated to a handful *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  ?prefix_lengths:int list ->
+  ?trials:int ->
+  goal:Goal.t ->
+  vandal:Strategy.user ->
+  rescuer:Strategy.user ->
+  Strategy.server ->
+  Goalcom_prelude.Rng.t ->
+  report
+(** [check ~goal ~vandal ~rescuer server rng] runs, for every listed
+    prefix length (default [[0; 5; 20; 60]]) and trial (default 3), the
+    user [switch_after k vandal rescuer] against [server] on every
+    non-deterministic world of [goal], and reports the pairings whose
+    goal was not achieved. *)

@@ -1,0 +1,14 @@
+type t = { name : string; worlds : World.t list; referee : Referee.t }
+
+let make ~name ~worlds ~referee =
+  if worlds = [] then invalid_arg "Goal.make: no worlds";
+  { name; worlds; referee }
+
+let name t = t.name
+let is_finite t = Referee.is_finite t.referee
+
+let world ?(choice = 0) t =
+  let n = List.length t.worlds in
+  List.nth t.worlds (((choice mod n) + n) mod n)
+
+let num_worlds t = List.length t.worlds

@@ -1,0 +1,26 @@
+(** Goals of communication: a (non-deterministic) world plus a referee.
+
+    "To fix a goal of communication, we take the world's strategy as
+    fixed, and fix a set of acceptable sequences of world states" (§2).
+    The world's single non-deterministic choice of a probabilistic
+    strategy is modelled by a non-empty list of worlds: validators and
+    experiment harnesses quantify over the list, a single execution
+    selects one element. *)
+
+type t = private {
+  name : string;
+  worlds : World.t list;  (** the non-deterministic choices; non-empty *)
+  referee : Referee.t;
+}
+
+val make : name:string -> worlds:World.t list -> referee:Referee.t -> t
+(** @raise Invalid_argument if [worlds] is empty. *)
+
+val name : t -> string
+val is_finite : t -> bool
+
+val world : ?choice:int -> t -> World.t
+(** The [choice]-th world (default 0, modulo the number of worlds — so a
+    seed can double as the non-deterministic choice). *)
+
+val num_worlds : t -> int

@@ -1,0 +1,54 @@
+open Goalcom_prelude
+open Goalcom_automata
+
+type verdict = { helpful : bool; witness : int option; examined : int }
+
+let candidate_succeeds ?config ?tail_window ~trials ~min_success ~goal ~server
+    user rng =
+  let worlds = Listx.range 0 (Goal.num_worlds goal) in
+  let successes = ref 0 and total = ref 0 in
+  List.iter
+    (fun world_choice ->
+      let config =
+        match config with
+        | Some c -> Exec.{ c with world_choice }
+        | None -> Exec.config ~world_choice ()
+      in
+      for _ = 1 to trials do
+        incr total;
+        let trial_rng = Rng.split rng in
+        let outcome, _ =
+          Exec.run_outcome ~config ?tail_window ~goal ~user ~server trial_rng
+        in
+        if outcome.Outcome.achieved then incr successes
+      done)
+    worlds;
+  float_of_int !successes /. float_of_int !total >= min_success
+
+let check ?config ?tail_window ?(trials = 3) ?(min_success = 1.0)
+    ?(search_limit = 200) ~goal ~user_class ~server rng =
+  let stop =
+    match Enum.cardinality user_class with
+    | Some c -> min c search_limit
+    | None -> search_limit
+  in
+  let rec go i =
+    if i >= stop then { helpful = false; witness = None; examined = i }
+    else begin
+      match Enum.get user_class i with
+      | None -> { helpful = false; witness = None; examined = i }
+      | Some user ->
+          if
+            candidate_succeeds ?config ?tail_window ~trials ~min_success ~goal
+              ~server user rng
+          then { helpful = true; witness = Some i; examined = i + 1 }
+          else go (i + 1)
+    end
+  in
+  go 0
+
+let is_helpful ?config ?tail_window ?trials ?min_success ?search_limit ~goal
+    ~user_class ~server rng =
+  (check ?config ?tail_window ?trials ?min_success ?search_limit ~goal
+     ~user_class ~server rng)
+    .helpful

@@ -1,0 +1,41 @@
+(** Helpfulness of servers (§2).
+
+    "A server strategy is helpful for the goal and a class of user
+    strategies if there is some user strategy U such that when U is
+    paired with the server ... the goal is achieved."  The checker below
+    is the executable (bounded, Monte-Carlo) version: it searches the
+    enumerated user class for a strategy whose success rate over
+    independent trials reaches a threshold. *)
+
+type verdict = {
+  helpful : bool;
+  witness : int option;  (** index of a witnessing user strategy *)
+  examined : int;  (** user strategies actually tried *)
+}
+
+val check :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  ?trials:int ->
+  ?min_success:float ->
+  ?search_limit:int ->
+  goal:Goal.t ->
+  user_class:Strategy.user Goalcom_automata.Enum.t ->
+  server:Strategy.server ->
+  Goalcom_prelude.Rng.t ->
+  verdict
+(** Defaults: [trials = 3], [min_success = 1.0], [search_limit = 200].
+    Each candidate user is judged on [trials] fresh executions against
+    every non-deterministic world of the goal. *)
+
+val is_helpful :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  ?trials:int ->
+  ?min_success:float ->
+  ?search_limit:int ->
+  goal:Goal.t ->
+  user_class:Strategy.user Goalcom_automata.Enum.t ->
+  server:Strategy.server ->
+  Goalcom_prelude.Rng.t ->
+  bool

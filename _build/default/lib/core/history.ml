@@ -1,0 +1,57 @@
+open Goalcom_prelude
+
+module Round = struct
+  type t = {
+    index : int;
+    user_to_server : Msg.t;
+    user_to_world : Msg.t;
+    server_to_user : Msg.t;
+    server_to_world : Msg.t;
+    world_to_user : Msg.t;
+    world_to_server : Msg.t;
+    world_view : Msg.t;
+    user_halted : bool;
+  }
+
+  let pp ppf r =
+    Format.fprintf ppf
+      "@[<h>r%d: U->S %a | U->W %a | S->U %a | S->W %a | W->U %a | W->S %a | world %a%s@]"
+      r.index Msg.pp r.user_to_server Msg.pp r.user_to_world Msg.pp
+      r.server_to_user Msg.pp r.server_to_world Msg.pp r.world_to_user Msg.pp
+      r.world_to_server Msg.pp r.world_view
+      (if r.user_halted then " [halted]" else "")
+end
+
+type t = { initial_world_view : Msg.t; rounds : Round.t list }
+
+let make ~initial_world_view rounds =
+  List.iteri
+    (fun i (r : Round.t) ->
+      if r.index <> i + 1 then
+        invalid_arg
+          (Printf.sprintf "History.make: round %d has index %d" (i + 1) r.index))
+    rounds;
+  { initial_world_view; rounds }
+
+let initial_world_view t = t.initial_world_view
+let rounds t = t.rounds
+let length t = List.length t.rounds
+
+let world_views t =
+  t.initial_world_view :: List.map (fun (r : Round.t) -> r.world_view) t.rounds
+
+let world_views_rev t = List.rev (world_views t)
+let halted t = List.exists (fun (r : Round.t) -> r.user_halted) t.rounds
+
+let halt_round t =
+  List.find_map
+    (fun (r : Round.t) -> if r.user_halted then Some r.index else None)
+    t.rounds
+
+let prefix n t =
+  { t with rounds = Listx.take n t.rounds }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>initial world %a@,%a@]" Msg.pp t.initial_world_view
+    (Format.pp_print_list Round.pp)
+    t.rounds

@@ -1,0 +1,51 @@
+(** Execution histories.
+
+    A history records, for every round, the six channel messages emitted
+    that round, the world-state view after the round, and whether the
+    user had halted.  Referees read the world-view sequence; sensing
+    reads the user-visible projection ({!View}). *)
+
+module Round : sig
+  type t = {
+    index : int;  (** 1-based *)
+    user_to_server : Msg.t;
+    user_to_world : Msg.t;
+    server_to_user : Msg.t;
+    server_to_world : Msg.t;
+    world_to_user : Msg.t;
+    world_to_server : Msg.t;
+    world_view : Msg.t;  (** world state after this round *)
+    user_halted : bool;  (** true from the halting round onwards *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+val make : initial_world_view:Msg.t -> Round.t list -> t
+(** [make ~initial_world_view rounds] with rounds in chronological order
+    and indices 1, 2, ....  @raise Invalid_argument on bad indices. *)
+
+val initial_world_view : t -> Msg.t
+val rounds : t -> Round.t list
+(** Chronological. *)
+
+val length : t -> int
+
+val world_views : t -> Msg.t list
+(** Initial view followed by the per-round views (chronological;
+    length is [length t + 1]). *)
+
+val world_views_rev : t -> Msg.t list
+(** Same sequence, most recent first. *)
+
+val halted : t -> bool
+(** Did the user halt during this history? *)
+
+val halt_round : t -> int option
+
+val prefix : int -> t -> t
+(** First [n] rounds. *)
+
+val pp : Format.formatter -> t -> unit

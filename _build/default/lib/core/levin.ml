@@ -1,0 +1,40 @@
+type slot = { index : int; budget : int }
+
+let schedule ?(base = 1) () =
+  if base <= 0 then invalid_arg "Levin.schedule: base must be positive";
+  (* Phase k emits slots for candidates 0..k with budgets base * 2^(k-i). *)
+  let rec phase k () =
+    let rec slots i () =
+      if i > k then phase (k + 1) ()
+      else begin
+        let budget = base * (1 lsl (k - i)) in
+        Seq.Cons ({ index = i; budget }, slots (i + 1))
+      end
+    in
+    slots 0 ()
+  in
+  phase 0
+
+let round_robin ?(budget = 1) ~width () =
+  if budget <= 0 then invalid_arg "Levin.round_robin: budget must be positive";
+  if width <= 0 then invalid_arg "Levin.round_robin: width must be positive";
+  let rec go i () =
+    Seq.Cons ({ index = i mod width; budget }, go (i + 1))
+  in
+  go 0
+
+let work_before ?base ~index ~budget () =
+  let work = ref 0 in
+  let found = ref false in
+  let seq = ref (schedule ?base ()) in
+  while not !found do
+    match !seq () with
+    | Seq.Nil -> assert false (* schedule is infinite *)
+    | Seq.Cons (slot, rest) ->
+        if slot.index = index && slot.budget >= budget then found := true
+        else begin
+          work := !work + slot.budget;
+          seq := rest
+        end
+  done;
+  !work

@@ -1,0 +1,25 @@
+(** Levin-style parallel enumeration schedules [6].
+
+    The finite-goal universal user cannot run candidate strategies truly
+    in parallel — it interacts with one live world — so "parallel"
+    enumeration becomes a schedule of {e sessions}: candidate [i] is run
+    repeatedly, with geometrically growing budgets, such that the total
+    work spent before candidate [i] has received [t] rounds of budget is
+    [O(2^i * t)] — Levin's classic overhead. *)
+
+type slot = { index : int; budget : int }
+
+val schedule : ?base:int -> unit -> slot Seq.t
+(** The infinite Levin schedule: phase [k] (k = 0, 1, ...) runs
+    candidates [0..k], candidate [i] with budget [base * 2^(k-i)].
+    [base] defaults to 1.  @raise Invalid_argument if [base <= 0]. *)
+
+val round_robin : ?budget:int -> width:int -> unit -> slot Seq.t
+(** Naive baseline: cycle through candidates [0..width-1] with a fixed
+    per-session budget.  @raise Invalid_argument on bad parameters. *)
+
+val work_before : ?base:int -> index:int -> budget:int -> unit -> int
+(** Total budget consumed by the {!schedule} strictly before the first
+    slot that gives candidate [index] a budget of at least [budget]
+    (the analytic Levin overhead; used by the experiments to compare
+    measured against predicted cost). *)

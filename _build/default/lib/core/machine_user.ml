@@ -1,0 +1,52 @@
+open Goalcom_automata
+
+type 'obs reader = 'obs -> int
+type 'act writer = int -> 'act
+
+let check_input m i =
+  if i < 0 || i >= m.Mealy.inputs then
+    invalid_arg
+      (Printf.sprintf "Machine_user: reader produced %d, input alphabet is %d"
+         i m.Mealy.inputs)
+  else i
+
+let generic_of_mealy ~name ~read ~write m =
+  Strategy.make ~name
+    ~init:(fun () -> 0)
+    ~step:(fun _rng state obs ->
+      let input = check_input m (read obs) in
+      let state', output = Mealy.step m state input in
+      (state', write output))
+
+let user_of_mealy ?name ~read ~write m =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "mealy-user#%d" (Mealy.encode m)
+  in
+  generic_of_mealy ~name ~read ~write m
+
+let server_of_mealy ?name ~read ~write m =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "mealy-server#%d" (Mealy.encode m)
+  in
+  generic_of_mealy ~name ~read ~write m
+
+let user_class ?name ~read ~write machines =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> "mealy-users(" ^ Enum.name machines ^ ")"
+  in
+  Enum.map ~name (fun m -> user_of_mealy ~read ~write m) machines
+
+let read_world_int ~cap (obs : Io.User.obs) =
+  if cap <= 0 then invalid_arg "Machine_user.read_world_int: bad cap";
+  match obs.Io.User.from_world with
+  | Msg.Int n -> min (max n 0) (cap - 1)
+  | _ -> 0
+
+let write_world_sym s = Io.User.say_world (Msg.Sym s)
+let write_server_sym s = Io.User.say_server (Msg.Sym s)

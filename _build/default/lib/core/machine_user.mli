@@ -1,0 +1,63 @@
+(** Interpreting finite-state transducers as strategies.
+
+    Theorem 1 quantifies over {e any} enumerable class of user
+    strategies.  The goal modules build convenient parameterised classes
+    (one informed user per dialect), but the construction is equally
+    happy with a raw Gödel numbering of finite-state machines — this
+    module provides that bridge: a {!Goalcom_automata.Mealy.t} plus a
+    pair of codecs becomes a {!Strategy.user} (or server), and a machine
+    enumeration becomes a strategy class.
+
+    The codec discretises the observation into the machine's input
+    alphabet and renders the machine's output symbol as an action; the
+    machine's own state evolution supplies the memory. *)
+
+open Goalcom_automata
+
+type 'obs reader = 'obs -> int
+(** Discretise an observation into a machine input symbol; must return
+    values in [0 .. inputs-1]. *)
+
+type 'act writer = int -> 'act
+(** Render a machine output symbol as an action. *)
+
+val user_of_mealy :
+  ?name:string ->
+  read:Io.User.obs reader ->
+  write:Io.User.act writer ->
+  Mealy.t ->
+  Strategy.user
+(** [user_of_mealy ~read ~write m] runs [m] from state 0; each round the
+    observation is read, the machine steps, and the output symbol is
+    written.  @raise Invalid_argument (at construction) if the machine
+    has no states; out-of-range [read] results raise at run time. *)
+
+val server_of_mealy :
+  ?name:string ->
+  read:Io.Server.obs reader ->
+  write:Io.Server.act writer ->
+  Mealy.t ->
+  Strategy.server
+
+val user_class :
+  ?name:string ->
+  read:Io.User.obs reader ->
+  write:Io.User.act writer ->
+  Mealy.t Goalcom_automata.Enum.t ->
+  Strategy.user Goalcom_automata.Enum.t
+(** A user class from a machine enumeration — e.g.
+    [Mealy.enumerate_up_to ~max_states:2 ~inputs ~outputs], giving the
+    universal constructions a genuinely machine-indexed class. *)
+
+(** Ready-made codecs for the common "world feedback in, world message
+    out" shape. *)
+
+val read_world_int : cap:int -> Io.User.obs reader
+(** Reads [Int n] from the world as [min (max n 0) (cap-1)]; anything
+    else (including silence) reads as 0.  Input alphabet size: [cap]. *)
+
+val write_world_sym : Io.User.act writer
+(** Writes output symbol [s] as [Sym s] to the world. *)
+
+val write_server_sym : Io.User.act writer
+(** Writes output symbol [s] as [Sym s] to the server. *)

@@ -1,0 +1,43 @@
+type t =
+  | Silence
+  | Sym of int
+  | Int of int
+  | Text of string
+  | Pair of t * t
+  | Seq of t list
+
+let equal = ( = )
+let compare = Stdlib.compare
+let is_silence m = m = Silence
+
+let rec pp ppf = function
+  | Silence -> Format.pp_print_string ppf "_"
+  | Sym s -> Format.fprintf ppf "#%d" s
+  | Int n -> Format.fprintf ppf "%d" n
+  | Text s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "(%a,%a)" pp a pp b
+  | Seq ms ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+           pp)
+        ms
+
+let to_string m = Format.asprintf "%a" pp m
+let sym_opt = function Sym s -> Some s | _ -> None
+let int_opt = function Int n -> Some n | _ -> None
+let text_opt = function Text s -> Some s | _ -> None
+
+let seq_of_string s =
+  Seq (List.map (fun c -> Int (Char.code c)) (List.init (String.length s) (String.get s)))
+
+let string_of_seq = function
+  | Seq ms ->
+      let rec go acc = function
+        | [] -> Some (String.concat "" (List.rev acc))
+        | Int c :: rest when c >= 0 && c < 256 ->
+            go (String.make 1 (Char.chr c) :: acc) rest
+        | _ -> None
+      in
+      go [] ms
+  | _ -> None

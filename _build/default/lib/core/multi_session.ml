@@ -1,0 +1,160 @@
+open Goalcom_automata
+
+type flag = No_session_yet | Pass | Fail
+
+let flag_to_string = function
+  | No_session_yet -> "none"
+  | Pass -> "pass"
+  | Fail -> "fail"
+
+let flag_of_string = function
+  | "none" -> Some No_session_yet
+  | "pass" -> Some Pass
+  | "fail" -> Some Fail
+  | _ -> None
+
+let header completed flag = Msg.Pair (Msg.Int completed, Msg.Text (flag_to_string flag))
+
+let header_of_msg = function
+  | Msg.Pair (Msg.Pair (Msg.Int completed, Msg.Text s), inner) -> begin
+      match flag_of_string s with
+      | Some flag -> Some (completed, flag, inner)
+      | None -> None
+    end
+  | _ -> None
+
+type state = {
+  inner : World.Instance.t;
+  round_in_session : int;
+  completed : int;
+  last : flag;
+  session_views_rev : Msg.t list;  (* inner views of the running session *)
+}
+
+let wrap_world ~session_length ~decide base =
+  World.make
+    ~name:(World.name base ^ "/multi-session")
+    ~init:(fun () ->
+      let inner = World.Instance.create base in
+      {
+        inner;
+        round_in_session = 0;
+        completed = 0;
+        last = No_session_yet;
+        session_views_rev = [ World.Instance.view inner ];
+      })
+    ~step:(fun rng st (obs : Io.World.obs) ->
+      let inner_act = World.Instance.step rng st.inner obs in
+      let inner_view = World.Instance.view st.inner in
+      let st =
+        {
+          st with
+          round_in_session = st.round_in_session + 1;
+          session_views_rev = inner_view :: st.session_views_rev;
+        }
+      in
+      let st =
+        if st.round_in_session < session_length then st
+        else begin
+          (* Session boundary: judge it and restart the inner world. *)
+          let passed = decide (List.rev st.session_views_rev) in
+          let inner = World.Instance.create base in
+          {
+            inner;
+            round_in_session = 0;
+            completed = st.completed + 1;
+            last = (if passed then Pass else Fail);
+            session_views_rev = [ World.Instance.view inner ];
+          }
+        end
+      in
+      let act =
+        {
+          Io.World.to_user =
+            Msg.Pair (header st.completed st.last, inner_act.Io.World.to_user);
+          to_server = inner_act.Io.World.to_server;
+        }
+      in
+      (st, act))
+    ~view:(fun st ->
+      Msg.Pair (header st.completed st.last, World.Instance.view st.inner))
+
+let referee =
+  Referee.compact "all-but-finitely-many-sessions-pass" (fun views_rev ->
+      match views_rev with
+      | Msg.Pair (Msg.Pair (_, Msg.Text "fail"), _) :: _ -> false
+      | _ -> true)
+
+let goal ~session_length (g : Goal.t) =
+  if session_length <= 0 then
+    invalid_arg "Multi_session.goal: session_length must be positive";
+  match g.Goal.referee with
+  | Referee.Compact _ ->
+      invalid_arg "Multi_session.goal: inner goal must be finite"
+  | Referee.Finite { decide; _ } ->
+      Goal.make
+        ~name:(Goal.name g ^ "/multi-session")
+        ~worlds:
+          (List.map (wrap_world ~session_length ~decide) g.Goal.worlds)
+        ~referee
+
+let wrap_user inner =
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:("multi-session(" ^ Strategy.name inner ^ ")")
+    ~init:(fun () -> (I.create inner, 0))
+    ~step:(fun rng (inst, seen_completed) (obs : Io.User.obs) ->
+      let seen_completed, inner_from_world =
+        match header_of_msg obs.Io.User.from_world with
+        | Some (completed, _, payload) ->
+            if completed <> seen_completed then I.restart inst;
+            (completed, payload)
+        | None -> (seen_completed, obs.Io.User.from_world)
+      in
+      let act =
+        I.step rng inst { obs with Io.User.from_world = inner_from_world }
+      in
+      ((inst, seen_completed), { act with Io.User.halt = false }))
+
+let wrap_class cls =
+  Enum.map ~name:("multi-session(" ^ Enum.name cls ^ ")") wrap_user cls
+
+let sensing =
+  Sensing.make ~name:"session-just-failed" (fun view ->
+      match View.events_rev view with
+      | e1 :: rest -> begin
+          match header_of_msg e1.View.from_world with
+          | Some (c1, Fail, _) -> begin
+              (* Negative only on the first round the failure is
+                 visible: the previous event carries a different
+                 completed-session count. *)
+              match rest with
+              | e2 :: _ -> begin
+                  match header_of_msg e2.View.from_world with
+                  | Some (c2, _, _) when c2 = c1 -> Sensing.Positive
+                  | _ -> Sensing.Negative
+                end
+              | [] -> Sensing.Negative
+            end
+          | _ -> Sensing.Positive
+        end
+      | [] -> Sensing.Positive)
+
+let session_results history =
+  (* Scan world views for completed-count transitions and record the
+     flag that each transition publishes. *)
+  let _, results =
+    List.fold_left
+      (fun (seen, acc) view ->
+        match view with
+        | Msg.Pair (Msg.Pair (Msg.Int completed, Msg.Text s), _) -> begin
+            match flag_of_string s with
+            | Some flag when completed > seen && flag <> No_session_yet ->
+                (completed, (flag = Pass) :: acc)
+            | _ -> (seen, acc)
+          end
+        | _ -> (seen, acc))
+      (0, [])
+      (History.world_views history)
+  in
+  List.rev results

@@ -1,0 +1,46 @@
+open Goalcom_prelude
+
+type t = {
+  achieved : bool;
+  halted : bool;
+  halt_round : int option;
+  rounds : int;
+  violations : int;
+  violation_rounds : int list;
+  last_violation : int option;
+}
+
+let judge ?tail_window (goal : Goal.t) history =
+  let rounds = History.length history in
+  let halted = History.halted history in
+  let halt_round = History.halt_round history in
+  let violation_rounds = Referee.violations goal.referee history in
+  let last_violation = Listx.last_opt violation_rounds in
+  let achieved =
+    match goal.referee with
+    | Referee.Finite _ ->
+        halted && Referee.decide_finite goal.referee history
+    | Referee.Compact _ ->
+        let window =
+          match tail_window with
+          | Some w -> max 1 w
+          | None -> max 1 (rounds / 5)
+        in
+        let cutoff = rounds - window in
+        rounds > 0 && not (List.exists (fun r -> r > cutoff) violation_rounds)
+  in
+  {
+    achieved;
+    halted;
+    halt_round;
+    rounds;
+    violations = List.length violation_rounds;
+    violation_rounds;
+    last_violation;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>{achieved=%b; halted=%b; rounds=%d; violations=%d; last_violation=%s}@]"
+    t.achieved t.halted t.rounds t.violations
+    (match t.last_violation with None -> "-" | Some r -> string_of_int r)

@@ -1,0 +1,23 @@
+(** Judging a (truncated) execution against a goal.
+
+    Compact goals are defined over infinite executions; a horizon-bounded
+    run is judged by the standard truncation: the goal counts as achieved
+    iff no prefix in the last [tail_window] rounds is unacceptable (the
+    violations "stopped happening").  Finite goals are achieved iff the
+    user halted and the referee accepts the history at that point. *)
+
+type t = {
+  achieved : bool;
+  halted : bool;
+  halt_round : int option;
+  rounds : int;  (** rounds actually executed *)
+  violations : int;  (** compact: number of unacceptable prefixes *)
+  violation_rounds : int list;  (** ascending round indices *)
+  last_violation : int option;
+}
+
+val judge : ?tail_window:int -> Goal.t -> History.t -> t
+(** [tail_window] defaults to [max 1 (length / 5)].  For finite goals
+    the window is ignored. *)
+
+val pp : Format.formatter -> t -> unit

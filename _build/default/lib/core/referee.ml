@@ -1,0 +1,33 @@
+type t =
+  | Finite of { name : string; decide : Msg.t list -> bool }
+  | Compact of { name : string; acceptable : Msg.t list -> bool }
+
+let finite name decide = Finite { name; decide }
+let compact name acceptable = Compact { name; acceptable }
+
+let name = function Finite { name; _ } | Compact { name; _ } -> name
+let is_finite = function Finite _ -> true | Compact _ -> false
+
+let decide_finite t h =
+  match t with
+  | Finite { decide; _ } -> decide (History.world_views h)
+  | Compact _ -> invalid_arg "Referee.decide_finite: compact referee"
+
+let violations t h =
+  match t with
+  | Finite _ ->
+      if decide_finite t h then [] else [ History.length h ]
+  | Compact { acceptable; _ } ->
+      let _, violations =
+        List.fold_left
+          (fun (prefix_rev, violations) (r : History.Round.t) ->
+            let prefix_rev = r.world_view :: prefix_rev in
+            let violations =
+              if acceptable prefix_rev then violations
+              else r.index :: violations
+            in
+            (prefix_rev, violations))
+          ([ History.initial_world_view h ], [])
+          (History.rounds h)
+      in
+      List.rev violations

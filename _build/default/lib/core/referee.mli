@@ -1,0 +1,46 @@
+(** Referees: the success criterion of a goal (§2–3).
+
+    A referee is a function of the sequence of world states (views).
+    The paper distinguishes two families:
+
+    - {b Finite goals}: the user must halt, and the referee decides the
+      finite history available at that point.
+    - {b Compact goals}: the execution runs forever and the referee's
+      verdict is determined by whether the number of {e unacceptable}
+      prefixes is finite.  Each prefix is judged by a temporal predicate;
+      a successful execution is one whose violations eventually stop
+      (co-Büchi acceptance).
+
+    Executable semantics: runs are truncated at a horizon, and "finitely
+    many unacceptable prefixes" becomes "no unacceptable prefix in the
+    tail window" (see {!Outcome}). *)
+
+type t =
+  | Finite of {
+      name : string;
+      decide : Msg.t list -> bool;
+          (** chronological world views, initial view first *)
+    }
+  | Compact of {
+      name : string;
+      acceptable : Msg.t list -> bool;
+          (** judges one prefix, given its world views most recent
+              first (so O(1) access to the current world state) *)
+    }
+
+val finite : string -> (Msg.t list -> bool) -> t
+val compact : string -> (Msg.t list -> bool) -> t
+
+val name : t -> string
+val is_finite : t -> bool
+
+val decide_finite : t -> History.t -> bool
+(** Finite referee's verdict on a history.
+    @raise Invalid_argument on a compact referee. *)
+
+val violations : t -> History.t -> int list
+(** Rounds (1-based) whose prefix is unacceptable, for a compact
+    referee; for a finite referee, [[]] if the history is accepted and
+    [[length]] otherwise.  Evaluation is incremental: the prefix list is
+    built by consing, so the total cost is one [acceptable] call per
+    round. *)

@@ -1,0 +1,254 @@
+open Goalcom_prelude
+
+type verdict = Positive | Negative
+
+type t = { name : string; sense : View.t -> verdict }
+
+let make ~name sense = { name; sense }
+
+let constant v =
+  { name = (match v with Positive -> "always-positive" | Negative -> "always-negative");
+    sense = (fun _ -> v) }
+
+let of_predicate ~name p =
+  { name; sense = (fun view -> if p view then Positive else Negative) }
+
+let verdicts t history =
+  List.map
+    (fun view ->
+      let round =
+        match View.latest view with Some e -> e.View.round | None -> 0
+      in
+      (round, t.sense view))
+    (View.prefixes history)
+
+let negatives_after t history round =
+  Listx.count
+    (fun (r, v) -> r > round && v = Negative)
+    (verdicts t history)
+
+let corrupt_unsafe ~flip_to_positive rng t =
+  {
+    name = Printf.sprintf "%s/unsafe(%.2f)" t.name flip_to_positive;
+    sense =
+      (fun view ->
+        match t.sense view with
+        | Positive -> Positive
+        | Negative ->
+            if Rng.bernoulli rng flip_to_positive then Positive else Negative);
+  }
+
+let corrupt_unviable t =
+  { name = t.name ^ "/unviable"; sense = (fun _ -> Negative) }
+
+(* A user that runs [inner] but halts as soon as sensing turns positive.
+   The view is threaded exactly as in {!View.of_history}: the event for
+   round r pairs the round-r sends with the messages received when
+   acting at round r (i.e. emitted at round r-1); sensing therefore sees
+   the rounds completed so far. *)
+let halt_on_positive sensing inner =
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:(Printf.sprintf "halt-on-%s(%s)" sensing.name (Strategy.name inner))
+    ~init:(fun () -> (I.create inner, View.empty, None))
+    ~step:(fun rng (inst, view, pending) (obs : Io.User.obs) ->
+      let view =
+        match pending with
+        | None -> view
+        | Some (prev_obs, (prev_act : Io.User.act)) ->
+            View.extend view
+              {
+                View.round = prev_obs.Io.User.round;
+                from_server = prev_obs.Io.User.from_server;
+                from_world = prev_obs.Io.User.from_world;
+                to_server = prev_act.to_server;
+                to_world = prev_act.to_world;
+                halted = false;
+              }
+      in
+      match sensing.sense view with
+      | Positive -> ((inst, view, None), Io.User.halt_act)
+      | Negative ->
+          let act = { (I.step rng inst obs) with Io.User.halt = false } in
+          ((inst, view, Some (obs, act)), act))
+
+type report = {
+  property : string;
+  holds : bool;
+  checked : int;
+  counterexamples : string list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s: %s (%d cases checked)%a@]" r.property
+    (if r.holds then "HOLDS" else "VIOLATED")
+    r.checked
+    (fun ppf -> function
+      | [] -> ()
+      | exs ->
+          List.iter (fun e -> Format.fprintf ppf "@,  counterexample: %s" e) exs)
+    r.counterexamples
+
+let max_counterexamples = 5
+
+let build_report property checked counterexamples =
+  {
+    property;
+    holds = counterexamples = [];
+    checked;
+    counterexamples = Listx.take max_counterexamples counterexamples;
+  }
+
+let tail_cutoff ?tail_window history =
+  let rounds = History.length history in
+  let window =
+    match tail_window with Some w -> max 1 w | None -> max 1 (rounds / 5)
+  in
+  rounds - window
+
+(* Each trial is paired with a different non-deterministic world of the
+   goal, so the validators quantify (by sampling) over the world choice
+   as well. *)
+let config_for_trial ?config ~goal trial =
+  let base = match config with Some c -> c | None -> Exec.config () in
+  Exec.{ base with world_choice = trial mod Goal.num_worlds goal }
+
+let check_safety_compact ?config ?tail_window ?(trials = 3) ~goal ~users
+    ~servers t rng =
+  let trials = max trials (Goal.num_worlds goal) in
+  let checked = ref 0 in
+  let counterexamples = ref [] in
+  List.iter
+    (fun user ->
+      List.iter
+        (fun server ->
+          for trial = 1 to trials do
+            incr checked;
+            let trial_rng = Rng.split rng in
+            let config = config_for_trial ?config ~goal trial in
+            let outcome, history =
+              Exec.run_outcome ~config ?tail_window ~goal ~user ~server
+                trial_rng
+            in
+            if not outcome.Outcome.achieved then begin
+              let cutoff = tail_cutoff ?tail_window history in
+              let late_negatives =
+                Listx.count
+                  (fun (r, v) -> r > cutoff && v = Negative)
+                  (verdicts t history)
+              in
+              if late_negatives = 0 then
+                counterexamples :=
+                  Printf.sprintf
+                    "user=%s server=%s trial=%d: goal failed but no negative \
+                     indication after round %d"
+                    (Strategy.name user) (Strategy.name server) trial cutoff
+                  :: !counterexamples
+            end
+          done)
+        servers)
+    users;
+  build_report
+    (Printf.sprintf "compact safety of %s for %s" t.name (Goal.name goal))
+    !checked (List.rev !counterexamples)
+
+let check_viability_compact ?config ?tail_window ?(trials = 3) ~goal ~user_for
+    ~servers t rng =
+  let trials = max trials (Goal.num_worlds goal) in
+  let checked = ref 0 in
+  let counterexamples = ref [] in
+  List.iter
+    (fun server ->
+      let user = user_for server in
+      for trial = 1 to trials do
+        incr checked;
+        let trial_rng = Rng.split rng in
+        let config = config_for_trial ?config ~goal trial in
+        let outcome, history =
+          Exec.run_outcome ~config ?tail_window ~goal ~user ~server trial_rng
+        in
+        let cutoff = tail_cutoff ?tail_window history in
+        let late_negatives =
+          Listx.count
+            (fun (r, v) -> r > cutoff && v = Negative)
+            (verdicts t history)
+        in
+        if not outcome.Outcome.achieved then
+          counterexamples :=
+            Printf.sprintf "server=%s trial=%d: designated user %s failed the goal"
+              (Strategy.name server) trial (Strategy.name user)
+            :: !counterexamples
+        else if late_negatives > 0 then
+          counterexamples :=
+            Printf.sprintf
+              "server=%s trial=%d: %d negative indications after round %d"
+              (Strategy.name server) trial late_negatives cutoff
+            :: !counterexamples
+      done)
+    servers;
+  build_report
+    (Printf.sprintf "compact viability of %s for %s" t.name (Goal.name goal))
+    !checked (List.rev !counterexamples)
+
+let check_safety_finite ?config ?(trials = 3) ~goal ~users ~servers t rng =
+  let trials = max trials (Goal.num_worlds goal) in
+  let checked = ref 0 in
+  let counterexamples = ref [] in
+  List.iter
+    (fun user ->
+      let wrapped = halt_on_positive t user in
+      List.iter
+        (fun server ->
+          for trial = 1 to trials do
+            incr checked;
+            let trial_rng = Rng.split rng in
+            let config = config_for_trial ?config ~goal trial in
+            let outcome, _ =
+              Exec.run_outcome ~config ~goal ~user:wrapped ~server trial_rng
+            in
+            (* If the wrapped user halted, it was on a positive indication;
+               safety demands the referee then accepts. *)
+            if outcome.Outcome.halted && not outcome.Outcome.achieved then
+              counterexamples :=
+                Printf.sprintf
+                  "user=%s server=%s trial=%d: halted on a positive indication \
+                   at round %s but the referee rejects"
+                  (Strategy.name user) (Strategy.name server) trial
+                  (match outcome.Outcome.halt_round with
+                  | Some r -> string_of_int r
+                  | None -> "?")
+                :: !counterexamples
+          done)
+        servers)
+    users;
+  build_report
+    (Printf.sprintf "finite safety of %s for %s" t.name (Goal.name goal))
+    !checked (List.rev !counterexamples)
+
+let check_viability_finite ?config ?(trials = 3) ~goal ~user_for ~servers t rng
+    =
+  let trials = max trials (Goal.num_worlds goal) in
+  let checked = ref 0 in
+  let counterexamples = ref [] in
+  List.iter
+    (fun server ->
+      let user = user_for server in
+      for trial = 1 to trials do
+        incr checked;
+        let trial_rng = Rng.split rng in
+        let config = config_for_trial ?config ~goal trial in
+        let history = Exec.run ~config ~goal ~user ~server trial_rng in
+        let got_positive =
+          List.exists (fun (_, v) -> v = Positive) (verdicts t history)
+        in
+        if not got_positive then
+          counterexamples :=
+            Printf.sprintf
+              "server=%s trial=%d: user %s never received a positive indication"
+              (Strategy.name server) trial (Strategy.name user)
+            :: !counterexamples
+      done)
+    servers;
+  build_report
+    (Printf.sprintf "finite viability of %s for %s" t.name (Goal.name goal))
+    !checked (List.rev !counterexamples)

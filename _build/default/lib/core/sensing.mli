@@ -1,0 +1,124 @@
+(** Sensing: the user's feedback about its progress (§3).
+
+    A sensing function is a predicate of the user's view of the
+    execution, producing a Boolean indication each round.  Two
+    properties make sensing useful as feedback:
+
+    {b Compact goals.}
+    - {e Safety}: when the user is coupled with a server with which the
+      current execution does {e not} lead to achieving the goal,
+      negative indications keep being produced (infinitely often).
+    - {e Viability}: for every server in the class there is a user
+      strategy whose executions produce only finitely many negative
+      indications (and achieve the goal).
+
+    {b Finite goals.}
+    - {e Safety}: a positive indication is only produced when the
+      history so far is acceptable (so halting on a positive indication
+      is sound).
+    - {e Viability}: with every server in the class, some user strategy
+      obtains a positive indication.
+
+    The [check_*] validators below are Monte-Carlo approximations of
+    these universally/existentially quantified statements over
+    horizon-bounded executions; each returns a structured report with
+    counterexamples, and they are what the test-suite and the
+    experiment harness run.  Each validator cycles its trials through
+    the goal's non-deterministic worlds (raising the trial count to the
+    number of worlds if necessary), so the world choice is quantified
+    over as well. *)
+
+type verdict = Positive | Negative
+
+type t = { name : string; sense : View.t -> verdict }
+
+val make : name:string -> (View.t -> verdict) -> t
+
+val constant : verdict -> t
+
+val of_predicate : name:string -> (View.t -> bool) -> t
+(** [true] maps to [Positive]. *)
+
+val verdicts : t -> History.t -> (int * verdict) list
+(** The indication at every round of a history (round, verdict),
+    computed incrementally over the view prefixes. *)
+
+val negatives_after : t -> History.t -> int -> int
+(** Number of negative indications strictly after the given round. *)
+
+val corrupt_unsafe :
+  flip_to_positive:float -> Goalcom_prelude.Rng.t -> t -> t
+(** Ablation helper: with the given probability a [Negative] indication
+    is reported as [Positive] — breaking safety while keeping viability. *)
+
+val corrupt_unviable : t -> t
+(** Ablation helper: all indications become [Negative] — trivially safe
+    but not viable. *)
+
+val halt_on_positive : t -> Strategy.user -> Strategy.user
+(** A user that behaves like the given one but halts as soon as sensing
+    reports [Positive] on the view of the completed rounds.  The inner
+    strategy's own halt requests are suppressed, so in the resulting
+    runs every halt is attributable to a positive indication (this is
+    the harness behind {!check_safety_finite}). *)
+
+(** Validation reports. *)
+type report = {
+  property : string;
+  holds : bool;
+  checked : int;  (** number of (server, trial) combinations examined *)
+  counterexamples : string list;  (** human-readable, possibly truncated *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_safety_compact :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  ?trials:int ->
+  goal:Goal.t ->
+  users:Strategy.user list ->
+  servers:Strategy.server list ->
+  t ->
+  Goalcom_prelude.Rng.t ->
+  report
+(** For every listed server and user and trial: if the run fails the
+    goal, sensing must produce a negative indication in the tail
+    window. *)
+
+val check_viability_compact :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  ?trials:int ->
+  goal:Goal.t ->
+  user_for:(Strategy.server -> Strategy.user) ->
+  servers:Strategy.server list ->
+  t ->
+  Goalcom_prelude.Rng.t ->
+  report
+(** For every listed server, the designated user strategy must achieve
+    the goal with no negative indication in the tail window. *)
+
+val check_safety_finite :
+  ?config:Exec.config ->
+  ?trials:int ->
+  goal:Goal.t ->
+  users:Strategy.user list ->
+  servers:Strategy.server list ->
+  t ->
+  Goalcom_prelude.Rng.t ->
+  report
+(** Whenever sensing reports [Positive] at some round of a run, the
+    finite referee must accept the history truncated at that round. *)
+
+val check_viability_finite :
+  ?config:Exec.config ->
+  ?trials:int ->
+  goal:Goal.t ->
+  user_for:(Strategy.server -> Strategy.user) ->
+  servers:Strategy.server list ->
+  t ->
+  Goalcom_prelude.Rng.t ->
+  report
+(** With every listed server, the designated user strategy must obtain a
+    positive indication at some round. *)

@@ -1,0 +1,91 @@
+open Goalcom_prelude
+
+type ('obs, 'act) t =
+  | S : {
+      name : string;
+      init : unit -> 'state;
+      step : Rng.t -> 'state -> 'obs -> 'state * 'act;
+    }
+      -> ('obs, 'act) t
+
+let make ~name ~init ~step = S { name; init; step }
+let name (S s) = s.name
+let rename name (S s) = S { s with name }
+
+let stateless ~name f =
+  make ~name ~init:(fun () -> ()) ~step:(fun _rng () obs -> ((), f obs))
+
+let stateless_random ~name f =
+  make ~name ~init:(fun () -> ()) ~step:(fun rng () obs -> ((), f rng obs))
+
+let map_obs f (S s) =
+  S
+    {
+      name = s.name;
+      init = s.init;
+      step = (fun rng state obs -> s.step rng state (f obs));
+    }
+
+let map_act f (S s) =
+  S
+    {
+      name = s.name;
+      init = s.init;
+      step =
+        (fun rng state obs ->
+          let state', act = s.step rng state obs in
+          (state', f act));
+    }
+
+let switch_after k (S first) (S rest) =
+  if k < 0 then invalid_arg "Strategy.switch_after: negative k";
+  S
+    {
+      name = Printf.sprintf "switch-after-%d(%s;%s)" k first.name rest.name;
+      init = (fun () -> `First (first.init (), 0));
+      step =
+        (fun rng state obs ->
+          match state with
+          | `First (s, rounds) when rounds < k ->
+              let s', act = first.step rng s obs in
+              (`First (s', rounds + 1), act)
+          | `First (_, _) ->
+              let s', act = rest.step rng (rest.init ()) obs in
+              (`Rest s', act)
+          | `Rest s ->
+              let s', act = rest.step rng s obs in
+              (`Rest s', act));
+    }
+
+module Instance = struct
+  type ('obs, 'act) instance =
+    | I : {
+        strat : ('obs, 'act) t;
+        mutable state : 'state;
+        reset : unit -> 'state;
+        step_fn : Rng.t -> 'state -> 'obs -> 'state * 'act;
+        mutable rounds : int;
+      }
+        -> ('obs, 'act) instance
+
+  type ('obs, 'act) t = ('obs, 'act) instance
+
+  let create (S s as strat) =
+    I { strat; state = s.init (); reset = s.init; step_fn = s.step; rounds = 0 }
+
+  let step rng (I inst) obs =
+    let state', act = inst.step_fn rng inst.state obs in
+    inst.state <- state';
+    inst.rounds <- inst.rounds + 1;
+    act
+
+  let restart (I inst) =
+    inst.state <- inst.reset ();
+    inst.rounds <- 0
+
+  let strategy (I inst) = inst.strat
+  let rounds (I inst) = inst.rounds
+end
+
+type user = (Io.User.obs, Io.User.act) t
+type server = (Io.Server.obs, Io.Server.act) t

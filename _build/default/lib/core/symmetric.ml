@@ -1,0 +1,24 @@
+let as_server user =
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:("peer(" ^ Strategy.name user ^ ")")
+    ~init:(fun () -> (I.create user, 0))
+    ~step:(fun rng (inst, round) (obs : Io.Server.obs) ->
+      let round = round + 1 in
+      let user_obs =
+        {
+          Io.User.from_server = obs.Io.Server.from_user;
+          from_world = obs.Io.Server.from_world;
+          round;
+        }
+      in
+      let act = I.step rng inst user_obs in
+      ( (inst, round),
+        {
+          Io.Server.to_user = act.Io.User.to_server;
+          to_world = act.Io.User.to_world;
+        } ))
+
+let run_peers ?config ?tail_window ~goal ~peer_a ~peer_b rng =
+  Exec.run_outcome ?config ?tail_window ~goal ~user:peer_a
+    ~server:(as_server peer_b) rng

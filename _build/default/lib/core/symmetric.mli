@@ -1,0 +1,29 @@
+(** The symmetric setting, by reduction (the paper's footnote 1).
+
+    "The full version briefly considers a symmetric setting with more
+    than two parties, but this primarily consists of a reduction to the
+    two-party setting."  This module is that reduction, executable: a
+    strategy written for the {e user} role can be mounted in the
+    {e server} slot of the engine, so an execution can couple two
+    user-role peers (each regarding the other as its server) with the
+    world refereeing both.
+
+    The adapter is purely a re-wiring: the peer's "server" channel
+    becomes the other peer, its world channels are untouched, its halt
+    requests are dropped (the server slot has no halting semantics),
+    and a private round counter replaces the user-observation round
+    field. *)
+
+val as_server : Strategy.user -> Strategy.server
+(** Mount a user-role strategy in the server slot. *)
+
+val run_peers :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  goal:Goal.t ->
+  peer_a:Strategy.user ->
+  peer_b:Strategy.user ->
+  Goalcom_prelude.Rng.t ->
+  Outcome.t * History.t
+(** Couple two peers: [peer_a] runs in the user slot, [peer_b] (via
+    {!as_server}) in the server slot, against the goal's world. *)

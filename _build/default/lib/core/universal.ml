@@ -1,0 +1,204 @@
+open Goalcom_automata
+
+type stats = {
+  mutable switches : int;
+  mutable sessions : int;
+  mutable current_index : int;
+  mutable settled_round : int;
+}
+
+let new_stats () =
+  { switches = 0; sessions = 0; current_index = 0; settled_round = 0 }
+
+let reset_stats s =
+  s.switches <- 0;
+  s.sessions <- 0;
+  s.current_index <- 0;
+  s.settled_round <- 0
+
+let enum_get_cyclic enum i =
+  match Enum.cardinality enum with
+  | Some 0 -> invalid_arg "Universal: empty strategy enumeration"
+  | Some c -> Enum.get_exn enum (i mod c)
+  | None -> begin
+      match Enum.get enum i with
+      | Some s -> s
+      | None -> invalid_arg "Universal: enumeration ran out of strategies"
+    end
+
+(* Thread the user's view exactly as {!View.of_history} does: the event
+   for round r pairs the round-r sends with the observations the user
+   acted on in round r.  Sensing is evaluated on the completed rounds. *)
+let extend_view view (pending : (Io.User.obs * Io.User.act) option) =
+  match pending with
+  | None -> view
+  | Some (obs, act) ->
+      View.extend view
+        {
+          View.round = obs.Io.User.round;
+          from_server = obs.Io.User.from_server;
+          from_world = obs.Io.User.from_world;
+          to_server = act.Io.User.to_server;
+          to_world = act.Io.User.to_world;
+          halted = false;
+        }
+
+type 'inst compact_state = {
+  c_index : int;
+  c_inst : 'inst;
+  c_view : View.t;
+  c_pending : (Io.User.obs * Io.User.act) option;
+  c_rounds_in : int;  (* rounds the current strategy has run *)
+}
+
+let compact ?(grace = 1) ?(growth = `Doubling) ?stats ~enum ~sensing () =
+  if grace < 0 then invalid_arg "Universal.compact: negative grace";
+  (match Enum.cardinality enum with
+  | Some 0 -> invalid_arg "Universal.compact: empty strategy enumeration"
+  | _ -> ());
+  (* With [`Doubling], patience grows geometrically with each full pass
+     over a finite class.  Needed for convergence: after adopting the
+     right strategy the system may need a recovery period during which
+     sensing is still negative (e.g. steering a plant back into range);
+     constant patience would evict the right strategy forever, whereas
+     doubling patience eventually covers any bounded recovery time —
+     this realises the growing time allowance of the full version's
+     construction.  [`Constant] keeps patience fixed; it exists for the
+     ablation experiment that demonstrates why the growth matters. *)
+  let effective_grace index =
+    match growth with
+    | `Constant -> grace
+    | `Doubling -> begin
+        match Enum.cardinality enum with
+        | Some card when card > 0 ->
+            let wraps = min (index / card) 20 in
+            grace * (1 lsl wraps)
+        | _ -> grace
+      end
+  in
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:(Printf.sprintf "universal-compact(%s;%s)" (Enum.name enum) sensing.Sensing.name)
+    ~init:(fun () ->
+      Option.iter reset_stats stats;
+      {
+        c_index = 0;
+        c_inst = I.create (enum_get_cyclic enum 0);
+        c_view = View.empty;
+        c_pending = None;
+        c_rounds_in = 0;
+      })
+    ~step:(fun rng state (obs : Io.User.obs) ->
+      let view = extend_view state.c_view state.c_pending in
+      let verdict =
+        if state.c_pending = None then Sensing.Positive (* nothing to judge yet *)
+        else sensing.Sensing.sense view
+      in
+      let state =
+        if
+          verdict = Sensing.Negative
+          && state.c_rounds_in >= effective_grace state.c_index
+        then begin
+          let index = state.c_index + 1 in
+          Option.iter
+            (fun s ->
+              s.switches <- s.switches + 1;
+              s.current_index <- index;
+              s.settled_round <- obs.Io.User.round)
+            stats;
+          {
+            state with
+            c_index = index;
+            c_inst = I.create (enum_get_cyclic enum index);
+            c_rounds_in = 0;
+          }
+        end
+        else state
+      in
+      let act = { (I.step rng state.c_inst obs) with Io.User.halt = false } in
+      ( {
+          state with
+          c_view = view;
+          c_pending = Some (obs, act);
+          c_rounds_in = state.c_rounds_in + 1;
+        },
+        act ))
+
+type 'inst finite_state = {
+  f_sched : Levin.slot Seq.t;
+  f_current : (Levin.slot * 'inst) option;
+  f_used : int;  (* rounds consumed in the current session *)
+  f_view : View.t;
+  f_pending : (Io.User.obs * Io.User.act) option;
+}
+
+let finite ?schedule ?stats ~enum ~sensing () =
+  (match Enum.cardinality enum with
+  | Some 0 -> invalid_arg "Universal.finite: empty strategy enumeration"
+  | _ -> ());
+  let module I = Strategy.Instance in
+  let initial_schedule () =
+    match schedule with Some s -> s | None -> Levin.schedule ()
+  in
+  Strategy.make
+    ~name:(Printf.sprintf "universal-finite(%s;%s)" (Enum.name enum) sensing.Sensing.name)
+    ~init:(fun () ->
+      Option.iter reset_stats stats;
+      {
+        f_sched = initial_schedule ();
+        f_current = None;
+        f_used = 0;
+        f_view = View.empty;
+        f_pending = None;
+      })
+    ~step:(fun rng state (obs : Io.User.obs) ->
+      let view = extend_view state.f_view state.f_pending in
+      let verdict =
+        if state.f_pending = None then Sensing.Negative (* nothing achieved yet *)
+        else sensing.Sensing.sense view
+      in
+      if verdict = Sensing.Positive then
+        ({ state with f_view = view; f_pending = None }, Io.User.halt_act)
+      else begin
+        let state =
+          let session_over =
+            match state.f_current with
+            | None -> true
+            | Some (slot, _) -> state.f_used >= slot.Levin.budget
+          in
+          if not session_over then state
+          else begin
+            match state.f_sched () with
+            | Seq.Nil ->
+                invalid_arg "Universal.finite: schedule exhausted"
+            | Seq.Cons (slot, rest) ->
+                Option.iter
+                  (fun s ->
+                    s.sessions <- s.sessions + 1;
+                    s.switches <- s.switches + 1;
+                    s.current_index <- slot.Levin.index;
+                    s.settled_round <- obs.Io.User.round)
+                  stats;
+                {
+                  state with
+                  f_sched = rest;
+                  f_current =
+                    Some (slot, I.create (enum_get_cyclic enum slot.Levin.index));
+                  f_used = 0;
+                }
+          end
+        in
+        let inst =
+          match state.f_current with
+          | Some (_, inst) -> inst
+          | None -> assert false
+        in
+        let act = { (I.step rng inst obs) with Io.User.halt = false } in
+        ( {
+            state with
+            f_view = view;
+            f_pending = Some (obs, act);
+            f_used = state.f_used + 1;
+          },
+          act )
+      end)

@@ -1,0 +1,70 @@
+(** Universal user strategies — the paper's main result.
+
+    {b Theorem 1} (loosely stated): for any (compact or finite) goal and
+    any class of server strategies for which there exists safe and
+    viable sensing, there exists a universal user strategy.
+
+    Both constructions below are parameterised by an enumeration of the
+    user-strategy class and a sensing function, exactly as in the proof
+    sketch (§3):
+
+    - {!compact}: "enumerating all relevant user strategies and
+      switching from the current strategy to the next one when a
+      negative indication is obtained from the sensing function".
+    - {!finite}: "strategies are enumerated 'in parallel' as in Levin's
+      approach, and sensing is used to decide when to stop" — realised
+      as a schedule of sessions with geometrically growing budgets
+      ({!Levin.schedule}), halting on the first positive indication.
+
+    Safety of the sensing makes switching/halting sound; viability
+    guarantees that some enumerated strategy eventually retains
+    positive indications, at which point the universal user locks on. *)
+
+(** Mutable instrumentation shared with the caller (reset each time a
+    fresh instance of the universal strategy is created, i.e. once per
+    execution). *)
+type stats = {
+  mutable switches : int;  (** strategy switches (compact) / session changes (finite) *)
+  mutable sessions : int;  (** sessions started (finite) *)
+  mutable current_index : int;  (** index of the strategy currently run *)
+  mutable settled_round : int;  (** round of the last switch (0 if none) *)
+}
+
+val new_stats : unit -> stats
+
+val compact :
+  ?grace:int ->
+  ?growth:[ `Constant | `Doubling ] ->
+  ?stats:stats ->
+  enum:Strategy.user Goalcom_automata.Enum.t ->
+  sensing:Sensing.t ->
+  unit ->
+  Strategy.user
+(** The compact-goal universal user.  [grace] (default 1) is the
+    minimum number of rounds a freshly adopted strategy runs before a
+    negative indication may evict it; with [growth = `Doubling] (the
+    default) the effective grace doubles with every full pass over a
+    finite class, so a strategy that needs a bounded recovery period
+    before its negative indications stop (think: steering a drifted
+    plant back into range) is eventually given enough patience — the
+    executable counterpart of the growing time allowance in the full
+    version's construction.  [`Constant] disables the growth (used by
+    the ablation experiment that shows why it is needed).  Finite
+    enumerations are cycled (wrap-around).  The inner strategies' halt
+    requests are suppressed — compact executions run forever.
+    @raise Invalid_argument if the enumeration is empty. *)
+
+val finite :
+  ?schedule:Levin.slot Seq.t ->
+  ?stats:stats ->
+  enum:Strategy.user Goalcom_automata.Enum.t ->
+  sensing:Sensing.t ->
+  unit ->
+  Strategy.user
+(** The finite-goal universal user.  Runs candidate sessions according
+    to [schedule] (default {!Levin.schedule}[ ()]); each session
+    instantiates candidate [slot.index] afresh and runs it for
+    [slot.budget] rounds; the user halts as soon as sensing reports
+    positive on the completed rounds.  Slot indices are reduced modulo
+    the enumeration's cardinality when it is finite.
+    @raise Invalid_argument if the enumeration is empty. *)

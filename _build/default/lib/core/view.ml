@@ -1,0 +1,62 @@
+open Goalcom_prelude
+
+type event = {
+  round : int;
+  from_server : Msg.t;
+  from_world : Msg.t;
+  to_server : Msg.t;
+  to_world : Msg.t;
+  halted : bool;
+}
+
+(* Events most recent first. *)
+type t = { rev : event list; len : int }
+
+let empty = { rev = []; len = 0 }
+let extend t e = { rev = e :: t.rev; len = t.len + 1 }
+let length t = t.len
+let events t = List.rev t.rev
+let events_rev t = t.rev
+let latest t = match t.rev with [] -> None | e :: _ -> Some e
+let last_n n t = List.rev (Listx.take n t.rev)
+
+(* NOTE on timing: the messages a user *received* in round r are the ones
+   emitted in round r-1.  The view event for round r therefore pairs the
+   user's round-r sends with the round-(r-1) incoming messages, matching
+   exactly what the user's strategy observed when it acted. *)
+let of_history h =
+  let rec go prev_s2u prev_w2u acc = function
+    | [] -> acc
+    | (r : History.Round.t) :: rest ->
+        let e =
+          {
+            round = r.index;
+            from_server = prev_s2u;
+            from_world = prev_w2u;
+            to_server = r.user_to_server;
+            to_world = r.user_to_world;
+            halted = r.user_halted;
+          }
+        in
+        go r.server_to_user r.world_to_user (extend acc e) rest
+  in
+  go Msg.Silence Msg.Silence empty (History.rounds h)
+
+let prefixes h =
+  let rec go prev_s2u prev_w2u acc view = function
+    | [] -> List.rev acc
+    | (r : History.Round.t) :: rest ->
+        let e =
+          {
+            round = r.index;
+            from_server = prev_s2u;
+            from_world = prev_w2u;
+            to_server = r.user_to_server;
+            to_world = r.user_to_world;
+            halted = r.user_halted;
+          }
+        in
+        let view = extend view e in
+        go r.server_to_user r.world_to_user (view :: acc) view rest
+  in
+  go Msg.Silence Msg.Silence [] empty (History.rounds h)

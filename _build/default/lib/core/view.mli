@@ -1,0 +1,40 @@
+(** The user's view of an execution.
+
+    Sensing functions (§3) are predicates of "the history of the portion
+    of the system visible to the user": the messages the user received
+    and sent, round by round.  Views grow by one event per round;
+    internally they are stored most-recent-first so extension is O(1)
+    and sensing functions that inspect recent rounds stay cheap. *)
+
+type event = {
+  round : int;
+  from_server : Msg.t;
+  from_world : Msg.t;  (** received by the user this round *)
+  to_server : Msg.t;
+  to_world : Msg.t;  (** sent by the user this round *)
+  halted : bool;
+}
+
+type t
+
+val empty : t
+val extend : t -> event -> t
+val length : t -> int
+
+val events : t -> event list
+(** Chronological. *)
+
+val events_rev : t -> event list
+(** Most recent first (O(1)). *)
+
+val latest : t -> event option
+
+val last_n : int -> t -> event list
+(** The last [n] events, chronological. *)
+
+val of_history : History.t -> t
+(** Project a full history onto what the user saw. *)
+
+val prefixes : History.t -> t list
+(** Views after round 1, 2, ..., in order — each sharing structure with
+    the next, so materialising all prefixes is O(rounds). *)

@@ -1,0 +1,35 @@
+open Goalcom_prelude
+
+type t =
+  | W : {
+      name : string;
+      init : unit -> 'state;
+      step : Rng.t -> 'state -> Io.World.obs -> 'state * Io.World.act;
+      view : 'state -> Msg.t;
+    }
+      -> t
+
+let make ~name ~init ~step ~view = W { name; init; step; view }
+let name (W w) = w.name
+
+module Instance = struct
+  type instance =
+    | I : {
+        mutable state : 'state;
+        step_fn : Rng.t -> 'state -> Io.World.obs -> 'state * Io.World.act;
+        view_fn : 'state -> Msg.t;
+      }
+        -> instance
+
+  type t = instance
+
+  let create (W w) =
+    I { state = w.init (); step_fn = w.step; view_fn = w.view }
+
+  let step rng (I inst) obs =
+    let state', act = inst.step_fn rng inst.state obs in
+    inst.state <- state';
+    act
+
+  let view (I inst) = inst.view_fn inst.state
+end

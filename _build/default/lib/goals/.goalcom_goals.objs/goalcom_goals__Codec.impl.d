@@ -1,0 +1,1 @@
+lib/goals/codec.ml: Array Cnf Goalcom Goalcom_sat List Msg

@@ -1,0 +1,1 @@
+lib/goals/codec.mli: Cnf Goalcom Goalcom_sat Grid Msg

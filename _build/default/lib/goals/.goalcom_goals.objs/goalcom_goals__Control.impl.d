@@ -1,0 +1,1 @@
+lib/goals/control.ml: Dialect Dialect_msg Enum Format Goal Goalcom Goalcom_automata Goalcom_prelude Goalcom_servers Io Msg Printf Referee Rng Sensing Strategy Transform Universal View World

@@ -1,0 +1,1 @@
+lib/goals/control.mli: Dialect Enum Goal Goalcom Goalcom_automata Sensing Strategy Universal World

@@ -1,0 +1,1 @@
+lib/goals/delegation.mli: Dialect Enum Goal Goalcom Goalcom_automata History Levin Sensing Seq Strategy Universal World

@@ -1,0 +1,1 @@
+lib/goals/grid.ml: Hashtbl List Queue

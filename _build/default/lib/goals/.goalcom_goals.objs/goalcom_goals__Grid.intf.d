@@ -1,0 +1,1 @@
+lib/goals/grid.mli:

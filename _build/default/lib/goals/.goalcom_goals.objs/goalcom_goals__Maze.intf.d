@@ -1,0 +1,1 @@
+lib/goals/maze.mli: Dialect Enum Goal Goalcom Goalcom_automata Grid Levin Sensing Seq Strategy Universal World

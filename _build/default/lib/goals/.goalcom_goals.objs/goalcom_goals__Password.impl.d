@@ -1,0 +1,1 @@
+lib/goals/password.ml: Enum Goal Goalcom Goalcom_automata Io List Msg Printf Referee Sensing Strategy Universal View World

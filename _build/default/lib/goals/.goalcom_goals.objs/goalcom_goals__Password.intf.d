@@ -1,0 +1,1 @@
+lib/goals/password.mli: Enum Goal Goalcom Goalcom_automata Levin Sensing Seq Strategy Universal World

@@ -1,0 +1,1 @@
+lib/goals/prediction.mli: Dialect Enum Goal Goalcom Goalcom_automata History Sensing Strategy Universal World

@@ -1,0 +1,1 @@
+lib/goals/printing.ml: Codec Dialect Dialect_msg Enum Format Goal Goalcom Goalcom_automata Goalcom_prelude Goalcom_servers Io List Msg Printf Referee Sensing Strategy Transform Universal View World

@@ -1,0 +1,1 @@
+lib/goals/printing.mli: Dialect Enum Goal Goalcom Goalcom_automata Levin Sensing Seq Strategy Universal World

@@ -1,0 +1,1 @@
+lib/goals/transfer.ml: Codec Dialect Dialect_msg Enum Format Goal Goalcom Goalcom_automata Goalcom_servers Io List Msg Printf Referee Sensing Strategy Transform Universal View World

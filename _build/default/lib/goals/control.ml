@@ -1,0 +1,94 @@
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+
+let left_cmd = 0
+let right_cmd = 1
+let min_alphabet = 3
+
+let check_alphabet alphabet =
+  if alphabet < min_alphabet then
+    invalid_arg "Control: alphabet must have at least 3 symbols"
+
+type params = { bound : int; limit : int; force : int; max_drift : int }
+
+let default_params = { bound = 10; limit = 24; force = 2; max_drift = 1 }
+
+let check_params p =
+  if p.bound <= 0 || p.limit <= p.bound || p.force <= 0 || p.max_drift < 0 then
+    invalid_arg "Control: inconsistent parameters"
+
+let actuator ~alphabet =
+  check_alphabet alphabet;
+  Strategy.stateless ~name:"actuator" (fun (obs : Io.Server.obs) ->
+      match obs.from_user with
+      | Msg.Sym c when c = left_cmd || c = right_cmd ->
+          Io.Server.say_world (Msg.Sym c)
+      | _ -> Io.Server.silent)
+
+let server ~alphabet d = Transform.with_dialect d (actuator ~alphabet)
+
+let server_class ~alphabet dialects =
+  Transform.dialect_class ~base:(actuator ~alphabet) dialects
+
+let world ?(params = default_params) () =
+  check_params params;
+  World.make
+    ~name:
+      (Printf.sprintf "plant(bound=%d,limit=%d)" params.bound params.limit)
+    ~init:(fun () -> 0)
+    ~step:(fun rng plant (obs : Io.World.obs) ->
+      let force =
+        match obs.from_server with
+        | Msg.Sym c when c = left_cmd -> -params.force
+        | Msg.Sym c when c = right_cmd -> params.force
+        | _ -> 0
+      in
+      let drift = Rng.int rng (params.max_drift + 1) in
+      let plant =
+        max (-params.limit) (min params.limit (plant + drift + force))
+      in
+      (plant, Io.World.say_user (Msg.Int plant)))
+    ~view:(fun plant -> Msg.Int plant)
+
+let referee_of params =
+  Referee.compact "plant-in-range" (fun views_rev ->
+      match views_rev with
+      | Msg.Int plant :: _ -> abs plant <= params.bound
+      | _ -> false)
+
+let goal ?(params = default_params) ~alphabet () =
+  check_alphabet alphabet;
+  check_params params;
+  Goal.make
+    ~name:(Printf.sprintf "control(alphabet=%d,bound=%d)" alphabet params.bound)
+    ~worlds:[ world ~params () ]
+    ~referee:(referee_of params)
+
+let informed_user ~alphabet d =
+  check_alphabet alphabet;
+  let send cmd = Io.User.say_server (Dialect_msg.encode d (Msg.Sym cmd)) in
+  Strategy.stateless
+    ~name:(Printf.sprintf "control-user@%s" (Format.asprintf "%a" Dialect.pp d))
+    (fun (obs : Io.User.obs) ->
+      match obs.from_world with
+      | Msg.Int plant -> if plant >= 0 then send left_cmd else send right_cmd
+      | _ -> send left_cmd)
+
+let user_class ~alphabet dialects =
+  Enum.map
+    ~name:(Printf.sprintf "control-users(%s)" (Enum.name dialects))
+    (fun d -> informed_user ~alphabet d)
+    dialects
+
+let sensing ?(params = default_params) () =
+  Sensing.of_predicate ~name:"plant-in-range" (fun view ->
+      match View.latest view with
+      | Some { View.from_world = Msg.Int plant; _ } -> abs plant <= params.bound
+      | Some _ | None -> true)
+
+let universal_user ?(grace = 4) ?stats ?params ~alphabet dialects =
+  Universal.compact ~grace ?stats
+    ~enum:(user_class ~alphabet dialects)
+    ~sensing:(sensing ?params ()) ()

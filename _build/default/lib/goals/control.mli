@@ -1,0 +1,76 @@
+(** The control goal — a {e compact} goal (§3's infinite-execution case).
+
+    The {b world} is a drifting plant: an integer position that each
+    round moves by a random upward drift plus the force applied by the
+    actuator.  The {b server} is the actuator driver; it understands
+    LEFT/RIGHT commands in its own dialect.  The referee judges every
+    prefix: a prefix is acceptable iff the plant is currently within
+    [±bound].  The goal is achieved iff only finitely many prefixes are
+    unacceptable — i.e. the user eventually keeps the plant in range
+    forever.
+
+    An uncontrolled (or wrongly-controlled) plant is pushed to the
+    physical stop [±limit] by the drift and stays out of range, so every
+    non-adapting wrong-dialect user fails; the informed user applies
+    force against the sign of the position and keeps the plant within a
+    few cells of the origin.
+
+    Canonical commands: [left_cmd = 0] (force [-force]),
+    [right_cmd = 1] (force [+force]), and inert padding. *)
+
+open Goalcom
+open Goalcom_automata
+
+val left_cmd : int
+val right_cmd : int
+
+val min_alphabet : int
+(** 3. *)
+
+type params = {
+  bound : int;  (** referee: acceptable iff |plant| <= bound *)
+  limit : int;  (** physical stop: plant is clamped to [±limit] *)
+  force : int;  (** magnitude of the actuator force *)
+  max_drift : int;  (** per-round drift is uniform in [0..max_drift] *)
+}
+
+val default_params : params
+(** [{ bound = 10; limit = 24; force = 2; max_drift = 1 }].  The drift
+    mean (0.5) is positive, so an uncontrolled plant reaches the stop
+    and stays out of range; the force exceeds the worst-case drift, so
+    the informed controller makes progress every round; and the bound
+    leaves headroom for the 3-round actuation latency of the
+    user→server→world loop (the controller acts on a stale reading
+    while crossing zero). *)
+
+val actuator : alphabet:int -> Strategy.server
+(** Forwards canonical LEFT/RIGHT to the world; ignores the rest. *)
+
+val server : alphabet:int -> Dialect.t -> Strategy.server
+val server_class : alphabet:int -> Dialect.t Enum.t -> Strategy.server Enum.t
+
+val world : ?params:params -> unit -> World.t
+(** State view: [Int plant_position].  Broadcasts the position to the
+    user each round. *)
+
+val goal : ?params:params -> alphabet:int -> unit -> Goal.t
+
+val informed_user : alphabet:int -> Dialect.t -> Strategy.user
+(** Pushes against the plant's sign every round (never halts). *)
+
+val user_class : alphabet:int -> Dialect.t Enum.t -> Strategy.user Enum.t
+
+val sensing : ?params:params -> unit -> Sensing.t
+(** Negative iff the latest broadcast position is out of range —
+    compact-safe (a failing execution keeps violating, hence keeps
+    signalling) and viable (the informed user eventually stays in
+    range). *)
+
+val universal_user :
+  ?grace:int ->
+  ?stats:Universal.stats ->
+  ?params:params ->
+  alphabet:int ->
+  Dialect.t Enum.t ->
+  Strategy.user
+(** {!Universal.compact} over {!user_class} with {!sensing}. *)

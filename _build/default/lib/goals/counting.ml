@@ -1,0 +1,247 @@
+open Goalcom
+open Goalcom_automata
+open Goalcom_sat
+open Goalcom_ip
+open Goalcom_servers
+
+let claim_cmd = 0
+let round_cmd = 1
+let min_alphabet = 3
+
+let check_alphabet alphabet =
+  if alphabet < min_alphabet then
+    invalid_arg "Counting: alphabet must have at least 3 symbols"
+
+type params = { num_vars : int; num_clauses : int; clause_len : int }
+
+let default_params = { num_vars = 6; num_clauses = 10; clause_len = 3 }
+
+let check_params p =
+  if p.num_vars <= 0 || p.num_vars > 12 then
+    invalid_arg "Counting: num_vars must be in 1..12"
+
+let gf_ints xs = Codec.ints (List.map Gf.to_int xs)
+
+let gf_ints_opt m =
+  Option.map (List.map Gf.of_int) (Codec.ints_opt m)
+
+(* Wire shapes:
+   claim request : Pair (Sym claim_cmd, cnf)
+   claim reply   : Pair (Sym claim_cmd, Int claimed)
+   round request : Pair (Sym round_cmd, Pair (cnf, Seq prefix))
+   round reply   : Pair (Sym round_cmd, Seq samples)
+   Payload shapes are distinct, so the verifier never needs to decode
+   the (dialected) command symbol of a reply. *)
+
+let prover_with ~name ~alphabet ip_prover claim_of =
+  check_alphabet alphabet;
+  Strategy.stateless ~name (fun (obs : Io.Server.obs) ->
+      match obs.from_user with
+      | Msg.Pair (Msg.Sym c, payload) when c = claim_cmd -> begin
+          match Codec.cnf_opt payload with
+          | Some cnf ->
+              Io.Server.say_user
+                (Msg.Pair (Msg.Sym claim_cmd, Msg.Int (claim_of cnf)))
+          | None -> Io.Server.silent
+        end
+      | Msg.Pair (Msg.Sym c, Msg.Pair (cnf_msg, prefix_msg)) when c = round_cmd
+        -> begin
+          match (Codec.cnf_opt cnf_msg, gf_ints_opt prefix_msg) with
+          | Some cnf, Some prefix
+            when List.length prefix < cnf.Cnf.num_vars ->
+              let samples = ip_prover cnf ~prefix in
+              Io.Server.say_user
+                (Msg.Pair
+                   (Msg.Sym round_cmd, gf_ints (Array.to_list samples)))
+          | _ -> Io.Server.silent
+        end
+      | _ -> Io.Server.silent)
+
+let prover ~alphabet =
+  prover_with ~name:"sumcheck-prover" ~alphabet Sumcheck.honest_prover
+    Arith.count_models_mod
+
+let lying_prover ~alphabet ~offset =
+  if offset = 0 then invalid_arg "Counting.lying_prover: zero offset";
+  prover_with
+    ~name:(Printf.sprintf "lying-prover(+%d)" offset)
+    ~alphabet Sumcheck.honest_prover
+    (fun cnf -> Arith.count_models_mod cnf + offset)
+
+let tampering_prover ~alphabet ~tamper_round ~offset =
+  prover_with
+    ~name:(Printf.sprintf "tampering-prover(r%d,+%d)" tamper_round offset)
+    ~alphabet
+    (Sumcheck.tampered_prover ~tamper_round ~offset)
+    Arith.count_models_mod
+
+let server ~alphabet d = Transform.with_dialect d (prover ~alphabet)
+
+let server_class ~alphabet dialects =
+  Transform.dialect_class ~base:(prover ~alphabet) dialects
+
+type wstate = Fresh | Task of { cnf : Cnf.t; count : int; solved : bool }
+
+let status_view = function
+  | Fresh -> Msg.Text "init"
+  | Task { cnf; solved; _ } ->
+      Msg.Pair (Msg.Text (if solved then "solved" else "pending"), Codec.cnf cnf)
+
+let world ?(params = default_params) () =
+  check_params params;
+  World.make ~name:"counting-world"
+    ~init:(fun () -> Fresh)
+    ~step:(fun rng state (obs : Io.World.obs) ->
+      let state =
+        match state with
+        | Fresh ->
+            let cnf =
+              Gen.uniform rng ~num_vars:params.num_vars
+                ~num_clauses:params.num_clauses ~clause_len:params.clause_len
+            in
+            Task { cnf; count = Arith.count_models_mod cnf; solved = false }
+        | Task _ -> state
+      in
+      let state =
+        match (state, obs.from_user) with
+        | Task ({ count; solved = false; _ } as t), Msg.Int c when c = count ->
+            Task { t with solved = true }
+        | _ -> state
+      in
+      (state, Io.World.say_user (status_view state)))
+    ~view:status_view
+
+let solved_view = function
+  | Msg.Pair (Msg.Text "solved", _) -> true
+  | _ -> false
+
+let referee =
+  Referee.finite "world-received-model-count" (fun views ->
+      List.exists solved_view views)
+
+let goal ?(params = default_params) ~alphabet () =
+  check_alphabet alphabet;
+  check_params params;
+  Goal.make
+    ~name:(Printf.sprintf "counting(vars=%d)" params.num_vars)
+    ~worlds:[ world ~params () ]
+    ~referee
+
+let formula_of_world_msg = function
+  | Msg.Pair (Msg.Text _, cnf_msg) -> Codec.cnf_opt cnf_msg
+  | _ -> None
+
+type phase =
+  | Get_task
+  | Claiming of { cnf : Cnf.t; waited : int }
+  | Proving of {
+      cnf : Cnf.t;
+      claimed : int;
+      claim : Gf.t;
+      challenges : Gf.t list;
+      waited : int;
+    }
+  | Reporting of { claimed : int }
+
+let reply_patience = 6
+
+let verifier_user ?(params = default_params) ~alphabet d =
+  check_alphabet alphabet;
+  check_params params;
+  let enc m = Dialect_msg.encode d m in
+  let claim_req cnf =
+    Io.User.say_server (enc (Msg.Pair (Msg.Sym claim_cmd, Codec.cnf cnf)))
+  in
+  let round_req cnf challenges =
+    Io.User.say_server
+      (enc
+         (Msg.Pair
+            (Msg.Sym round_cmd, Msg.Pair (Codec.cnf cnf, gf_ints challenges))))
+  in
+  Strategy.make
+    ~name:(Printf.sprintf "verifier@%s" (Format.asprintf "%a" Dialect.pp d))
+    ~init:(fun () -> Get_task)
+    ~step:(fun rng phase (obs : Io.User.obs) ->
+      if solved_view obs.from_world then (phase, Io.User.halt_act)
+      else begin
+        match phase with
+        | Get_task -> begin
+            match formula_of_world_msg obs.from_world with
+            | Some cnf -> (Claiming { cnf; waited = 0 }, claim_req cnf)
+            | None -> (Get_task, Io.User.silent)
+          end
+        | Claiming { cnf; waited } -> begin
+            match obs.from_server with
+            | Msg.Pair (_, Msg.Int claimed) ->
+                ( Proving
+                    {
+                      cnf;
+                      claimed;
+                      claim = Gf.of_int claimed;
+                      challenges = [];
+                      waited = 0;
+                    },
+                  round_req cnf [] )
+            | _ ->
+                if waited >= reply_patience then
+                  (Claiming { cnf; waited = 0 }, claim_req cnf)
+                else (Claiming { cnf; waited = waited + 1 }, Io.User.silent)
+          end
+        | Proving ({ cnf; claimed; claim; challenges; waited } as st) -> begin
+            match obs.from_server with
+            | Msg.Pair (_, (Msg.Seq _ as samples_msg)) -> begin
+                match gf_ints_opt samples_msg with
+                | Some samples -> begin
+                    match
+                      Sumcheck.verify_round rng cnf ~claim ~challenges
+                        ~samples:(Array.of_list samples)
+                    with
+                    | Sumcheck.Accepted ->
+                        (Reporting { claimed }, Io.User.say_world (Msg.Int claimed))
+                    | Sumcheck.Rejected _ ->
+                        (* Start over: with an honest prover this never
+                           happens; with a cheat it loops (unhelpful). *)
+                        (Claiming { cnf; waited = 0 }, claim_req cnf)
+                    | Sumcheck.Continue { claim; challenges } ->
+                        ( Proving { st with claim; challenges; waited = 0 },
+                          round_req cnf challenges )
+                  end
+                | None -> (Claiming { cnf; waited = 0 }, claim_req cnf)
+              end
+            | _ ->
+                if waited >= reply_patience then
+                  (Proving { st with waited = 0 }, round_req cnf challenges)
+                else (Proving { st with waited = waited + 1 }, Io.User.silent)
+          end
+        | Reporting { claimed } ->
+            (phase, Io.User.say_world (Msg.Int claimed))
+      end)
+
+let user_class ?(params = default_params) ~alphabet dialects =
+  Enum.map
+    ~name:(Printf.sprintf "verifiers(%s)" (Enum.name dialects))
+    (fun d -> verifier_user ~params ~alphabet d)
+    dialects
+
+let sensing =
+  Sensing.of_predicate ~name:"count-confirmed" (fun view ->
+      match View.latest view with
+      | Some e -> solved_view e.View.from_world
+      | None -> false)
+
+let universal_user ?schedule ?stats ?(params = default_params) ~alphabet
+    dialects =
+  Universal.finite ?schedule ?stats
+    ~enum:(user_class ~params ~alphabet dialects)
+    ~sensing ()
+
+let claim_requests history =
+  Goalcom_prelude.Listx.count
+    (fun (r : History.Round.t) ->
+      (* A claim request's payload is a bare CNF (Pair (Int, Seq)); a
+         round request's is Pair (cnf, prefix).  Both arrive dialected,
+         but the payload shape is dialect-invariant. *)
+      match r.user_to_server with
+      | Msg.Pair (Msg.Sym _, Msg.Pair (Msg.Int _, Msg.Seq _)) -> true
+      | _ -> false)
+    (History.rounds history)

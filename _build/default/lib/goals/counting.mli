@@ -1,0 +1,85 @@
+(** The counting-delegation goal — interactive proofs inside the model.
+
+    The predecessor work the paper generalises (Juba–Sudan, STOC'08)
+    delegated a PSPACE-complete function: the user cannot compute the
+    answer, and there is no short certificate to check — the user must
+    {e interact} to verify.  This goal realises that regime at
+    laptop scale with #SAT: the {b world} poses a small CNF and accepts
+    only its exact model count; the {b server} is the exponential-time
+    prover of the sum-check protocol ({!Goalcom_ip.Sumcheck}); the
+    {b user} is the polynomial-time verifier, running the protocol in
+    the server's dialect and forwarding the count only after the proof
+    is accepted.
+
+    Sensing is safe for the same reason the protocol is sound: a
+    claimed count that survives verification is, with overwhelming
+    probability, correct — so cheating provers (wrong claim, or
+    consistent in-round tampering) are unhelpful, and the universal
+    verifier achieves the goal exactly with the honest dialects.
+
+    Canonical commands: [claim_cmd = 0] (request/carry the claimed
+    count), [round_cmd = 1] (request/carry one sum-check round), plus
+    padding.  Payloads (counts, sample vectors, challenge prefixes) are
+    plain integers — readable under any dialect. *)
+
+open Goalcom
+open Goalcom_automata
+
+val claim_cmd : int
+val round_cmd : int
+
+val min_alphabet : int
+(** 3. *)
+
+type params = { num_vars : int; num_clauses : int; clause_len : int }
+
+val default_params : params
+(** [{ num_vars = 6; num_clauses = 10; clause_len = 3 }] — 6 sum-check
+    rounds per proof, degree ≤ 10 polynomials. *)
+
+val prover : alphabet:int -> Strategy.server
+(** The honest sum-check prover. *)
+
+val lying_prover : alphabet:int -> offset:int -> Strategy.server
+(** Claims [true count + offset]; otherwise honest — its first round
+    cannot pass the verifier.  @raise Invalid_argument if [offset = 0]. *)
+
+val tampering_prover :
+  alphabet:int -> tamper_round:int -> offset:int -> Strategy.server
+(** Honest claim, tampered round polynomial (see
+    {!Goalcom_ip.Sumcheck.tampered_prover}) — survives the tampered
+    round's consistency check and is caught downstream w.h.p. *)
+
+val server : alphabet:int -> Dialect.t -> Strategy.server
+val server_class : alphabet:int -> Dialect.t Enum.t -> Strategy.server Enum.t
+
+val world : ?params:params -> unit -> World.t
+(** Poses a fresh uniform CNF per execution; view/broadcast is
+    [Pair (Text status, cnf)] with status ["pending"]/["solved"];
+    accepts [Int count] on the user→world channel. *)
+
+val goal : ?params:params -> alphabet:int -> unit -> Goal.t
+
+val verifier_user : ?params:params -> alphabet:int -> Dialect.t -> Strategy.user
+(** The sum-check verifier speaking dialect [d]: requests the claim,
+    runs the rounds (drawing challenges from its own randomness),
+    re-asks from scratch if the proof is rejected, and reports the
+    count to the world once the proof is accepted. *)
+
+val user_class :
+  ?params:params -> alphabet:int -> Dialect.t Enum.t -> Strategy.user Enum.t
+
+val sensing : Sensing.t
+(** Positive iff the world has confirmed the count. *)
+
+val universal_user :
+  ?schedule:Levin.slot Seq.t ->
+  ?stats:Universal.stats ->
+  ?params:params ->
+  alphabet:int ->
+  Dialect.t Enum.t ->
+  Strategy.user
+
+val claim_requests : History.t -> int
+(** How many times the user (re)started the protocol — 1 for a clean
+    accepted proof; each rejection adds one. *)

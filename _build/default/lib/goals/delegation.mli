@@ -1,0 +1,76 @@
+(** The delegation-of-computation goal — the Juba–Sudan special case
+    inside the general model.
+
+    The {b world} poses a (planted-satisfiable) CNF instance; the goal
+    is achieved once the world has received a satisfying assignment.
+    The {b user} cannot afford to solve the instance itself (modelled by
+    restricting the user class to ask/verify/relay strategies), but it
+    {e can} cheaply verify a claimed assignment — and that verifiability
+    is precisely what makes sensing safe here, as in the original
+    delegation result.  The {b server} runs a DPLL solver behind a
+    dialect; a {!liar} server returns corrupted assignments and is
+    thereby unhelpful: verification-based sensing never turns positive
+    with it, and no user strategy in the class can extract the answer.
+
+    Canonical commands: [ask_cmd = 0], [answer_cmd = 1], plus padding.
+    Assignment payloads are plain integer sequences, so they remain
+    readable whatever the dialect — only command symbols are
+    relabelled. *)
+
+open Goalcom
+open Goalcom_automata
+
+val ask_cmd : int
+val answer_cmd : int
+
+val min_alphabet : int
+(** 3. *)
+
+type params = { num_vars : int; num_clauses : int; clause_len : int }
+
+val default_params : params
+(** [{ num_vars = 8; num_clauses = 20; clause_len = 3 }]. *)
+
+val solver : alphabet:int -> Strategy.server
+(** Answers [Pair (Sym ask_cmd, cnf)] with
+    [Pair (Sym answer_cmd, assignment)] computed by DPLL
+    ([Text "unsat"] payload if unsatisfiable). *)
+
+val liar : alphabet:int -> Strategy.server
+(** Like {!solver} but flips the first variable of every satisfying
+    assignment it finds so the answer is wrong whenever flipping
+    matters; an unhelpful server that exercises verification. *)
+
+val server : alphabet:int -> Dialect.t -> Strategy.server
+val server_class : alphabet:int -> Dialect.t Enum.t -> Strategy.server Enum.t
+
+val world : ?params:params -> unit -> World.t
+(** Samples a fresh planted instance per execution; broadcasts
+    [Pair (Text status, cnf)] where status is ["pending"] or
+    ["solved"]; accepts assignments on the user→world channel. *)
+
+val goal : ?params:params -> alphabet:int -> unit -> Goal.t
+
+val informed_user : alphabet:int -> Dialect.t -> Strategy.user
+(** Asks, verifies the reply against the formula, re-asks on bad or
+    missing replies, relays a verified assignment to the world and
+    halts once the world confirms. *)
+
+val user_class : alphabet:int -> Dialect.t Enum.t -> Strategy.user Enum.t
+
+val sensing : Sensing.t
+(** Positive iff the user has already relayed to the world an
+    assignment that satisfies the latest formula it was shown —
+    verification-based safety: a positive indication implies the world
+    is about to (or already did) accept. *)
+
+val bad_answers : History.t -> int
+(** How many server replies carried an assignment that fails the
+    world's formula — the "verification failures caught" statistic. *)
+
+val universal_user :
+  ?schedule:Levin.slot Seq.t ->
+  ?stats:Universal.stats ->
+  alphabet:int ->
+  Dialect.t Enum.t ->
+  Strategy.user

@@ -1,0 +1,122 @@
+open Goalcom
+open Goalcom_automata
+open Goalcom_servers
+
+let min_alphabet = Grid.num_directions
+
+let check_alphabet alphabet =
+  if alphabet < min_alphabet then
+    invalid_arg "Maze: alphabet must have at least 4 symbols"
+
+let driver ~alphabet =
+  check_alphabet alphabet;
+  Strategy.stateless ~name:"maze-driver" (fun (obs : Io.Server.obs) ->
+      match obs.from_user with
+      | Msg.Sym d when d >= 0 && d < Grid.num_directions ->
+          Io.Server.say_world (Msg.Sym d)
+      | _ -> Io.Server.silent)
+
+let server ~alphabet d = Transform.with_dialect d (driver ~alphabet)
+
+let server_class ~alphabet dialects =
+  Transform.dialect_class ~base:(driver ~alphabet) dialects
+
+type scenario = { grid : Grid.t; start : Grid.pos; target : Grid.pos }
+
+let scenario ?blocked ~width ~height ~start ~target () =
+  let grid = Grid.make ~width ~height ?blocked () in
+  if not (Grid.is_free grid start) then invalid_arg "Maze.scenario: bad start";
+  if not (Grid.is_free grid target) then invalid_arg "Maze.scenario: bad target";
+  (match Grid.bfs_path grid start target with
+  | Some _ -> ()
+  | None -> invalid_arg "Maze.scenario: target unreachable");
+  { grid; start; target }
+
+let world_of_scenario s =
+  World.make
+    ~name:
+      (Printf.sprintf "maze-world(%dx%d,%d walls)" s.grid.Grid.width
+         s.grid.Grid.height
+         (List.length s.grid.Grid.blocked))
+    ~init:(fun () -> s.start)
+    ~step:(fun _rng pos (obs : Io.World.obs) ->
+      let pos =
+        match obs.from_server with
+        | Msg.Sym d when d >= 0 && d < Grid.num_directions ->
+            Grid.move s.grid pos d
+        | _ -> pos
+      in
+      (pos, Io.World.say_user (Codec.pos_pair pos s.target)))
+    ~view:(fun pos -> Codec.pos_pair pos s.target)
+
+let arrived view =
+  match Codec.pos_pair_opt view with
+  | Some (pos, target) -> pos = target
+  | None -> false
+
+let referee =
+  Referee.finite "target-was-reached" (fun views -> List.exists arrived views)
+
+let goal ~scenarios ~alphabet () =
+  check_alphabet alphabet;
+  if scenarios = [] then invalid_arg "Maze.goal: no scenarios";
+  Goal.make
+    ~name:(Printf.sprintf "maze(alphabet=%d)" alphabet)
+    ~worlds:(List.map world_of_scenario scenarios)
+    ~referee
+
+(* The informed user plans a BFS path from the broadcast position and
+   emits it one direction per round; when the plan is exhausted and the
+   (lagging) broadcast still shows the agent away from the target it
+   replans — which also recovers from moves garbled by earlier
+   wrong-dialect sessions of a universal run. *)
+type phase = Planless | Executing of int list | Settling of int
+
+let settle_patience = 3
+
+let informed_user ~alphabet ~scenario:s d =
+  check_alphabet alphabet;
+  let send dir = Io.User.say_server (Dialect_msg.encode d (Msg.Sym dir)) in
+  Strategy.make
+    ~name:(Printf.sprintf "maze-user@%s" (Format.asprintf "%a" Dialect.pp d))
+    ~init:(fun () -> Planless)
+    ~step:(fun _rng phase (obs : Io.User.obs) ->
+      let info = Codec.pos_pair_opt obs.from_world in
+      match info with
+      | Some (pos, target) when pos = target -> (phase, Io.User.halt_act)
+      | _ -> begin
+          match (phase, info) with
+          | Planless, None -> (Planless, Io.User.silent)
+          | Planless, Some (pos, target) -> begin
+              match Grid.bfs_path s.grid pos target with
+              | Some (dir :: rest) -> (Executing rest, send dir)
+              | Some [] | None -> (Planless, Io.User.silent)
+            end
+          | Executing (dir :: rest), _ -> (Executing rest, send dir)
+          | Executing [], _ -> (Settling 0, Io.User.silent)
+          | Settling k, _ ->
+              if k >= settle_patience then (Planless, Io.User.silent)
+              else (Settling (k + 1), Io.User.silent)
+        end)
+
+let user_class ~alphabet ~scenario:s dialects =
+  Enum.map
+    ~name:(Printf.sprintf "maze-users(%s)" (Enum.name dialects))
+    (fun d -> informed_user ~alphabet ~scenario:s d)
+    dialects
+
+(* Bounded-window scan: cheap per round, still safe (a positive means
+   the target was reached) and viable (arrival is acted on within the
+   window). *)
+let sensing_window = 12
+
+let sensing =
+  Sensing.of_predicate ~name:"target-reached" (fun view ->
+      List.exists
+        (fun e -> arrived e.View.from_world)
+        (Goalcom_prelude.Listx.take sensing_window (View.events_rev view)))
+
+let universal_user ?schedule ?stats ~alphabet ~scenario:s dialects =
+  Universal.finite ?schedule ?stats
+    ~enum:(user_class ~alphabet ~scenario:s dialects)
+    ~sensing ()

@@ -1,0 +1,71 @@
+open Goalcom
+open Goalcom_automata
+
+let unlocked_msg = Msg.Text "unlocked"
+let locked_msg = Msg.Text "locked"
+
+let server_with_password w =
+  if w < 0 then invalid_arg "Password.server_with_password: negative";
+  Strategy.make
+    ~name:(Printf.sprintf "lock(%d)" w)
+    ~init:(fun () -> false)
+    ~step:(fun _rng unlocked (obs : Io.Server.obs) ->
+      let unlocked = unlocked || obs.from_user = Msg.Int w in
+      if unlocked then
+        (true, { Io.Server.to_user = unlocked_msg; to_world = unlocked_msg })
+      else (false, Io.Server.silent))
+
+let server_class ~space =
+  if space <= 0 then invalid_arg "Password.server_class: empty space";
+  Enum.tabulate ~name:(Printf.sprintf "locks(%d)" space) space
+    server_with_password
+
+let world () =
+  World.make ~name:"lock-world"
+    ~init:(fun () -> false)
+    ~step:(fun _rng unlocked (obs : Io.World.obs) ->
+      let unlocked = unlocked || obs.from_server = unlocked_msg in
+      ( unlocked,
+        Io.World.say_user (if unlocked then unlocked_msg else locked_msg) ))
+    ~view:(fun unlocked -> if unlocked then unlocked_msg else locked_msg)
+
+let referee =
+  Referee.finite "lock-opened" (fun views -> List.mem unlocked_msg views)
+
+let goal () = Goal.make ~name:"password" ~worlds:[ world () ] ~referee
+
+let guesser w =
+  Strategy.make
+    ~name:(Printf.sprintf "guess(%d)" w)
+    ~init:(fun () -> false)
+    ~step:(fun _rng guessed (obs : Io.User.obs) ->
+      if obs.from_world = unlocked_msg then (guessed, Io.User.halt_act)
+      else if guessed then (true, Io.User.silent)
+      else (true, Io.User.say_server (Msg.Int w)))
+
+let informed_user = guesser
+
+let user_class ~space =
+  if space <= 0 then invalid_arg "Password.user_class: empty space";
+  Enum.tabulate ~name:(Printf.sprintf "guessers(%d)" space) space guesser
+
+let sweeper ~space =
+  if space <= 0 then invalid_arg "Password.sweeper: empty space";
+  Strategy.make
+    ~name:(Printf.sprintf "sweeper(%d)" space)
+    ~init:(fun () -> 0)
+    ~step:(fun _rng next (obs : Io.User.obs) ->
+      if obs.from_world = unlocked_msg then (next, Io.User.halt_act)
+      else if next >= space then (next, Io.User.silent)
+      else (next + 1, Io.User.say_server (Msg.Int next)))
+
+(* The world's broadcast is monotone ("unlocked" stays), so the latest
+   event carries the verdict. *)
+let sensing =
+  Sensing.of_predicate ~name:"world-unlocked" (fun view ->
+      match View.latest view with
+      | Some e -> e.View.from_world = unlocked_msg
+      | None -> false)
+
+let universal_user ?schedule ?stats ~space () =
+  Universal.finite ?schedule ?stats ~enum:(user_class ~space) ~sensing ()

@@ -1,0 +1,55 @@
+(** The password goal — why enumeration overhead is {e essentially
+    necessary} (§3).
+
+    The {b server} guards a lock with a secret password from a space of
+    size [n]; it reports the unlock to the world, forever, once it hears
+    the right guess, and gives {e no feedback at all} on wrong guesses.
+    Every such server is helpful (the user that knows the password
+    succeeds immediately), sensing is safe and viable (the world's
+    "unlocked" broadcast), yet {e any} user that is universal for the
+    whole class must try, in expectation, about half the password space
+    before it can succeed — there is no signal to learn from.  This is
+    the natural example showing that the overhead incurred by the
+    enumeration in Theorem 1 cannot be avoided in general. *)
+
+open Goalcom
+open Goalcom_automata
+
+val server_with_password : int -> Strategy.server
+(** [server_with_password w] unlocks on the guess [Int w].
+    @raise Invalid_argument if [w < 0]. *)
+
+val server_class : space:int -> Strategy.server Enum.t
+(** All servers with passwords [0 .. space-1]. *)
+
+val world : unit -> World.t
+(** Records the unlock; view and broadcast are [Text "locked"] or
+    [Text "unlocked"]. *)
+
+val goal : unit -> Goal.t
+
+val guesser : int -> Strategy.user
+(** The user that guesses one fixed password, then waits (halting when
+    the world reports the unlock). *)
+
+val informed_user : int -> Strategy.user
+(** Alias of {!guesser} — the user that knows the password. *)
+
+val user_class : space:int -> Strategy.user Enum.t
+(** [guesser w] for each candidate password. *)
+
+val sweeper : space:int -> Strategy.user
+(** The "smart" single strategy that tries password 0, 1, 2, ... one
+    per round — the best any universal user can really do here; its
+    cost is still linear in the position of the secret. *)
+
+val sensing : Sensing.t
+(** Positive iff the world has broadcast "unlocked". *)
+
+val universal_user :
+  ?schedule:Levin.slot Seq.t ->
+  ?stats:Universal.stats ->
+  space:int ->
+  unit ->
+  Strategy.user
+(** {!Universal.finite} over {!user_class}. *)

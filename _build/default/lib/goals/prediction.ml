@@ -1,0 +1,249 @@
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+
+let ask_cmd = 0
+let min_alphabet = 2
+
+let check_alphabet alphabet =
+  if alphabet < min_alphabet then
+    invalid_arg "Prediction: alphabet must have at least 2 symbols"
+
+type params = { num_attributes : int }
+
+let default_params = { num_attributes = 6 }
+
+let check_params p =
+  if p.num_attributes <= 0 || p.num_attributes > 14 then
+    invalid_arg "Prediction: num_attributes must be in 1..14"
+
+let parity_mask mask bits =
+  let rec go i acc = function
+    | [] -> acc
+    | b :: rest ->
+        let acc = if mask land (1 lsl i) <> 0 && b = 1 then acc lxor 1 else acc in
+        go (i + 1) acc rest
+  in
+  go 0 0 bits
+
+let parity_concept concept bits =
+  let rec go acc cs bs =
+    match (cs, bs) with
+    | c :: cs, b :: bs -> go (if c = 1 && b = 1 then acc lxor 1 else acc) cs bs
+    | _, _ -> acc
+  in
+  go 0 concept bits
+
+(* Teacher: remembers the concept the world shows it, answers ASK. *)
+let teacher ~alphabet =
+  check_alphabet alphabet;
+  Strategy.make ~name:"teacher"
+    ~init:(fun () -> None)
+    ~step:(fun _rng known (obs : Io.Server.obs) ->
+      let known =
+        match Codec.ints_opt obs.from_world with
+        | Some bits -> Some bits
+        | None -> known
+      in
+      match (obs.from_user, known) with
+      | Msg.Sym c, Some concept when c = ask_cmd ->
+          ( known,
+            Io.Server.say_user (Msg.Pair (Msg.Sym ask_cmd, Codec.ints concept)) )
+      | _ -> (known, Io.Server.silent))
+
+let server ~alphabet d = Transform.with_dialect d (teacher ~alphabet)
+
+let server_class ~alphabet dialects =
+  Transform.dialect_class ~base:(teacher ~alphabet) dialects
+
+type wstate = {
+  concept : int list option;
+  pending : int list list;  (* announced, newest first; scored at length 2 *)
+  mistake_now : bool;
+}
+
+let random_bits rng n = List.map (fun _ -> Rng.int rng 2) (Listx.range 0 n)
+
+let rec random_nonzero_concept rng n =
+  let bits = random_bits rng n in
+  if List.exists (fun b -> b = 1) bits then bits
+  else random_nonzero_concept rng n
+
+let world ?(params = default_params) () =
+  check_params params;
+  let n = params.num_attributes in
+  World.make
+    ~name:(Printf.sprintf "parity-world(n=%d)" n)
+    ~init:(fun () -> { concept = None; pending = []; mistake_now = false })
+    ~step:(fun rng st (obs : Io.World.obs) ->
+      let concept =
+        match st.concept with
+        | Some c -> c
+        | None -> random_nonzero_concept rng n
+      in
+      (* Score the oldest pending instance against the arriving
+         prediction (announced two rounds ago, seen by the user one
+         round ago, answered immediately). *)
+      let scored, pending =
+        match List.rev st.pending with
+        | oldest :: _ when List.length st.pending >= 2 ->
+            (Some oldest, Listx.take (List.length st.pending - 1) st.pending)
+        | _ -> (None, st.pending)
+      in
+      let feedback, mistake_now =
+        match scored with
+        | None -> (Msg.Silence, false)
+        | Some x ->
+            let label = parity_concept concept x in
+            let verdict =
+              match obs.from_user with
+              | Msg.Int p when p = label -> 1
+              | _ -> 0
+            in
+            ( Msg.Pair (Msg.Pair (Msg.Int verdict, Msg.Int label), Codec.ints x),
+              verdict = 0 )
+      in
+      let x_new = random_bits rng n in
+      let st =
+        { concept = Some concept; pending = x_new :: pending; mistake_now }
+      in
+      ( st,
+        {
+          Io.World.to_user = Msg.Pair (Codec.ints x_new, feedback);
+          to_server = Codec.ints concept;
+        } ))
+    ~view:(fun st -> Msg.Int (if st.mistake_now then 0 else 1))
+
+let referee =
+  Referee.compact "no-scored-mistake" (fun views_rev ->
+      match views_rev with Msg.Int 0 :: _ -> false | _ -> true)
+
+let goal ?(params = default_params) ~alphabet () =
+  check_alphabet alphabet;
+  check_params params;
+  Goal.make
+    ~name:(Printf.sprintf "prediction(n=%d)" params.num_attributes)
+    ~worlds:[ world ~params () ]
+    ~referee
+
+let broadcast_parts = function
+  | Msg.Pair (x_new, feedback) -> begin
+      match Codec.ints_opt x_new with
+      | Some bits -> Some (bits, feedback)
+      | None -> None
+    end
+  | _ -> None
+
+let feedback_parts = function
+  | Msg.Pair (Msg.Pair (Msg.Int verdict, Msg.Int label), scored) -> begin
+      match Codec.ints_opt scored with
+      | Some bits -> Some (verdict, label, bits)
+      | None -> None
+    end
+  | _ -> None
+
+let ask_patience = 4
+
+type tphase = Asking of int | Knowing of int list
+
+let teacher_user ?(params = default_params) ~alphabet d =
+  check_alphabet alphabet;
+  check_params params;
+  let n = params.num_attributes in
+  let ask = Dialect_msg.encode d (Msg.Sym ask_cmd) in
+  Strategy.make
+    ~name:(Printf.sprintf "ask-teacher@%s" (Format.asprintf "%a" Dialect.pp d))
+    ~init:(fun () -> Asking ask_patience)
+    ~step:(fun _rng phase (obs : Io.User.obs) ->
+      let phase =
+        match phase with
+        | Knowing _ -> phase
+        | Asking _ -> begin
+            (* A concept reply is any pair whose payload is an n-bit
+               vector — readable whatever the dialect did to the
+               command symbol. *)
+            match obs.from_server with
+            | Msg.Pair (_, payload) -> begin
+                match Codec.ints_opt payload with
+                | Some bits
+                  when List.length bits = n
+                       && List.for_all (fun b -> b = 0 || b = 1) bits ->
+                    Knowing bits
+                | _ -> phase
+              end
+            | _ -> phase
+          end
+      in
+      let predict =
+        match (phase, broadcast_parts obs.from_world) with
+        | Knowing concept, Some (x_new, _) ->
+            Msg.Int (parity_concept concept x_new)
+        | Asking _, Some _ -> Msg.Int 0
+        | _, None -> Msg.Silence
+      in
+      match phase with
+      | Knowing _ ->
+          (phase, { Io.User.silent with Io.User.to_world = predict })
+      | Asking k ->
+          let to_server, k = if k >= ask_patience then (ask, 0) else (Msg.Silence, k + 1) in
+          ( Asking k,
+            { Io.User.to_server = to_server; to_world = predict; halt = false } ))
+
+let learner_user ?(params = default_params) () =
+  check_params params;
+  let n = params.num_attributes in
+  Strategy.make
+    ~name:(Printf.sprintf "halving-learner(n=%d)" n)
+    ~init:(fun () -> Listx.range 0 (1 lsl n))
+    ~step:(fun _rng version_space (obs : Io.User.obs) ->
+      match broadcast_parts obs.from_world with
+      | None -> (version_space, Io.User.silent)
+      | Some (x_new, feedback) ->
+          let version_space =
+            match feedback_parts feedback with
+            | Some (_, label, scored) ->
+                let survivors =
+                  List.filter (fun m -> parity_mask m scored = label) version_space
+                in
+                (* Never empty the space (robust to adversarial noise):
+                   keep it unchanged rather than go silent forever. *)
+                if survivors = [] then version_space else survivors
+            | None -> version_space
+          in
+          let ones = Listx.count (fun m -> parity_mask m x_new = 1) version_space in
+          let predict = if 2 * ones > List.length version_space then 1 else 0 in
+          (version_space, Io.User.say_world (Msg.Int predict)))
+
+let user_class ?(params = default_params) ~alphabet dialects =
+  Enum.append
+    (Enum.map
+       ~name:(Printf.sprintf "ask-teachers(%s)" (Enum.name dialects))
+       (fun d -> teacher_user ~params ~alphabet d)
+       dialects)
+    (Enum.of_list ~name:"learner" [ learner_user ~params () ])
+
+let sensing =
+  Sensing.of_predicate ~name:"no-mistake-scored" (fun view ->
+      match View.latest view with
+      | Some e -> begin
+          match broadcast_parts e.View.from_world with
+          | Some (_, feedback) -> begin
+              match feedback_parts feedback with
+              | Some (0, _, _) -> false
+              | _ -> true
+            end
+          | None -> true
+        end
+      | None -> true)
+
+let universal_user ?(grace = 3) ?stats ?(params = default_params) ~alphabet
+    dialects =
+  Universal.compact ~grace ?stats
+    ~enum:(user_class ~params ~alphabet dialects)
+    ~sensing ()
+
+let mistakes history =
+  Listx.count
+    (fun view -> view = Msg.Int 0)
+    (History.world_views history)

@@ -1,0 +1,83 @@
+(** The prediction goal — online learning as a compact goal.
+
+    The paper closes by pointing at follow-up work in which "semantic
+    communication for simple goals is equivalent to on-line learning"
+    (Juba–Vempala).  This module realises that correspondence inside
+    the model: the {b world} draws a secret parity concept S over n
+    boolean attributes, announces a random instance each round, and
+    scores the user's prediction of the instance's label.  The referee
+    is compact: a prefix is unacceptable iff a prediction was scored
+    wrong that round — so achieving the goal means making only
+    {e finitely many mistakes}, the classic mistake-bound criterion.
+
+    Two very different user strategies achieve it:
+    - {!teacher_user}: asks the {b server} (a teacher who can see the
+      concept) for S, in the server's dialect, then predicts exactly;
+    - {!learner_user}: ignores the server entirely and runs a
+      version-space (halving) learner over the 2^n parities — at most n
+      mistakes, no common language required.
+
+    Putting both in one enumerated class and handing it to
+    {!Universal.compact} shows the theory's indifference to {e how} a
+    strategy achieves the goal — learning and asking are
+    interchangeable members of the class.
+
+    Wire protocol.  World → user:
+    [Pair (new_instance, feedback)] where [new_instance] is a 0/1
+    sequence of length n and [feedback] is [Silence] (nothing scored
+    yet) or [Pair (Pair (Int verdict, Int label), scored_instance)].
+    World → server: the concept (a 0/1 sequence — the teacher can see
+    the world's state).  User → world: [Int bit] predictions.
+    World state view: [Int 1] (no mistake this round) / [Int 0]. *)
+
+open Goalcom
+open Goalcom_automata
+
+val ask_cmd : int
+
+val min_alphabet : int
+(** 2: ASK plus at least one pad. *)
+
+type params = { num_attributes : int }
+
+val default_params : params
+(** [{ num_attributes = 6 }] — a 64-concept class. *)
+
+val teacher : alphabet:int -> Strategy.server
+(** Replies to a (canonical) ASK with the concept it last saw from the
+    world. *)
+
+val server : alphabet:int -> Dialect.t -> Strategy.server
+val server_class : alphabet:int -> Dialect.t Enum.t -> Strategy.server Enum.t
+
+val world : ?params:params -> unit -> World.t
+val goal : ?params:params -> alphabet:int -> unit -> Goal.t
+
+val teacher_user : ?params:params -> alphabet:int -> Dialect.t -> Strategy.user
+(** Asks for the concept (re-asking with patience), then predicts
+    exactly; predicts 0 while waiting. *)
+
+val learner_user : ?params:params -> unit -> Strategy.user
+(** The halving learner: maintains the version space of consistent
+    parities, predicts by majority vote, eliminates on every revealed
+    label.  Makes at most [num_attributes] mistakes once feedback
+    flows, and never talks to the server. *)
+
+val user_class :
+  ?params:params -> alphabet:int -> Dialect.t Enum.t -> Strategy.user Enum.t
+(** The teacher-users for every candidate dialect, with the lone
+    {!learner_user} appended at the end. *)
+
+val sensing : Sensing.t
+(** Negative iff the latest feedback scored a mistake. *)
+
+val universal_user :
+  ?grace:int ->
+  ?stats:Universal.stats ->
+  ?params:params ->
+  alphabet:int ->
+  Dialect.t Enum.t ->
+  Strategy.user
+
+val mistakes : History.t -> int
+(** Total scored mistakes in a run (the mistake-bound statistic). *)

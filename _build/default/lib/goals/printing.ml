@@ -1,0 +1,143 @@
+open Goalcom
+open Goalcom_automata
+open Goalcom_servers
+
+let print_cmd = 0
+let clear_cmd = 1
+let min_alphabet = 3
+
+let check_alphabet alphabet =
+  if alphabet < min_alphabet then
+    invalid_arg "Printing: alphabet must have at least 3 symbols"
+
+let page_msg page = Codec.ints (List.rev page)
+
+(* The printer's page is kept most-recent-character-first so appending
+   is O(1); it is reversed when rendered. *)
+let printer ~alphabet =
+  check_alphabet alphabet;
+  Strategy.make ~name:"printer"
+    ~init:(fun () -> [])
+    ~step:(fun _rng page (obs : Io.Server.obs) ->
+      let page =
+        match obs.from_user with
+        | Msg.Pair (Msg.Sym c, Msg.Int ch) when c = print_cmd -> ch :: page
+        | Msg.Sym c when c = clear_cmd -> []
+        | Msg.Pair (Msg.Sym c, _) when c = clear_cmd -> []
+        | _ -> page
+      in
+      (page, Io.Server.say_world (page_msg page)))
+
+let server ~alphabet d = Transform.with_dialect d (printer ~alphabet)
+
+let server_class ~alphabet dialects =
+  Transform.dialect_class ~base:(printer ~alphabet) dialects
+
+let check_doc doc =
+  if doc = [] then invalid_arg "Printing: empty document";
+  List.iter
+    (fun c ->
+      if c < 0 || c > 255 then invalid_arg "Printing: character out of range")
+    doc
+
+let world_of_doc doc =
+  check_doc doc;
+  World.make
+    ~name:(Printf.sprintf "print-world%s" (Msg.to_string (Codec.ints doc)))
+    ~init:(fun () -> (doc, []))
+    ~step:(fun _rng (doc, page) (obs : Io.World.obs) ->
+      let page =
+        match Codec.ints_opt obs.from_server with
+        | Some chars -> chars
+        | None -> page
+      in
+      ((doc, page), Io.World.say_user (Codec.pair_of_ints doc page)))
+    ~view:(fun (doc, page) -> Codec.pair_of_ints doc page)
+
+let default_docs = [ [ 3; 1; 4; 1; 5 ]; [ 2; 7 ]; [ 9; 9; 0; 4; 2; 1 ] ]
+
+(* Producing a physical page is monotone — once the document has been
+   printed, the goal is accomplished even if later commands deface the
+   page (you cannot unprint paper).  Judging "the page equalled the
+   document at some round" keeps the goal forgiving and makes the
+   obvious sensing function (below) safe even with destructive
+   wrong-dialect messages still in flight when the user halts. *)
+let page_matched view =
+  match Codec.pair_of_ints_opt view with
+  | Some (doc, page) -> doc <> [] && doc = page
+  | None -> false
+
+let referee =
+  Referee.finite "document-was-printed" (fun views ->
+      List.exists page_matched views)
+
+let goal ?(docs = default_docs) ~alphabet () =
+  check_alphabet alphabet;
+  Goal.make
+    ~name:(Printf.sprintf "printing(alphabet=%d)" alphabet)
+    ~worlds:(List.map world_of_doc docs)
+    ~referee
+
+(* The informed user's protocol, for the printer speaking dialect [d]:
+   wait for the world's (document, page) broadcast; clear a dirty page;
+   print one character per round; then verify via the broadcast and
+   retry from scratch if the page fails to match (so the strategy also
+   recovers from garbage printed by earlier, wrong-dialect sessions). *)
+type phase =
+  | Wait_doc
+  | Printing_rest of int list
+  | Verifying of int
+
+let verify_patience = 6
+
+let informed_user ~alphabet d =
+  check_alphabet alphabet;
+  let encode m = Dialect_msg.encode d m in
+  let send_print ch = Io.User.say_server (encode (Msg.Pair (Msg.Sym print_cmd, Msg.Int ch))) in
+  let send_clear = Io.User.say_server (encode (Msg.Sym clear_cmd)) in
+  Strategy.make
+    ~name:(Printf.sprintf "print-user@%s" (Format.asprintf "%a" Dialect.pp d))
+    ~init:(fun () -> Wait_doc)
+    ~step:(fun _rng phase (obs : Io.User.obs) ->
+      let info = Codec.pair_of_ints_opt obs.from_world in
+      match (phase, info) with
+      | Wait_doc, None -> (Wait_doc, Io.User.silent)
+      | Wait_doc, Some (doc, page) ->
+          if doc = page && doc <> [] then (Wait_doc, Io.User.halt_act)
+          else if page <> [] then (Wait_doc, send_clear)
+          else begin
+            match doc with
+            | [] -> (Wait_doc, Io.User.silent)
+            | ch :: rest -> (Printing_rest rest, send_print ch)
+          end
+      | Printing_rest (ch :: rest), _ -> (Printing_rest rest, send_print ch)
+      | Printing_rest [], _ -> (Verifying 0, Io.User.silent)
+      | Verifying _, Some (doc, page) when doc = page && doc <> [] ->
+          (Verifying 0, Io.User.halt_act)
+      | Verifying k, _ ->
+          if k >= verify_patience then (Wait_doc, Io.User.silent)
+          else (Verifying (k + 1), Io.User.silent))
+
+let user_class ~alphabet dialects =
+  Enum.map
+    ~name:(Printf.sprintf "print-users(%s)" (Enum.name dialects))
+    (fun d -> informed_user ~alphabet d)
+    dialects
+
+(* The match is judged over a bounded recent window so each evaluation
+   is O(window), not O(history).  Still safe: a positive implies the
+   page matched at some round.  Still viable: once the informed user
+   prints the document the match is observed (and acted upon by the
+   universal constructions) well within the window. *)
+let sensing_window = 16
+
+let sensing =
+  Sensing.of_predicate ~name:"page-matched-doc" (fun view ->
+      List.exists
+        (fun e -> page_matched e.View.from_world)
+        (Goalcom_prelude.Listx.take sensing_window (View.events_rev view)))
+
+let universal_user ?schedule ?stats ~alphabet dialects =
+  Universal.finite ?schedule ?stats
+    ~enum:(user_class ~alphabet dialects)
+    ~sensing ()

@@ -1,0 +1,159 @@
+open Goalcom
+open Goalcom_automata
+open Goalcom_servers
+
+let begin_cmd = 0
+let data_cmd = 1
+let end_cmd = 2
+let min_alphabet = 4
+
+let check_alphabet alphabet =
+  if alphabet < min_alphabet then
+    invalid_arg "Transfer: alphabet must have at least 4 symbols"
+
+let ok_msg = Msg.Text "ok"
+let err_msg = Msg.Text "err"
+let done_msg = Msg.Text "done"
+
+type relay_state = Idle | Receiving of int list (* reversed buffer *)
+
+let relay ~alphabet =
+  check_alphabet alphabet;
+  Strategy.make ~name:"framed-relay"
+    ~init:(fun () -> Idle)
+    ~step:(fun _rng state (obs : Io.Server.obs) ->
+      match (state, obs.from_user) with
+      | _, Msg.Silence -> (state, Io.Server.silent)
+      | Idle, Msg.Sym c when c = begin_cmd -> (Receiving [], Io.Server.say_user ok_msg)
+      | Idle, _ -> (Idle, Io.Server.say_user err_msg)
+      | Receiving buf, Msg.Pair (Msg.Sym c, Msg.Int ch) when c = data_cmd ->
+          (Receiving (ch :: buf), Io.Server.say_user ok_msg)
+      | Receiving buf, Msg.Sym c when c = end_cmd ->
+          ( Idle,
+            {
+              Io.Server.to_user = done_msg;
+              to_world = Codec.ints (List.rev buf);
+            } )
+      | Receiving _, _ -> (Idle, Io.Server.say_user err_msg))
+
+let server ~alphabet d = Transform.with_dialect d (relay ~alphabet)
+
+let server_class ~alphabet dialects =
+  Transform.dialect_class ~base:(relay ~alphabet) dialects
+
+let check_payload payload =
+  if payload = [] then invalid_arg "Transfer: empty payload";
+  List.iter
+    (fun c ->
+      if c < 0 || c > 255 then invalid_arg "Transfer: byte out of range")
+    payload
+
+let status_msg payload delivered =
+  Msg.Pair
+    (Codec.ints payload, Msg.Text (if delivered then "delivered" else "pending"))
+
+let world_of_payload payload =
+  check_payload payload;
+  World.make
+    ~name:(Printf.sprintf "transfer-world(len=%d)" (List.length payload))
+    ~init:(fun () -> false)
+    ~step:(fun _rng delivered (obs : Io.World.obs) ->
+      let delivered =
+        delivered
+        ||
+        match Codec.ints_opt obs.from_server with
+        | Some received -> received = payload
+        | None -> false
+      in
+      (delivered, Io.World.say_user (status_msg payload delivered)))
+    ~view:(fun delivered -> status_msg payload delivered)
+
+let delivered_view = function
+  | Msg.Pair (_, Msg.Text "delivered") -> true
+  | _ -> false
+
+let referee =
+  Referee.finite "payload-delivered" (fun views ->
+      List.exists delivered_view views)
+
+let default_payloads = [ [ 10; 20; 30 ]; [ 1; 2; 3; 4; 5; 6 ]; [ 42 ] ]
+
+let goal ?(payloads = default_payloads) ~alphabet () =
+  check_alphabet alphabet;
+  Goal.make
+    ~name:(Printf.sprintf "transfer(alphabet=%d)" alphabet)
+    ~worlds:(List.map world_of_payload payloads)
+    ~referee
+
+let payload_of_world_msg = function
+  | Msg.Pair (payload_msg, Msg.Text _) -> Codec.ints_opt payload_msg
+  | _ -> None
+
+type phase =
+  | Wait_payload
+  | Sending of int list
+  | Finishing
+  | Await of int
+
+let await_patience = 6
+
+let informed_user ~alphabet d =
+  check_alphabet alphabet;
+  let send m = Io.User.say_server (Dialect_msg.encode d m) in
+  Strategy.make
+    ~name:(Printf.sprintf "transfer-user@%s" (Format.asprintf "%a" Dialect.pp d))
+    ~init:(fun () -> Wait_payload)
+    ~step:(fun _rng phase (obs : Io.User.obs) ->
+      if delivered_view obs.from_world then (phase, Io.User.halt_act)
+      else if obs.from_server = err_msg then
+        (* Framing rejected: restart the handshake. *)
+        (Wait_payload, Io.User.silent)
+      else begin
+        match phase with
+        | Wait_payload -> begin
+            match payload_of_world_msg obs.from_world with
+            | Some payload -> (Sending payload, send (Msg.Sym begin_cmd))
+            | None -> (Wait_payload, Io.User.silent)
+          end
+        | Sending (ch :: rest) ->
+            (Sending rest, send (Msg.Pair (Msg.Sym data_cmd, Msg.Int ch)))
+        | Sending [] -> (Finishing, send (Msg.Sym end_cmd))
+        | Finishing -> (Await 0, Io.User.silent)
+        | Await k ->
+            if k >= await_patience then (Wait_payload, Io.User.silent)
+            else (Await (k + 1), Io.User.silent)
+      end)
+
+let user_class ~alphabet dialects =
+  Enum.map
+    ~name:(Printf.sprintf "transfer-users(%s)" (Enum.name dialects))
+    (fun d -> informed_user ~alphabet d)
+    dialects
+
+(* The world's broadcast is monotone ("delivered" stays), so the latest
+   event carries the verdict. *)
+let goal_sensing =
+  Sensing.of_predicate ~name:"payload-delivered" (fun view ->
+      match View.latest view with
+      | Some e -> delivered_view e.View.from_world
+      | None -> false)
+
+let error_sensing =
+  Sensing.of_predicate ~name:"no-framing-error" (fun view ->
+      match View.latest view with
+      | Some e -> e.View.from_server <> err_msg
+      | None -> true)
+
+let universal_user ?schedule ?stats ~alphabet dialects =
+  Universal.finite ?schedule ?stats
+    ~enum:(user_class ~alphabet dialects)
+    ~sensing:goal_sensing ()
+
+let universal_user_fast ?(grace = 3) ?stats ~alphabet dialects =
+  let explorer =
+    Universal.compact ~grace ?stats
+      ~enum:(user_class ~alphabet dialects)
+      ~sensing:error_sensing ()
+  in
+  Strategy.rename "universal-fast(transfer)"
+    (Sensing.halt_on_positive goal_sensing explorer)

@@ -1,0 +1,77 @@
+(** The transfer goal — amortising the cost of universality.
+
+    The user must deliver a payload to the world {e through} the server,
+    which only accepts a strict framing protocol (BEGIN, DATA…, END) in
+    its own dialect, and answers every ill-framed message with an
+    explicit [Text "err"] (and well-framed ones with ["ok"]/["done"]).
+    That error feedback is a second, {e progress} sensing function: it
+    lets a universal user discard a wrong dialect within a couple of
+    rounds instead of wasting a whole payload-sized session on it.
+
+    The experiment contrast (E10): with progress sensing the universal
+    user's overhead over the informed user is an {e additive} constant
+    per candidate dialect, independent of payload size; the plain Levin
+    construction, which only sees goal-level sensing, pays per-session
+    budgets that grow with the payload.  This realises the paper's
+    closing remark that richer feedback enables better-than-generic
+    overhead.
+
+    Canonical commands: [begin_cmd = 0], [data_cmd = 1], [end_cmd = 2],
+    plus padding. *)
+
+open Goalcom
+open Goalcom_automata
+
+val begin_cmd : int
+val data_cmd : int
+val end_cmd : int
+
+val min_alphabet : int
+(** 4 — the three framing commands and at least one pad, so every
+    rotation displaces the framing. *)
+
+val relay : alphabet:int -> Strategy.server
+(** The strict-framing relay (canonical dialect). *)
+
+val server : alphabet:int -> Dialect.t -> Strategy.server
+val server_class : alphabet:int -> Dialect.t Enum.t -> Strategy.server Enum.t
+
+val world_of_payload : int list -> World.t
+(** @raise Invalid_argument on an empty payload or characters outside
+    [0..255]. *)
+
+val goal : ?payloads:int list list -> alphabet:int -> unit -> Goal.t
+
+val informed_user : alphabet:int -> Dialect.t -> Strategy.user
+(** Frames and sends the payload; restarts the framing on ["err"];
+    halts when the world confirms delivery. *)
+
+val user_class : alphabet:int -> Dialect.t Enum.t -> Strategy.user Enum.t
+
+val goal_sensing : Sensing.t
+(** Positive iff some world broadcast confirmed delivery (safe and
+    viable — the halting criterion). *)
+
+val error_sensing : Sensing.t
+(** Negative iff the server's latest reply was [Text "err"] — the
+    progress sensing used for fast dialect elimination. *)
+
+val universal_user :
+  ?schedule:Levin.slot Seq.t ->
+  ?stats:Universal.stats ->
+  alphabet:int ->
+  Dialect.t Enum.t ->
+  Strategy.user
+(** The generic construction: {!Universal.finite} with {!goal_sensing}
+    only. *)
+
+val universal_user_fast :
+  ?grace:int ->
+  ?stats:Universal.stats ->
+  alphabet:int ->
+  Dialect.t Enum.t ->
+  Strategy.user
+(** The feedback-accelerated universal user: enumerate-and-switch on
+    {!error_sensing} (grace default 3), halting on {!goal_sensing} —
+    built by composing {!Universal.compact} with
+    {!Sensing.halt_on_positive}. *)

@@ -1,0 +1,1 @@
+lib/harness/e01_universality.ml: Baselines Dialect Enum Exec Float Goalcom Goalcom_automata Goalcom_baselines Goalcom_goals Goalcom_prelude Levin List Listx Printing Stats Table Trial

@@ -1,0 +1,1 @@
+lib/harness/e01_universality.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e02_overhead_curve.ml: Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Hashtbl Levin List Listx Printing Table Trial

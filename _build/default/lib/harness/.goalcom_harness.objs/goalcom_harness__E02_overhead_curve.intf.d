@@ -1,0 +1,1 @@
+lib/harness/e02_overhead_curve.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e03_levin.ml: Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude History List Listx Maze Outcome Rng Stats Table Universal

@@ -1,0 +1,1 @@
+lib/harness/e03_levin.mli: Goalcom_prelude

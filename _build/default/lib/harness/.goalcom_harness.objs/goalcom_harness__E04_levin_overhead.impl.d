@@ -1,0 +1,1 @@
+lib/harness/e04_levin_overhead.ml: Dialect Enum Exec Float Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Levin List Listx Maze Table Trial

@@ -1,0 +1,1 @@
+lib/harness/e04_levin_overhead.mli: Goalcom_prelude

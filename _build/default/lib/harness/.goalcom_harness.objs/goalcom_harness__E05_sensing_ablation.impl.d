@@ -1,0 +1,1 @@
+lib/harness/e05_sensing_ablation.ml: Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude List Listx Outcome Printing Rng Sensing Table Universal

@@ -1,0 +1,1 @@
+lib/harness/e05_sensing_ablation.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e06_compact_convergence.ml: Control Dialect Enum Exec Goal Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Io List Listx Referee Rng Strategy Table

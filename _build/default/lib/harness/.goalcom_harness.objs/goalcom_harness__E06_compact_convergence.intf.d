@@ -1,0 +1,1 @@
+lib/harness/e06_compact_convergence.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e07_delegation.ml: Delegation Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers History List Listx Outcome Printf Rng Stats Table Transform

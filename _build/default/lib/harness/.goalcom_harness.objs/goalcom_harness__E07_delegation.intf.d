@@ -1,0 +1,1 @@
+lib/harness/e07_delegation.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e08_lower_bound.ml: Exec Goalcom Goalcom_goals Goalcom_prelude List Listx Password Rng Stats Table Trial

@@ -1,0 +1,1 @@
+lib/harness/e08_lower_bound.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e09_helpfulness.ml: Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers Hashtbl Helpful List Listx Printf Printing Rng Table Transform Trial

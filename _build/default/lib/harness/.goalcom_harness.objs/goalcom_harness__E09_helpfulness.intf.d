@@ -1,0 +1,1 @@
+lib/harness/e09_helpfulness.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e10_amortisation.ml: Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude List Listx Table Transfer Trial

@@ -1,0 +1,1 @@
+lib/harness/e10_amortisation.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e11_multi_session.ml: Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude List Listx Multi_session Outcome Printf Printing Rng Table Universal

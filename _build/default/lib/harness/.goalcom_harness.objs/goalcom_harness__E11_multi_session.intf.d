@@ -1,0 +1,1 @@
+lib/harness/e11_multi_session.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e12_channel_robustness.ml: Channel Dialect Enum Exec Float Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers List Listx Printing Stats Table Trial

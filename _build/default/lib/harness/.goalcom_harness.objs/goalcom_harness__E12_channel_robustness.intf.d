@@ -1,0 +1,1 @@
+lib/harness/e12_channel_robustness.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e13_online_learning.ml: Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers List Listx Outcome Prediction Printf Rng Stats Table Transform

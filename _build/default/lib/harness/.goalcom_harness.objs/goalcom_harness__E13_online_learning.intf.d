@@ -1,0 +1,1 @@
+lib/harness/e13_online_learning.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e14_grace_ablation.ml: Control Dialect Enum Exec Float Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude List Listx Outcome Rng Stats Table Universal

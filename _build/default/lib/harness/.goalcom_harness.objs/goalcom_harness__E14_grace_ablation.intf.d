@@ -1,0 +1,1 @@
+lib/harness/e14_grace_ablation.mli: Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/harness/e15_interactive_proof.ml: Counting Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers History List Listx Outcome Printf Rng Stats Table Transform

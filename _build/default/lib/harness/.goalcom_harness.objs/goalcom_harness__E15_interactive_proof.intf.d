@@ -1,0 +1,1 @@
+lib/harness/e15_interactive_proof.mli: Goalcom_prelude

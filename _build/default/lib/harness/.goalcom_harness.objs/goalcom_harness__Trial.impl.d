@@ -1,0 +1,1 @@
+lib/harness/trial.ml: Exec Float Format Goal Goalcom Goalcom_prelude List Outcome Rng Stats

@@ -1,0 +1,1 @@
+lib/harness/trial.mli: Exec Format Goal Goalcom Strategy

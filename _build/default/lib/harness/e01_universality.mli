@@ -1,0 +1,10 @@
+(** E1 / Table 1 — Theorem 1 on the printing goal: the universal user succeeds with every server in the dialect class; a fixed-protocol user succeeds with exactly one.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

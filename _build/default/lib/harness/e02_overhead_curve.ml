@@ -1,0 +1,76 @@
+(* E2 / Figure 1 — the cost of universality grows with the position of
+   the matching strategy in the enumeration, for both the Levin schedule
+   (geometric) and a round-robin schedule (linear), while the informed
+   user's cost is flat. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+
+let title = "Rounds-to-success vs. index of the matching dialect (printing)"
+
+let claim =
+  "the enumeration overhead grows with the index of the right strategy; an \
+   informed user pays a constant"
+
+let alphabet = 8
+let doc = [ 5; 2 ]
+let trials = 3
+let rr_budget = 24
+
+let mean_rounds ~seed ~user_of ~schedule_tag i =
+  let dialects = Dialect.enumerate_rotations ~size:alphabet in
+  let goal = Printing.goal ~docs:[ doc ] ~alphabet () in
+  let server = Printing.server ~alphabet (Enum.get_exn dialects i) in
+  let config = Exec.config ~horizon:60_000 () in
+  let result =
+    Trial.run ~config ~trials
+      ~seed:(seed + i + Hashtbl.hash schedule_tag)
+      ~goal ~user:(user_of ()) ~server ()
+  in
+  result.Trial.mean_rounds
+
+let run ~seed =
+  let dialects = Dialect.enumerate_rotations ~size:alphabet in
+  let rows =
+    List.map
+      (fun i ->
+        let levin =
+          mean_rounds ~seed ~schedule_tag:"levin"
+            ~user_of:(fun () -> Printing.universal_user ~alphabet dialects)
+            i
+        in
+        let rr =
+          mean_rounds ~seed ~schedule_tag:"rr"
+            ~user_of:(fun () ->
+              Printing.universal_user
+                ~schedule:(Levin.round_robin ~budget:rr_budget ~width:alphabet ())
+                ~alphabet dialects)
+            i
+        in
+        let oracle =
+          mean_rounds ~seed ~schedule_tag:"oracle"
+            ~user_of:(fun () ->
+              Printing.informed_user ~alphabet (Enum.get_exn dialects i))
+            i
+        in
+        [
+          Table.cell_int i;
+          Table.cell_float levin;
+          Table.cell_float rr;
+          Table.cell_float oracle;
+          Table.cell_ratio (levin /. oracle);
+        ])
+      (Listx.range 0 alphabet)
+  in
+  Table.make
+    ~title:"E2 (Figure 1): overhead vs. index of the matching dialect"
+    ~columns:
+      [ "index"; "levin rounds"; "round-robin rounds"; "oracle rounds"; "levin/oracle" ]
+    ~notes:
+      [
+        "expected shape: oracle flat; round-robin linear in index; levin \
+         geometric in index";
+      ]
+    rows

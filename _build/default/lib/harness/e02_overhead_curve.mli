@@ -1,0 +1,10 @@
+(** E2 / Figure 1 — rounds-to-success versus the index of the matching dialect, for the Levin schedule, a round-robin schedule, and the informed user.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

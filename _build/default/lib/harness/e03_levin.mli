@@ -1,0 +1,10 @@
+(** E3 / Table 2 — the finite-goal universal user (Levin parallel enumeration) on the maze goal.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

@@ -1,0 +1,10 @@
+(** E4 / Figure 2 — measured cost of the Levin universal user against the schedule's analytic worst-case work bound.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

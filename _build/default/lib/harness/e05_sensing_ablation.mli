@@ -1,0 +1,10 @@
+(** E5 / Table 3 — ablating safety (false positives) and viability (all-negative sensing) breaks universality in the two predicted ways.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

@@ -1,0 +1,10 @@
+(** E6 / Figure 3 — compact goals: cumulative referee violations flatten for the universal user and diverge for non-adapting users.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

@@ -1,0 +1,10 @@
+(** E7 / Table 4 — delegation of SAT search across dialected solvers; verification-based sensing rejects every answer of a lying solver.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

@@ -1,0 +1,10 @@
+(** E8 / Figure 4 — the password goal: any universal user pays about half the password space; the informed user pays a constant.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

@@ -1,0 +1,70 @@
+(* E9 / Table 5 — the "iff" of the main theorem: the universal user
+   achieves the goal with a server exactly when some user strategy in
+   the class would (i.e. when the server is helpful). *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_goals
+
+let title = "Helpfulness boundary on the printing goal"
+
+let claim =
+  "the universal strategy achieves the goal with server S iff some user \
+   strategy achieves it with S (helpfulness)"
+
+let alphabet = 4
+let doc = [ 6; 6; 6 ]
+let trials = 2
+
+let run ~seed =
+  let dialects = Dialect.enumerate_rotations ~size:alphabet in
+  let goal = Printing.goal ~docs:[ doc ] ~alphabet () in
+  let user_class = Printing.user_class ~alphabet dialects in
+  let config = Exec.config ~horizon:8_000 () in
+  let servers =
+    List.map
+      (fun i ->
+        ( Printf.sprintf "printer @ dialect %d" i,
+          Printing.server ~alphabet (Enum.get_exn dialects i) ))
+      (Listx.range 0 alphabet)
+    @ [
+        ("silent server", Transform.silent ());
+        ("babbling server", Transform.babbler ~alphabet_size:alphabet ~seed:(seed + 7));
+        ("deaf printer", Transform.deaf (Printing.printer ~alphabet));
+      ]
+  in
+  let rows =
+    List.map
+      (fun (label, server) ->
+        let verdict =
+          Helpful.check ~config ~trials:1 ~goal ~user_class ~server
+            (Rng.make (seed + Hashtbl.hash label))
+        in
+        let result =
+          Trial.run ~config ~trials ~seed:(seed + Hashtbl.hash label + 1)
+            ~goal
+            ~user:(Printing.universal_user ~alphabet dialects)
+            ~server ()
+        in
+        [
+          label;
+          (if verdict.Helpful.helpful then "helpful" else "unhelpful");
+          (match verdict.Helpful.witness with
+          | Some i -> Table.cell_int i
+          | None -> "-");
+          Table.cell_pct result.Trial.success_rate;
+        ])
+      servers
+  in
+  Table.make ~title:"E9 (Table 5): helpfulness boundary (printing goal)"
+    ~columns:
+      [ "server"; "helpful?"; "witness user"; "universal success" ]
+    ~notes:
+      [
+        "helpfulness checked by searching the enumerated user class";
+        "expected shape: universal success is 100% exactly on the helpful \
+         rows and 0% on the unhelpful ones";
+      ]
+    rows

@@ -1,0 +1,10 @@
+(** E9 / Table 5 — the universal user achieves the goal with a server exactly when the server is helpful.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

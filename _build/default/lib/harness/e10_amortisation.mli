@@ -1,0 +1,10 @@
+(** E10 / Figure 5 — transfer goal: with progress sensing the universality overhead is additive in the payload size; the generic Levin construction pays multiplicatively.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

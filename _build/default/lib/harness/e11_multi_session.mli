@@ -1,0 +1,10 @@
+(** E11 / Table 6 — multi-session goals: only finitely many sessions fail, then every session passes.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

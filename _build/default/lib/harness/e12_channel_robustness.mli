@@ -1,0 +1,10 @@
+(** E12 / Figure 6 — universality through delayed user-server links: success preserved, cost grows gracefully with latency.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

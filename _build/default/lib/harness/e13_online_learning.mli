@@ -1,0 +1,10 @@
+(** E13 / Table 7 — the online-learning connection: a server-free halving learner and ask-the-teacher users in one universal class.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

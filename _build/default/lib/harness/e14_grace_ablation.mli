@@ -1,0 +1,10 @@
+(** E14 / Figure 7 — ablation of the compact construction's growing patience: constant grace fails until it covers the recovery time; doubling always converges.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

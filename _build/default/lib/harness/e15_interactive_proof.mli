@@ -1,0 +1,12 @@
+(** E15 / Table 8 — counting delegation (#SAT) through the sum-check
+    protocol: interactive verification with no certificate; honest
+    dialected provers universalise, cheating provers are rejected.
+
+    Registered in {!Experiment.all}; see EXPERIMENTS.md for the
+    measured table and its interpretation. *)
+
+val title : string
+val claim : string
+
+val run : seed:int -> Goalcom_prelude.Table.t
+(** Deterministic given [seed]. *)

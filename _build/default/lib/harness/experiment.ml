@@ -1,0 +1,52 @@
+open Goalcom_prelude
+
+type kind = Table | Figure
+
+type t = {
+  id : string;
+  kind : kind;
+  title : string;
+  claim : string;
+  run : seed:int -> Table.t;
+}
+
+let all =
+  [
+    { id = "e1"; kind = Table; title = E01_universality.title;
+      claim = E01_universality.claim; run = E01_universality.run };
+    { id = "e2"; kind = Figure; title = E02_overhead_curve.title;
+      claim = E02_overhead_curve.claim; run = E02_overhead_curve.run };
+    { id = "e3"; kind = Table; title = E03_levin.title;
+      claim = E03_levin.claim; run = E03_levin.run };
+    { id = "e4"; kind = Figure; title = E04_levin_overhead.title;
+      claim = E04_levin_overhead.claim; run = E04_levin_overhead.run };
+    { id = "e5"; kind = Table; title = E05_sensing_ablation.title;
+      claim = E05_sensing_ablation.claim; run = E05_sensing_ablation.run };
+    { id = "e6"; kind = Figure; title = E06_compact_convergence.title;
+      claim = E06_compact_convergence.claim; run = E06_compact_convergence.run };
+    { id = "e7"; kind = Table; title = E07_delegation.title;
+      claim = E07_delegation.claim; run = E07_delegation.run };
+    { id = "e8"; kind = Figure; title = E08_lower_bound.title;
+      claim = E08_lower_bound.claim; run = E08_lower_bound.run };
+    { id = "e9"; kind = Table; title = E09_helpfulness.title;
+      claim = E09_helpfulness.claim; run = E09_helpfulness.run };
+    { id = "e10"; kind = Figure; title = E10_amortisation.title;
+      claim = E10_amortisation.claim; run = E10_amortisation.run };
+    { id = "e11"; kind = Table; title = E11_multi_session.title;
+      claim = E11_multi_session.claim; run = E11_multi_session.run };
+    { id = "e12"; kind = Figure; title = E12_channel_robustness.title;
+      claim = E12_channel_robustness.claim; run = E12_channel_robustness.run };
+    { id = "e13"; kind = Table; title = E13_online_learning.title;
+      claim = E13_online_learning.claim; run = E13_online_learning.run };
+    { id = "e14"; kind = Figure; title = E14_grace_ablation.title;
+      claim = E14_grace_ablation.claim; run = E14_grace_ablation.run };
+    { id = "e15"; kind = Table; title = E15_interactive_proof.title;
+      claim = E15_interactive_proof.claim; run = E15_interactive_proof.run };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let run_all ~seed = List.map (fun e -> e.run ~seed) all
+let kind_to_string = function Table -> "table" | Figure -> "figure"

@@ -1,0 +1,30 @@
+(** The experiment registry.
+
+    The PODC'11 paper is a brief announcement with no evaluation
+    section; each experiment here operationalises one of its
+    theorems/claims (see DESIGN.md and EXPERIMENTS.md for the mapping).
+    Experiments are deterministic given a seed and print their results
+    as a {!Goalcom_prelude.Table.t}; the benchmark driver and the CLI
+    both run them through this interface. *)
+
+open Goalcom_prelude
+
+type kind = Table | Figure
+
+type t = {
+  id : string;  (** e.g. "e1" *)
+  kind : kind;
+  title : string;
+  claim : string;  (** the paper claim being operationalised *)
+  run : seed:int -> Table.t;
+}
+
+val all : t list
+(** E1 through E10, in order. *)
+
+val find : string -> t option
+(** Lookup by id (case-insensitive). *)
+
+val run_all : seed:int -> Table.t list
+
+val kind_to_string : kind -> string

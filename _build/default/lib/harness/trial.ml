@@ -1,0 +1,58 @@
+open Goalcom
+open Goalcom_prelude
+
+type result = {
+  successes : int;
+  trials : int;
+  success_rate : float;
+  rounds_to_success : float list;
+  mean_rounds : float;
+}
+
+let rounds_of_success (goal : Goal.t) (outcome : Outcome.t) =
+  if Goal.is_finite goal then
+    match outcome.Outcome.halt_round with
+    | Some r -> float_of_int r
+    | None -> float_of_int outcome.Outcome.rounds
+  else begin
+    (* Compact: the run "succeeds from" the round after its last
+       violation; 0 violations means it was good from the start. *)
+    match outcome.Outcome.last_violation with
+    | Some r -> float_of_int r
+    | None -> 0.
+  end
+
+let run ?config ?tail_window ~trials ~seed ~goal ~user ~server () =
+  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
+  let master = Rng.make seed in
+  let successes = ref 0 in
+  let rounds = ref [] in
+  for i = 0 to trials - 1 do
+    let trial_rng = Rng.split master in
+    let config =
+      let base =
+        match config with Some c -> c | None -> Exec.config ()
+      in
+      Exec.{ base with world_choice = i mod Goal.num_worlds goal }
+    in
+    let outcome, _ =
+      Exec.run_outcome ~config ?tail_window ~goal ~user ~server trial_rng
+    in
+    if outcome.Outcome.achieved then begin
+      incr successes;
+      rounds := rounds_of_success goal outcome :: !rounds
+    end
+  done;
+  let rounds_to_success = List.rev !rounds in
+  {
+    successes = !successes;
+    trials;
+    success_rate = float_of_int !successes /. float_of_int trials;
+    rounds_to_success;
+    mean_rounds =
+      (if rounds_to_success = [] then Float.nan else Stats.mean rounds_to_success);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "%d/%d succeeded (%.0f%%), mean rounds %.1f" r.successes
+    r.trials (100. *. r.success_rate) r.mean_rounds

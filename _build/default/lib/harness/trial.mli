@@ -1,0 +1,35 @@
+(** Trial runners: repeated executions with derived seeds, aggregated.
+
+    Every experiment reduces to "pair this user with that server on this
+    goal, run [n] trials, report success rate and rounds-to-success";
+    this module is that reduction. *)
+
+open Goalcom
+
+type result = {
+  successes : int;
+  trials : int;
+  success_rate : float;
+  rounds_to_success : float list;
+      (** halting round (finite goals) or settling round (compact:
+          round of the last referee violation) of the successful
+          trials *)
+  mean_rounds : float;  (** mean of [rounds_to_success]; [nan] if none *)
+}
+
+val run :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  trials:int ->
+  seed:int ->
+  goal:Goal.t ->
+  user:Strategy.user ->
+  server:Strategy.server ->
+  unit ->
+  result
+(** Trial [i] runs with an independent generator derived from
+    [seed] and pairs the user with world choice [i mod num_worlds]
+    (so non-deterministic worlds are cycled).
+    @raise Invalid_argument if [trials <= 0]. *)
+
+val pp : Format.formatter -> result -> unit

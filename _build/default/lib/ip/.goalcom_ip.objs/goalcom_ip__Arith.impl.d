@@ -1,0 +1,1 @@
+lib/ip/arith.ml: Array Cnf Gf Goalcom_sat List

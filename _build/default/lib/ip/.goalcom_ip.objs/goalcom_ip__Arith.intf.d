@@ -1,0 +1,1 @@
+lib/ip/arith.mli: Cnf Gf Goalcom_sat

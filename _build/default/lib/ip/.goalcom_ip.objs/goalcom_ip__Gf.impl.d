@@ -1,0 +1,1 @@
+lib/ip/gf.ml: Format Goalcom_prelude Int

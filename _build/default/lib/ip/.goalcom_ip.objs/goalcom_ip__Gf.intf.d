@@ -1,0 +1,1 @@
+lib/ip/gf.mli: Format Goalcom_prelude

@@ -1,0 +1,1 @@
+lib/ip/poly.ml: Array Gf

@@ -1,0 +1,1 @@
+lib/ip/poly.mli: Gf

@@ -1,0 +1,1 @@
+lib/ip/sumcheck.ml: Arith Array Cnf Gf Goalcom_sat List Poly Printf

@@ -1,0 +1,1 @@
+lib/ip/sumcheck.mli: Cnf Gf Goalcom_prelude Goalcom_sat

@@ -1,0 +1,44 @@
+open Goalcom_sat
+
+let literal_eval point lit =
+  let v = abs lit in
+  if lit > 0 then point.(v) else Gf.sub Gf.one point.(v)
+
+let clause_eval clause point =
+  let miss =
+    List.fold_left
+      (fun acc lit -> Gf.mul acc (Gf.sub Gf.one (literal_eval point lit)))
+      Gf.one clause
+  in
+  Gf.sub Gf.one miss
+
+let formula_eval (cnf : Cnf.t) point =
+  if Array.length point <> cnf.num_vars + 1 then
+    invalid_arg "Arith.formula_eval: dimension mismatch";
+  List.fold_left
+    (fun acc clause -> Gf.mul acc (clause_eval clause point))
+    Gf.one cnf.clauses
+
+let degree_bound (cnf : Cnf.t) =
+  let counts = Array.make (cnf.num_vars + 1) 0 in
+  List.iter
+    (fun clause ->
+      List.iter (fun lit -> counts.(abs lit) <- counts.(abs lit) + 1) clause)
+    cnf.clauses;
+  Array.fold_left max 1 counts
+
+let count_models_mod (cnf : Cnf.t) =
+  let n = cnf.num_vars in
+  let point = Array.make (n + 1) Gf.zero in
+  let total = ref Gf.zero in
+  let rec go v =
+    if v > n then total := Gf.add !total (formula_eval cnf point)
+    else begin
+      point.(v) <- Gf.zero;
+      go (v + 1);
+      point.(v) <- Gf.one;
+      go (v + 1)
+    end
+  in
+  go 1;
+  Gf.to_int !total

@@ -1,0 +1,28 @@
+(** Arithmetization of CNF formulas over {!Gf}.
+
+    A clause [l1 ∨ ... ∨ lk] becomes [1 − Π (1 − lit_i(X))] where a
+    positive literal of variable v is the coordinate [X_v] and a
+    negative one is [1 − X_v]; the formula polynomial is the product of
+    its clause polynomials.  On 0/1 points it agrees with boolean
+    evaluation, so the number of satisfying assignments is the sum of
+    the formula polynomial over the boolean cube — the quantity the
+    sum-check protocol verifies. *)
+
+open Goalcom_sat
+
+val clause_eval : Cnf.clause -> Gf.t array -> Gf.t
+(** Evaluate a clause polynomial at a field point (array indexed by
+    variable, slot 0 unused). *)
+
+val formula_eval : Cnf.t -> Gf.t array -> Gf.t
+(** Evaluate the formula polynomial.
+    @raise Invalid_argument if the point has the wrong dimension. *)
+
+val degree_bound : Cnf.t -> int
+(** An upper bound on the formula polynomial's degree in any single
+    variable: the maximum number of clauses mentioning one variable. *)
+
+val count_models_mod : Cnf.t -> int
+(** Σ over the boolean cube of the formula polynomial, i.e. the model
+    count mod p (exact for formulas with < p models) — brute force,
+    for referees and tests.  Exponential in the variable count. *)

@@ -1,0 +1,27 @@
+type t = int
+
+let p = 2147483647 (* 2^31 - 1 *)
+let zero = 0
+let one = 1
+let of_int n = ((n mod p) + p) mod p
+let to_int t = t
+let add a b = (a + b) mod p
+let sub a b = ((a - b) mod p + p) mod p
+let neg a = (p - a) mod p
+let mul a b = a * b mod p
+
+let pow x k =
+  if k < 0 then invalid_arg "Gf.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+    end
+  in
+  go one x k
+
+let inv x = if x = 0 then raise Division_by_zero else pow x (p - 2)
+let equal = Int.equal
+let random rng = Goalcom_prelude.Rng.int rng p
+let pp ppf t = Format.pp_print_int ppf t

@@ -1,0 +1,39 @@
+(** The prime field GF(2^31 - 1).
+
+    Substrate for the sum-check protocol: challenges are drawn from a
+    field large enough that a cheating prover's consistent-lie
+    polynomial is caught with overwhelming probability (soundness error
+    ≤ n·d / p per run).  The Mersenne prime 2^31 − 1 keeps every
+    product inside OCaml's 63-bit native integers. *)
+
+type t = private int
+(** A field element, canonically in [0, p). *)
+
+val p : int
+(** 2147483647. *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Reduce any integer (including negatives) into the field. *)
+
+val to_int : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0].  @raise Invalid_argument on negative k. *)
+
+val inv : t -> t
+(** Multiplicative inverse (Fermat).  @raise Division_by_zero on 0. *)
+
+val equal : t -> t -> bool
+
+val random : Goalcom_prelude.Rng.t -> t
+(** Uniform field element. *)
+
+val pp : Format.formatter -> t -> unit

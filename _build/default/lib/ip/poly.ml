@@ -1,0 +1,21 @@
+(* Lagrange evaluation at [x] from samples at nodes 0..d:
+   g(x) = Σ_i y_i · Π_{j≠i} (x - j) / (i - j). *)
+let eval_samples samples x =
+  let d1 = Array.length samples in
+  if d1 = 0 then invalid_arg "Poly.eval_samples: no samples";
+  let result = ref Gf.zero in
+  for i = 0 to d1 - 1 do
+    let num = ref Gf.one and den = ref Gf.one in
+    for j = 0 to d1 - 1 do
+      if j <> i then begin
+        num := Gf.mul !num (Gf.sub x (Gf.of_int j));
+        den := Gf.mul !den (Gf.sub (Gf.of_int i) (Gf.of_int j))
+      end
+    done;
+    result := Gf.add !result (Gf.mul samples.(i) (Gf.mul !num (Gf.inv !den)))
+  done;
+  !result
+
+let sum01 samples =
+  if Array.length samples < 2 then invalid_arg "Poly.sum01: need g(0) and g(1)";
+  Gf.add samples.(0) samples.(1)

@@ -1,0 +1,15 @@
+(** Univariate polynomials over {!Gf}, in sampled form.
+
+    Sum-check prover messages are low-degree univariate polynomials;
+    they travel as their evaluations at the points 0, 1, ..., d (d+1
+    samples determine a degree-d polynomial), and the verifier
+    evaluates them at random challenges by Lagrange interpolation. *)
+
+val eval_samples : Gf.t array -> Gf.t -> Gf.t
+(** [eval_samples samples x] evaluates the unique polynomial of degree
+    < [Array.length samples] passing through [(i, samples.(i))] at [x].
+    @raise Invalid_argument on an empty sample array. *)
+
+val sum01 : Gf.t array -> Gf.t
+(** [g(0) + g(1)] of a sampled polynomial — the sum-check consistency
+    value.  @raise Invalid_argument on fewer than 2 samples. *)

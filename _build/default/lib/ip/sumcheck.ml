@@ -1,0 +1,79 @@
+open Goalcom_sat
+
+type prover = Cnf.t -> prefix:Gf.t list -> Gf.t array
+
+(* Σ over the boolean cube of the variables after [fixed] coordinates. *)
+let cube_sum (cnf : Cnf.t) (point : Gf.t array) ~from =
+  let n = cnf.num_vars in
+  let total = ref Gf.zero in
+  let rec go v =
+    if v > n then total := Gf.add !total (Arith.formula_eval cnf point)
+    else begin
+      point.(v) <- Gf.zero;
+      go (v + 1);
+      point.(v) <- Gf.one;
+      go (v + 1)
+    end
+  in
+  go from;
+  !total
+
+let honest_prover (cnf : Cnf.t) ~prefix =
+  let n = cnf.num_vars in
+  let i = List.length prefix + 1 in
+  if i > n then invalid_arg "Sumcheck.honest_prover: all variables bound";
+  let d = Arith.degree_bound cnf in
+  Array.init (d + 1) (fun t ->
+      let point = Array.make (n + 1) Gf.zero in
+      List.iteri (fun k r -> point.(k + 1) <- r) prefix;
+      point.(i) <- Gf.of_int t;
+      cube_sum cnf point ~from:(i + 1))
+
+let tampered_prover ~tamper_round ~offset =
+  if tamper_round < 1 then invalid_arg "Sumcheck.tampered_prover: bad round";
+  if offset = 0 then invalid_arg "Sumcheck.tampered_prover: zero offset";
+  fun cnf ~prefix ->
+    let samples = honest_prover cnf ~prefix in
+    if List.length prefix + 1 = tamper_round then
+      Array.mapi
+        (fun t s ->
+          (* + offset * (2t - 1): vanishes under g(0)+g(1). *)
+          Gf.add s (Gf.of_int (offset * ((2 * t) - 1))))
+        samples
+    else samples
+
+type step =
+  | Continue of { claim : Gf.t; challenges : Gf.t list }
+  | Accepted
+  | Rejected of string
+
+let verify_round rng (cnf : Cnf.t) ~claim ~challenges ~samples =
+  let d = Arith.degree_bound cnf in
+  if Array.length samples <> d + 1 then
+    Rejected
+      (Printf.sprintf "expected %d samples, got %d" (d + 1)
+         (Array.length samples))
+  else if not (Gf.equal (Poly.sum01 samples) claim) then
+    Rejected "g(0) + g(1) does not match the claim"
+  else begin
+    let r = Gf.random rng in
+    let claim = Poly.eval_samples samples r in
+    let challenges = challenges @ [ r ] in
+    if List.length challenges = cnf.num_vars then begin
+      let point = Array.make (cnf.num_vars + 1) Gf.zero in
+      List.iteri (fun k c -> point.(k + 1) <- c) challenges;
+      if Gf.equal (Arith.formula_eval cnf point) claim then Accepted
+      else Rejected "final evaluation does not match the reduced claim"
+    end
+    else Continue { claim; challenges }
+  end
+
+let run rng (cnf : Cnf.t) ~claimed ~prover =
+  let rec go claim challenges rounds =
+    let samples = prover cnf ~prefix:challenges in
+    match verify_round rng cnf ~claim ~challenges ~samples with
+    | Accepted -> (true, rounds + 1)
+    | Rejected _ -> (false, rounds + 1)
+    | Continue { claim; challenges } -> go claim challenges (rounds + 1)
+  in
+  go (Gf.of_int claimed) [] 0

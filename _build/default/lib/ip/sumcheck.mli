@@ -1,0 +1,64 @@
+(** The sum-check protocol (Lund–Fortnow–Karloff–Nisan) for CNF model
+    counting.
+
+    The prover claims a value for Σ_{x ∈ \{0,1\}^n} F(x), where F is the
+    arithmetized formula ({!Arith}).  In round i the prover sends the
+    univariate polynomial
+    g_i(X) = Σ_{x_{i+1..n}} F(r_1, …, r_{i-1}, X, x_{i+1..n})
+    (as d+1 samples); the verifier checks g_i(0) + g_i(1) against the
+    running claim, draws a random challenge r_i, and reduces the claim
+    to g_i(r_i).  After round n the verifier evaluates F at the
+    challenge point itself.  The verifier's work is polynomial; the
+    honest prover's is exponential — exactly the asymmetry delegated to
+    the server in the counting goal.  A false claim survives with
+    probability at most n·d/p.
+
+    This realises, inside this library's scope, the kind of interactive
+    verification the paper's predecessor (Juba–Sudan) used for
+    PSPACE-complete delegation: the user can check much more than it
+    could compute. *)
+
+open Goalcom_sat
+
+type prover = Cnf.t -> prefix:Gf.t list -> Gf.t array
+(** A prover answers round [length prefix + 1] with the samples
+    (evaluations at 0..d) of its round polynomial, given the challenges
+    fixed so far. *)
+
+val honest_prover : prover
+(** Computes the true round polynomial by summing over the remaining
+    boolean cube. *)
+
+val tampered_prover : tamper_round:int -> offset:int -> prover
+(** Honest except in round [tamper_round], where it adds
+    [offset · (2X − 1)] to the polynomial — a perturbation that still
+    satisfies g(0) + g(1) = claim, so the lie is only caught by a later
+    round or the final evaluation.  @raise Invalid_argument if
+    [tamper_round < 1] or [offset = 0] at construction time. *)
+
+type step =
+  | Continue of { claim : Gf.t; challenges : Gf.t list }
+      (** verified so far; challenges in protocol order *)
+  | Accepted
+  | Rejected of string
+
+val verify_round :
+  Goalcom_prelude.Rng.t ->
+  Cnf.t ->
+  claim:Gf.t ->
+  challenges:Gf.t list ->
+  samples:Gf.t array ->
+  step
+(** One verifier step: consistency check, challenge draw, claim
+    reduction, and the final formula evaluation when all variables are
+    bound. *)
+
+val run :
+  Goalcom_prelude.Rng.t ->
+  Cnf.t ->
+  claimed:int ->
+  prover:prover ->
+  bool * int
+(** Run the whole protocol; [(accepted, rounds_executed)].  The honest
+    prover with the true count is always accepted; any false claim is
+    rejected except with probability ≤ n·d/p. *)

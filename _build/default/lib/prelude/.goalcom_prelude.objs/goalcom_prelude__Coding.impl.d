@@ -1,0 +1,1 @@
+lib/prelude/coding.ml: Array List

@@ -1,0 +1,1 @@
+lib/prelude/dist.ml: Float List Rng

@@ -1,0 +1,102 @@
+let check_nonneg name n =
+  if n < 0 then invalid_arg (name ^ ": negative input")
+
+(* The largest s with s*(s+1)/2 + s representable in an OCaml int. *)
+let max_pair_sum = 3_037_000_498
+
+(* Triangle number without overflowing the intermediate product (valid
+   for w <= max_pair_sum). *)
+let tri w = if w land 1 = 0 then w / 2 * (w + 1) else w * ((w + 1) / 2)
+
+let pair x y =
+  check_nonneg "Coding.pair" x;
+  check_nonneg "Coding.pair" y;
+  if x > max_pair_sum - y then invalid_arg "Coding.pair: overflow";
+  tri (x + y) + y
+
+(* The largest value in the image of [pair]: pair max_pair_sum 0 ..
+   pair 0 max_pair_sum all fit; beyond this there is no preimage. *)
+let max_pair_code = tri max_pair_sum + max_pair_sum
+
+let unpair z =
+  check_nonneg "Coding.unpair" z;
+  if z > max_pair_code then
+    invalid_arg "Coding.unpair: code outside the supported domain";
+  (* w = floor((sqrt(8z+1)-1)/2).  Computed as sqrt(2z) to stay clear of
+     integer overflow for z near max_int, clamped into the valid range,
+     then corrected for float error (a couple of iterations at most). *)
+  let w = ref (int_of_float (sqrt (2. *. float_of_int z))) in
+  if !w < 0 then w := 0;
+  if !w > max_pair_sum then w := max_pair_sum;
+  while !w > 0 && tri !w > z do
+    decr w
+  done;
+  while !w < max_pair_sum && tri (!w + 1) <= z do
+    incr w
+  done;
+  let y = z - tri !w in
+  (!w - y, y)
+
+let triple x y z = pair x (pair y z)
+
+let untriple n =
+  let x, yz = unpair n in
+  let y, z = unpair yz in
+  (x, y, z)
+
+let encode_list = function
+  | [] -> 0
+  | xs ->
+      let body =
+        match List.rev xs with
+        | [] -> assert false
+        | last :: rest -> List.fold_left (fun acc x -> pair x acc) last rest
+      in
+      1 + pair (List.length xs - 1) body
+
+let decode_list n =
+  check_nonneg "Coding.decode_list" n;
+  if n = 0 then []
+  else begin
+    let len_minus_1, body = unpair (n - 1) in
+    if len_minus_1 >= 1_000_000 then
+      invalid_arg "Coding.decode_list: code outside the supported domain";
+    let rec go k body =
+      if k = 0 then [ body ]
+      else begin
+        let x, rest = unpair body in
+        x :: go (k - 1) rest
+      end
+    in
+    go len_minus_1 body
+  end
+
+let saturating_mul a b = if a <> 0 && b > max_int / a then max_int else a * b
+let tuple_space ~radices = Array.fold_left saturating_mul 1 radices
+
+let encode_tuple ~radices digits =
+  if Array.length radices <> Array.length digits then
+    invalid_arg "Coding.encode_tuple: length mismatch";
+  Array.iteri
+    (fun i d ->
+      if d < 0 || d >= radices.(i) then
+        invalid_arg "Coding.encode_tuple: digit out of range")
+    digits;
+  (* Little-endian mixed radix: digit 0 is the least significant. *)
+  let code = ref 0 in
+  for i = Array.length digits - 1 downto 0 do
+    code := (!code * radices.(i)) + digits.(i)
+  done;
+  !code
+
+let decode_tuple ~radices code =
+  if code < 0 || code >= tuple_space ~radices then
+    invalid_arg "Coding.decode_tuple: code out of range";
+  let n = Array.length radices in
+  let digits = Array.make n 0 in
+  let rest = ref code in
+  for i = 0 to n - 1 do
+    digits.(i) <- !rest mod radices.(i);
+    rest := !rest / radices.(i)
+  done;
+  digits

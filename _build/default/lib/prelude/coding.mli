@@ -1,0 +1,41 @@
+(** Bijective integer codings (Gödel numbering).
+
+    Theorem 1's universal constructions enumerate a class of strategies.
+    Strategy classes built from finite-state machines are enumerated by
+    decoding natural numbers into machine descriptions; this module
+    supplies the pairing and tuple codings used for that. *)
+
+val pair : int -> int -> int
+(** Cantor pairing: a bijection [nat * nat -> nat].
+    @raise Invalid_argument on negative inputs or when the result would
+    overflow the native integer range (inputs summing beyond ~3.0e9). *)
+
+val unpair : int -> int * int
+(** Inverse of {!pair}.  @raise Invalid_argument on negative input or on
+    codes beyond {!pair}'s image (above ~4.6e18). *)
+
+val triple : int -> int -> int -> int
+val untriple : int -> int * int * int
+
+val encode_list : int list -> int
+(** Bijection [nat list -> nat] (length-prefixed nested pairing).
+    Beware: nested pairing grows double-exponentially with list length —
+    only short lists of small naturals are encodable before {!pair}'s
+    overflow guard fires.  Use {!encode_tuple} for bounded tuples. *)
+
+val decode_list : int -> int list
+(** Inverse of {!encode_list} on its image.
+    @raise Invalid_argument on codes whose decoded length is implausibly
+    large (outside the supported domain). *)
+
+val encode_tuple : radices:int array -> int array -> int
+(** Mixed-radix encoding of a bounded tuple: [digits.(i) < radices.(i)].
+    @raise Invalid_argument on length mismatch or out-of-range digits. *)
+
+val decode_tuple : radices:int array -> int -> int array
+(** Inverse of {!encode_tuple} for codes in range.
+    @raise Invalid_argument on out-of-range codes. *)
+
+val tuple_space : radices:int array -> int
+(** Product of the radices: number of encodable tuples (saturating at
+    [max_int] on overflow). *)

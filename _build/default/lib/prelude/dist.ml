@@ -1,0 +1,70 @@
+type 'a t = ('a * float) list
+
+let merge_duplicates pairs =
+  (* Quadratic, but distributions in this library are tiny (supports of a
+     handful of outcomes). *)
+  List.fold_left
+    (fun acc (v, p) ->
+      let rec add = function
+        | [] -> [ (v, p) ]
+        | (v', p') :: rest when v' = v -> (v', p' +. p) :: rest
+        | kept :: rest -> kept :: add rest
+      in
+      add acc)
+    [] pairs
+
+let of_weighted pairs =
+  if pairs = [] then invalid_arg "Dist.of_weighted: empty";
+  List.iter
+    (fun (_, w) ->
+      if w < 0. then invalid_arg "Dist.of_weighted: negative weight")
+    pairs;
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  if total <= 0. then invalid_arg "Dist.of_weighted: zero total weight";
+  merge_duplicates pairs
+  |> List.filter (fun (_, w) -> w > 0.)
+  |> List.map (fun (v, w) -> (v, w /. total))
+
+let return v = [ (v, 1.0) ]
+let uniform vs = of_weighted (List.map (fun v -> (v, 1.0)) vs)
+
+let bernoulli p =
+  let p = Float.max 0. (Float.min 1. p) in
+  if p = 0. then return false
+  else if p = 1. then return true
+  else [ (true, p); (false, 1. -. p) ]
+
+let map f d = merge_duplicates (List.map (fun (v, p) -> (f v, p)) d)
+
+let bind d f =
+  merge_duplicates
+    (List.concat_map (fun (v, p) -> List.map (fun (w, q) -> (w, p *. q)) (f v)) d)
+
+let support d = List.map fst d
+
+let prob d v =
+  match List.assoc_opt v d with Some p -> p | None -> 0.
+
+let to_list d = d
+let expect f d = List.fold_left (fun acc (v, p) -> acc +. (p *. f v)) 0. d
+
+let sample rng d =
+  let u = Rng.float rng 1.0 in
+  let rec go acc = function
+    | [] -> invalid_arg "Dist.sample: empty distribution"
+    | [ (v, _) ] -> v
+    | (v, p) :: rest -> if u < acc +. p then v else go (acc +. p) rest
+  in
+  go 0. d
+
+let total_variation d1 d2 =
+  let values =
+    List.sort_uniq compare (support d1 @ support d2)
+  in
+  0.5
+  *. List.fold_left
+       (fun acc v -> acc +. Float.abs (prob d1 v -. prob d2 v))
+       0. values
+
+let is_normalised d =
+  Float.abs (List.fold_left (fun acc (_, p) -> acc +. p) 0. d -. 1.0) < 1e-9

@@ -1,0 +1,50 @@
+(** Finite discrete probability distributions.
+
+    The paper's strategies map a state and an incoming message profile to a
+    {e distribution} over (state, outgoing message profile) pairs.  The
+    execution engine uses the sampling form ([Rng.t -> 'a]), but tests and
+    validators need the explicit distribution to check normalisation,
+    supports and expectations; this module provides that explicit form. *)
+
+type 'a t
+(** A finite distribution: a normalised list of (value, probability) pairs
+    with strictly positive probabilities.  Values are compared with
+    structural equality, so duplicate outcomes are merged. *)
+
+val return : 'a -> 'a t
+(** Point mass. *)
+
+val of_weighted : ('a * float) list -> 'a t
+(** [of_weighted l] normalises the non-negative weights in [l], merging
+    duplicate values.  @raise Invalid_argument if all weights are zero,
+    any weight is negative, or [l] is empty. *)
+
+val uniform : 'a list -> 'a t
+(** Uniform distribution on a non-empty list (duplicates merged). *)
+
+val bernoulli : float -> bool t
+(** [bernoulli p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val support : 'a t -> 'a list
+(** Values with positive probability, in insertion order. *)
+
+val prob : 'a t -> 'a -> float
+(** Probability of a value (0. if absent). *)
+
+val to_list : 'a t -> ('a * float) list
+
+val expect : ('a -> float) -> 'a t -> float
+(** Expected value of a function. *)
+
+val sample : Rng.t -> 'a t -> 'a
+(** Draw a sample. *)
+
+val total_variation : 'a t -> 'a t -> float
+(** Total-variation distance, in [0,1]. *)
+
+val is_normalised : 'a t -> bool
+(** Probabilities sum to 1 within 1e-9 (always true for exported values;
+    exposed for property tests). *)

@@ -1,0 +1,71 @@
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go (hi - 1) []
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n = function
+  | xs when n <= 0 -> xs
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+let rec last = function
+  | [] -> invalid_arg "Listx.last: empty list"
+  | [ x ] -> x
+  | _ :: rest -> last rest
+
+let last_opt = function [] -> None | xs -> Some (last xs)
+let sum_int = List.fold_left ( + ) 0
+let sum_float = List.fold_left ( +. ) 0.
+let count p xs = List.length (List.filter p xs)
+
+let find_index p xs =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else go (i + 1) rest
+  in
+  go 0 xs
+
+let transpose = function
+  | [] -> []
+  | rows ->
+      let width =
+        match rows with [] -> 0 | r :: _ -> List.length r
+      in
+      List.iter
+        (fun r ->
+          if List.length r <> width then
+            invalid_arg "Listx.transpose: ragged rows")
+        rows;
+      List.map
+        (fun j -> List.map (fun row -> List.nth row j) rows)
+        (range 0 width)
+
+let windows k xs =
+  if k <= 0 then invalid_arg "Listx.windows: k must be positive";
+  let rec go xs acc =
+    if List.length xs < k then List.rev acc
+    else go (List.tl xs) (take k xs :: acc)
+  in
+  go xs []
+
+let unfold step seed =
+  let rec go s acc =
+    match step s with
+    | None -> List.rev acc
+    | Some (x, s') -> go s' (x :: acc)
+  in
+  go seed []
+
+let iterate n f x =
+  let rec go k v acc =
+    if k = 0 then List.rev acc
+    else begin
+      let v' = f v in
+      go (k - 1) v' (v' :: acc)
+    end
+  in
+  go n x [ x ]

@@ -1,0 +1,36 @@
+(** List helpers used across the library. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [lo; lo+1; ...; hi-1] ([] when [hi <= lo]). *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them if shorter). *)
+
+val drop : int -> 'a list -> 'a list
+
+val last : 'a list -> 'a
+(** @raise Invalid_argument on []. *)
+
+val last_opt : 'a list -> 'a option
+
+val sum_int : int list -> int
+val sum_float : float list -> float
+
+val count : ('a -> bool) -> 'a list -> int
+
+val find_index : ('a -> bool) -> 'a list -> int option
+(** Index of the first element satisfying the predicate. *)
+
+val transpose : 'a list list -> 'a list list
+(** Transpose a rectangular list of lists.
+    @raise Invalid_argument if rows have unequal lengths. *)
+
+val windows : int -> 'a list -> 'a list list
+(** [windows k xs] is all contiguous sublists of length [k].
+    @raise Invalid_argument if [k <= 0]. *)
+
+val unfold : ('s -> ('a * 's) option) -> 's -> 'a list
+(** Anamorphism: build a list from a seed. *)
+
+val iterate : int -> ('a -> 'a) -> 'a -> 'a list
+(** [iterate n f x] is [[x; f x; f (f x); ...]] of length [n+1]. *)

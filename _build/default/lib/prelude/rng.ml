@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_int64 seed = { state = mix64 seed }
+let make seed = of_int64 (Int64.of_int seed)
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = of_int64 (int64 t)
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* Rejection sampling on 30 bits to avoid modulo bias. *)
+    let limit = (1 lsl 30) / bound * bound in
+    let rec loop () =
+      let v = bits30 t in
+      if v < limit then v mod bound else loop ()
+    in
+    loop ()
+  end
+  else begin
+    let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    v mod bound
+  end
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  v /. 9007199254740992. *. bound (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";
+  a.(int t (Array.length a))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a

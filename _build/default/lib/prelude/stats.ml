@@ -1,0 +1,68 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty sample")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "Stats.mean" xs in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance xs =
+  let n = List.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+    /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile q xs =
+  let xs = require_nonempty "Stats.percentile" xs in
+  if q < 0. || q > 100. then invalid_arg "Stats.percentile: q out of range";
+  let sorted = List.sort compare xs in
+  let a = Array.of_list sorted in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
+let median xs = percentile 50. xs
+let minimum xs = List.fold_left Float.min Float.infinity (require_nonempty "Stats.minimum" xs)
+let maximum xs = List.fold_left Float.max Float.neg_infinity (require_nonempty "Stats.maximum" xs)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  median : float;
+  min : float;
+  max : float;
+  p90 : float;
+}
+
+let summarise xs =
+  let xs = require_nonempty "Stats.summarise" xs in
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    median = median xs;
+    min = minimum xs;
+    max = maximum xs;
+    p90 = percentile 90. xs;
+  }
+
+let ci95_halfwidth xs =
+  let n = List.length xs in
+  if n < 2 then 0. else 1.96 *. stddev xs /. sqrt (float_of_int n)
+
+let success_rate bs =
+  let bs = require_nonempty "Stats.success_rate" bs in
+  let hits = List.length (List.filter Fun.id bs) in
+  float_of_int hits /. float_of_int (List.length bs)

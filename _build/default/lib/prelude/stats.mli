@@ -1,0 +1,39 @@
+(** Small statistics toolkit for the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  @raise Invalid_argument on []. *)
+
+val variance : float list -> float
+(** Unbiased sample variance (0. for fewer than two samples). *)
+
+val stddev : float list -> float
+
+val median : float list -> float
+(** @raise Invalid_argument on []. *)
+
+val percentile : float -> float list -> float
+(** [percentile q xs] with [q] in [0,100], linear interpolation.
+    @raise Invalid_argument on [] or out-of-range [q]. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  median : float;
+  min : float;
+  max : float;
+  p90 : float;
+}
+
+val summarise : float list -> summary
+(** @raise Invalid_argument on []. *)
+
+val ci95_halfwidth : float list -> float
+(** Half-width of a normal-approximation 95% confidence interval on the
+    mean (0. for fewer than two samples). *)
+
+val success_rate : bool list -> float
+(** Fraction of [true] entries.  @raise Invalid_argument on []. *)

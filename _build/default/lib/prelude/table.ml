@@ -1,0 +1,69 @@
+type t = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~columns ?(notes = []) rows =
+  let width = List.length columns in
+  List.iter
+    (fun row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Table.make (%s): row width %d, expected %d" title
+             (List.length row) width))
+    rows;
+  { title; columns; rows; notes }
+
+let render t =
+  let all_rows = t.columns :: t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all_rows;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row =
+    "| " ^ String.concat " | " (List.mapi pad row) ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) t.rows;
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let quote_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+    let escaped =
+      String.concat "\"\"" (String.split_on_char '"' cell)
+    in
+    "\"" ^ escaped ^ "\""
+  end
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map quote_csv row) in
+  String.concat "\n" (line t.columns :: List.map line t.rows) ^ "\n"
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_pct f = Printf.sprintf "%.1f%%" (100. *. f)
+let cell_ratio f = Printf.sprintf "%.2fx" f

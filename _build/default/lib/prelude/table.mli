@@ -1,0 +1,36 @@
+(** Plain-text tables and series for experiment output.
+
+    The harness, the CLI and the benchmark driver all report results
+    through this module so that every experiment prints the same
+    aligned, copy-pasteable tables (and CSV on demand). *)
+
+type t = {
+  title : string;
+  columns : string list;
+  rows : string list list;  (** each row has [List.length columns] cells *)
+  notes : string list;  (** free-form footnotes printed under the table *)
+}
+
+val make : title:string -> columns:string list -> ?notes:string list ->
+  string list list -> t
+(** @raise Invalid_argument if a row's width differs from [columns]. *)
+
+val render : t -> string
+(** ASCII-art rendering with aligned columns. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row first), quoting cells that
+    contain commas or quotes. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : float -> string
+(** [cell_pct 0.87] is ["87.0%"]. *)
+
+val cell_ratio : float -> string
+(** [cell_ratio 3.1] is ["3.10x"]. *)

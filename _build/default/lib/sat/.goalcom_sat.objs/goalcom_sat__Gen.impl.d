@@ -1,0 +1,1 @@
+lib/sat/gen.ml: Array Cnf Goalcom_prelude List Listx Rng

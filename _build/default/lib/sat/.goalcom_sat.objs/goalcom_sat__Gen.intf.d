@@ -1,0 +1,1 @@
+lib/sat/gen.mli: Cnf Goalcom_prelude Rng

@@ -1,0 +1,42 @@
+type literal = int
+type clause = literal list
+type t = { num_vars : int; clauses : clause list }
+
+let make ~num_vars clauses =
+  if num_vars <= 0 then invalid_arg "Cnf.make: num_vars must be positive";
+  List.iter
+    (fun clause ->
+      if clause = [] then invalid_arg "Cnf.make: empty clause";
+      List.iter
+        (fun lit ->
+          let v = abs lit in
+          if lit = 0 || v > num_vars then
+            invalid_arg (Printf.sprintf "Cnf.make: bad literal %d" lit))
+        clause)
+    clauses;
+  { num_vars; clauses }
+
+type assignment = bool array
+
+let eval_literal assignment lit =
+  let v = abs lit in
+  if lit > 0 then assignment.(v) else not assignment.(v)
+
+let eval_clause assignment clause =
+  List.exists (eval_literal assignment) clause
+
+let eval t assignment =
+  if Array.length assignment <> t.num_vars + 1 then
+    invalid_arg "Cnf.eval: assignment length mismatch";
+  List.for_all (eval_clause assignment) t.clauses
+
+let num_clauses t = List.length t.clauses
+
+let to_string t =
+  String.concat " "
+    (List.map
+       (fun clause ->
+         "(" ^ String.concat " " (List.map string_of_int clause) ^ ")")
+       t.clauses)
+
+let of_ints ~num_vars clauses = make ~num_vars clauses

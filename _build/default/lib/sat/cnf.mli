@@ -1,0 +1,38 @@
+(** CNF formulas.
+
+    Substrate for the delegation-of-computation goal: the server's
+    "superior computational ability" is a SAT solver, and the user can
+    cheaply {e verify} a claimed satisfying assignment — the
+    verifiability that makes delegation sensing safe. *)
+
+type literal = int
+(** Non-zero integer: [+v] is the positive literal of variable [v]
+    (1-based), [-v] its negation. *)
+
+type clause = literal list
+
+type t = private { num_vars : int; clauses : clause list }
+
+val make : num_vars:int -> clause list -> t
+(** Validates that every literal references a variable in
+    [1..num_vars] and that no clause is empty.
+    @raise Invalid_argument otherwise. *)
+
+type assignment = bool array
+(** Index [v] holds variable [v]'s value; index 0 is unused.  Length
+    must be [num_vars + 1]. *)
+
+val eval_literal : assignment -> literal -> bool
+val eval_clause : assignment -> clause -> bool
+
+val eval : t -> assignment -> bool
+(** Whole-formula evaluation.
+    @raise Invalid_argument if the assignment has the wrong length. *)
+
+val num_clauses : t -> int
+
+val to_string : t -> string
+(** DIMACS-like one-line rendering, e.g. ["(1 -2 3) (2 -3)"]. *)
+
+val of_ints : num_vars:int -> int list list -> t
+(** Alias of {!make} taking raw integer lists. *)

@@ -1,0 +1,116 @@
+(* Partial assignments map each variable to Unset, True or False; the
+   solver threads an immutable list of not-yet-satisfied clauses, each
+   already filtered of falsified literals. *)
+
+type value = Unset | True | False
+
+let lit_value assignment lit =
+  match assignment.(abs lit) with
+  | Unset -> Unset
+  | True -> if lit > 0 then True else False
+  | False -> if lit > 0 then False else True
+
+(* Simplify clauses under the assignment: drop satisfied clauses and
+   falsified literals.  Returns [None] if some clause became empty. *)
+let simplify assignment clauses =
+  let rec clause_step acc = function
+    | [] -> Some (List.rev acc)
+    | lit :: rest -> begin
+        match lit_value assignment lit with
+        | True -> None (* clause satisfied: drop it *)
+        | False -> clause_step acc rest
+        | Unset -> clause_step (lit :: acc) rest
+      end
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | clause :: rest -> begin
+        match clause_step [] clause with
+        | None -> go acc rest (* satisfied *)
+        | Some [] -> None (* conflict *)
+        | Some c -> go (c :: acc) rest
+      end
+  in
+  go [] clauses
+
+let find_unit clauses =
+  List.find_map (function [ lit ] -> Some lit | _ -> None) clauses
+
+let find_pure clauses =
+  let polarity = Hashtbl.create 16 in
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun lit ->
+          let v = abs lit in
+          match Hashtbl.find_opt polarity v with
+          | None -> Hashtbl.add polarity v (Some (lit > 0))
+          | Some (Some p) when p <> (lit > 0) -> Hashtbl.replace polarity v None
+          | Some _ -> ())
+        clause)
+    clauses;
+  Hashtbl.fold
+    (fun v pol acc ->
+      match (acc, pol) with
+      | Some _, _ -> acc
+      | None, Some p -> Some (if p then v else -v)
+      | None, None -> acc)
+    polarity None
+
+let assign assignment lit =
+  let a = Array.copy assignment in
+  a.(abs lit) <- (if lit > 0 then True else False);
+  a
+
+let rec search assignment clauses =
+  match simplify assignment clauses with
+  | None -> None
+  | Some [] -> Some assignment
+  | Some clauses -> begin
+      match find_unit clauses with
+      | Some lit -> search (assign assignment lit) clauses
+      | None -> begin
+          match find_pure clauses with
+          | Some lit -> search (assign assignment lit) clauses
+          | None -> begin
+              (* Branch on the first variable of the first clause. *)
+              let lit =
+                match clauses with
+                | (lit :: _) :: _ -> lit
+                | _ -> assert false (* no empty clauses after simplify *)
+              in
+              match search (assign assignment lit) clauses with
+              | Some _ as result -> result
+              | None -> search (assign assignment (-lit)) clauses
+            end
+        end
+    end
+
+let solve (cnf : Cnf.t) =
+  let initial = Array.make (cnf.num_vars + 1) Unset in
+  match search initial cnf.clauses with
+  | None -> None
+  | Some partial ->
+      (* Unconstrained variables default to false. *)
+      Some (Array.map (function True -> true | False | Unset -> false) partial)
+
+let satisfiable cnf = Option.is_some (solve cnf)
+
+let count_models ?(limit = max_int) (cnf : Cnf.t) =
+  let n = cnf.num_vars in
+  let count = ref 0 in
+  let assignment = Array.make (n + 1) false in
+  let rec go v =
+    if !count >= limit then ()
+    else if v > n then begin
+      if Cnf.eval cnf assignment then incr count
+    end
+    else begin
+      assignment.(v) <- false;
+      go (v + 1);
+      assignment.(v) <- true;
+      go (v + 1)
+    end
+  in
+  go 1;
+  !count

@@ -1,0 +1,15 @@
+(** DPLL SAT solver.
+
+    Classic Davis–Putnam–Logemann–Loveland search with unit propagation
+    and pure-literal elimination.  Complete: returns a satisfying
+    assignment iff one exists.  Instances in this library are small
+    (tens of variables), so no clause learning is needed. *)
+
+val solve : Cnf.t -> Cnf.assignment option
+(** [Some a] with [Cnf.eval cnf a = true], or [None] if unsatisfiable. *)
+
+val satisfiable : Cnf.t -> bool
+
+val count_models : ?limit:int -> Cnf.t -> int
+(** Number of satisfying assignments, counting at most [limit]
+    (default [max_int]).  Exponential — use on tiny instances only. *)

@@ -1,0 +1,38 @@
+open Goalcom_prelude
+
+let check ~num_vars ~num_clauses ~clause_len =
+  if num_vars <= 0 || num_clauses <= 0 || clause_len <= 0 then
+    invalid_arg "Sat.Gen: non-positive parameter";
+  if clause_len > num_vars then
+    invalid_arg "Sat.Gen: clause_len exceeds num_vars"
+
+let random_clause rng ~num_vars ~clause_len =
+  (* Distinct variables, random signs. *)
+  let vars = Array.init num_vars (fun i -> i + 1) in
+  Rng.shuffle_in_place rng vars;
+  List.map
+    (fun i ->
+      let v = vars.(i) in
+      if Rng.bool rng then v else -v)
+    (Listx.range 0 clause_len)
+
+let uniform rng ~num_vars ~num_clauses ~clause_len =
+  check ~num_vars ~num_clauses ~clause_len;
+  Cnf.make ~num_vars
+    (List.map
+       (fun _ -> random_clause rng ~num_vars ~clause_len)
+       (Listx.range 0 num_clauses))
+
+let planted rng ~num_vars ~num_clauses ~clause_len =
+  check ~num_vars ~num_clauses ~clause_len;
+  let plant =
+    Array.init (num_vars + 1) (fun i -> i > 0 && Rng.bool rng)
+  in
+  let rec satisfied_clause () =
+    let clause = random_clause rng ~num_vars ~clause_len in
+    if Cnf.eval_clause plant clause then clause else satisfied_clause ()
+  in
+  let clauses =
+    List.map (fun _ -> satisfied_clause ()) (Listx.range 0 num_clauses)
+  in
+  (Cnf.make ~num_vars clauses, plant)

@@ -1,0 +1,17 @@
+(** Random CNF instance generators for the delegation workloads. *)
+
+open Goalcom_prelude
+
+val planted :
+  Rng.t -> num_vars:int -> num_clauses:int -> clause_len:int ->
+  Cnf.t * Cnf.assignment
+(** A random formula together with a planted satisfying assignment:
+    every clause is sampled until it is satisfied by the plant, so the
+    instance is satisfiable by construction.
+    @raise Invalid_argument on non-positive parameters or
+    [clause_len > num_vars]. *)
+
+val uniform :
+  Rng.t -> num_vars:int -> num_clauses:int -> clause_len:int -> Cnf.t
+(** Uniform random k-CNF (clauses with distinct variables); may be
+    unsatisfiable. *)

@@ -1,0 +1,1 @@
+lib/servers/channel.ml: Goalcom Goalcom_prelude Io List Msg Printf Rng Strategy

@@ -1,0 +1,1 @@
+lib/servers/channel.mli: Goalcom Strategy

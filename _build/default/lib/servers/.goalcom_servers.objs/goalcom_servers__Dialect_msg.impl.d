@@ -1,0 +1,1 @@
+lib/servers/dialect_msg.ml: Dialect Goalcom Goalcom_automata List Msg

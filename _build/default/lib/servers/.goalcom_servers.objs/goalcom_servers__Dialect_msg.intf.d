@@ -1,0 +1,1 @@
+lib/servers/dialect_msg.mli: Dialect Goalcom Goalcom_automata Msg

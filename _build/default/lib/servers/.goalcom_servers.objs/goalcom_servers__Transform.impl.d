@@ -1,0 +1,1 @@
+lib/servers/transform.ml: Dialect Dialect_msg Enum Format Goalcom Goalcom_automata Goalcom_prelude Io Msg Printf Rng Strategy

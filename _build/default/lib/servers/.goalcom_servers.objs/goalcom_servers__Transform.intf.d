@@ -1,0 +1,1 @@
+lib/servers/transform.mli: Dialect Enum Goalcom Goalcom_automata Strategy

@@ -1,0 +1,28 @@
+(** Channel imperfections on the user↔server link.
+
+    The paper's model has perfect synchronous channels; real links add
+    latency and loss.  These wrappers fold an imperfect link into the
+    server strategy (the composition of a channel and a server is
+    itself a server strategy, so the theory applies unchanged — the
+    class just gets bigger).  The robustness experiment (E12) measures
+    how much link delay the universal constructions tolerate. *)
+
+open Goalcom
+
+val delayed : rounds:int -> Strategy.server -> Strategy.server
+(** Adds [rounds] extra rounds of latency in {e each} direction of the
+    user↔server link (so a round trip grows by [2*rounds]).  The
+    server↔world channels are untouched.
+    @raise Invalid_argument if [rounds < 0]. *)
+
+val drop_inbound :
+  drop_prob:float -> seed:int -> Strategy.server -> Strategy.server
+(** Each user→server message is lost (replaced by silence) with the
+    given probability — the inbound counterpart of
+    {!Transform.noisy}.  Deterministic given [seed].
+    @raise Invalid_argument if the probability is out of range. *)
+
+val duplicate_outbound : Strategy.server -> Strategy.server
+(** Every non-silent server→user message is delivered again on the
+    following round (a stuttering link); useful for checking that user
+    strategies tolerate duplicated feedback. *)

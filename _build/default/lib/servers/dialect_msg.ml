@@ -1,0 +1,17 @@
+open Goalcom
+open Goalcom_automata
+
+let rec map_syms f (m : Msg.t) : Msg.t =
+  match m with
+  | Msg.Silence | Msg.Int _ | Msg.Text _ -> m
+  | Msg.Sym s -> Msg.Sym (f s)
+  | Msg.Pair (a, b) -> Msg.Pair (map_syms f a, map_syms f b)
+  | Msg.Seq ms -> Msg.Seq (List.map (map_syms f) ms)
+
+let in_range d s = s >= 0 && s < Dialect.size d
+
+let encode d m =
+  map_syms (fun s -> if in_range d s then Dialect.apply d s else s) m
+
+let decode d m =
+  map_syms (fun s -> if in_range d s then Dialect.unapply d s else s) m

@@ -1,0 +1,61 @@
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+
+let with_dialect d base =
+  let name = Printf.sprintf "%s@%s" (Strategy.name base) (Format.asprintf "%a" Dialect.pp d) in
+  Strategy.rename name
+    (Strategy.map_obs
+       (fun (obs : Io.Server.obs) ->
+         { obs with Io.Server.from_user = Dialect_msg.decode d obs.Io.Server.from_user })
+       (Strategy.map_act
+          (fun (act : Io.Server.act) ->
+            { act with Io.Server.to_user = Dialect_msg.encode d act.Io.Server.to_user })
+          base))
+
+let dialect_class ~base dialects =
+  Enum.map
+    ~name:(Printf.sprintf "%s-under-%s" (Strategy.name base) (Enum.name dialects))
+    (fun d -> with_dialect d base)
+    dialects
+
+let noisy ~flip_prob ~seed base =
+  if flip_prob < 0. || flip_prob > 1. then
+    invalid_arg "Transform.noisy: flip_prob out of range";
+  let rng = Rng.make seed in
+  Strategy.rename
+    (Printf.sprintf "noisy(%.2f,%s)" flip_prob (Strategy.name base))
+    (Strategy.map_act
+       (fun (act : Io.Server.act) ->
+         if Rng.bernoulli rng flip_prob then
+           { act with Io.Server.to_user = Msg.Silence }
+         else act)
+       base)
+
+let lazy_every k base =
+  if k <= 0 then invalid_arg "Transform.lazy_every: k must be positive";
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:(Printf.sprintf "lazy(%d,%s)" k (Strategy.name base))
+    ~init:(fun () -> (I.create base, 0))
+    ~step:(fun rng (inst, tick) obs ->
+      if tick mod k = k - 1 then ((inst, tick + 1), I.step rng inst obs)
+      else ((inst, tick + 1), Io.Server.silent))
+
+let silent () = Strategy.stateless ~name:"silent-server" (fun _ -> Io.Server.silent)
+
+let babbler ~alphabet_size ~seed =
+  if alphabet_size <= 0 then invalid_arg "Transform.babbler: bad alphabet";
+  let rng = Rng.make seed in
+  Strategy.stateless ~name:"babbler-server" (fun _ ->
+      {
+        Io.Server.to_user = Msg.Sym (Rng.int rng alphabet_size);
+        to_world = Msg.Sym (Rng.int rng alphabet_size);
+      })
+
+let deaf base =
+  Strategy.rename
+    (Printf.sprintf "deaf(%s)" (Strategy.name base))
+    (Strategy.map_obs
+       (fun (obs : Io.Server.obs) -> { obs with Io.Server.from_user = Msg.Silence })
+       base)

@@ -1,0 +1,45 @@
+(** Server transforms: building classes of servers from a base server.
+
+    The paper's incompatibility problem arises because the user faces an
+    adversarially chosen member of a {e class} of servers.  These
+    combinators build such classes: the same base behaviour wrapped in
+    different dialects, degraded by noise or sluggishness, or replaced
+    by outright unhelpful behaviours. *)
+
+open Goalcom
+open Goalcom_automata
+
+val with_dialect : Dialect.t -> Strategy.server -> Strategy.server
+(** The base server as seen through a dialect: incoming user messages
+    are decoded to canonical form before the base server sees them, and
+    its replies to the user are encoded.  (So a user must {e speak} the
+    dialect for the base behaviour to emerge.)  The server↔world
+    channels are untouched. *)
+
+val dialect_class :
+  base:Strategy.server -> Dialect.t Enum.t -> Strategy.server Enum.t
+(** One dialected copy of [base] per dialect. *)
+
+val noisy :
+  flip_prob:float -> seed:int -> Strategy.server -> Strategy.server
+(** With probability [flip_prob], an outgoing user-channel message is
+    replaced by [Silence] (a lossy channel).  Deterministic given
+    [seed].  @raise Invalid_argument if the probability is out of
+    range. *)
+
+val lazy_every : int -> Strategy.server -> Strategy.server
+(** Responds only every [k]-th round; in between it emits silence and
+    buffers nothing (incoming messages on skipped rounds are dropped).
+    Models a slow device.  @raise Invalid_argument if [k <= 0]. *)
+
+val silent : unit -> Strategy.server
+(** The unhelpful server that never says anything. *)
+
+val babbler : alphabet_size:int -> seed:int -> Strategy.server
+(** An unhelpful server that emits uniformly random symbols to the user
+    and the world, ignoring everything it hears. *)
+
+val deaf : Strategy.server -> Strategy.server
+(** Behaves like the base server but never hears the user (incoming
+    user messages replaced by [Silence]) — helpful-looking traffic, no
+    cooperation. *)

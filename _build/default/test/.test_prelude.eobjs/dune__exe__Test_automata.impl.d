@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Alphabet Array Dialect Dist Enum Float Fun Goalcom_automata Goalcom_prelude List Listx Mealy Prob_mealy Rng

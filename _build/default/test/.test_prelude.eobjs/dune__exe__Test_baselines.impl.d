@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dialect Enum Exec Goalcom Goalcom_automata Goalcom_baselines Goalcom_goals Goalcom_prelude History List Listx Outcome Printf Printing Rng Strategy

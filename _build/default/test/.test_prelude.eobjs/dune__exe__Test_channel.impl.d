@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Channel Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers Io List Msg Outcome Printf Printing Rng Strategy

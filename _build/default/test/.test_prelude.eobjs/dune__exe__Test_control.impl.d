@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Control Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude History Io List Listx Msg Outcome Printf Rng Sensing Strategy Universal

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Exec Goal Goalcom Goalcom_prelude History Io List Listx Msg Outcome Referee Rng Strategy View World

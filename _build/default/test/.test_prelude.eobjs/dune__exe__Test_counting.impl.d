@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Counting Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Goalcom_servers Helpful History List Listx Outcome Printf Rng Sensing Transform

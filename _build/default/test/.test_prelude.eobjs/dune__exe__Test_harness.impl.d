@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Exec Experiment Float Goal Goalcom Goalcom_harness Goalcom_prelude Io List Listx Msg Printf Referee Rng Strategy Table Trial World

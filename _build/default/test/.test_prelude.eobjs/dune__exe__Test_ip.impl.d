@@ -1,0 +1,1 @@
+test/test_ip.ml: Alcotest Arith Array Cnf Dpll Gen Gf Goalcom_ip Goalcom_prelude Goalcom_sat List Poly Printf Rng Sumcheck

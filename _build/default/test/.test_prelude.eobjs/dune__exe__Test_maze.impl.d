@@ -1,0 +1,1 @@
+test/test_maze.ml: Alcotest Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Grid List Listx Maze Outcome Printf Rng Sensing

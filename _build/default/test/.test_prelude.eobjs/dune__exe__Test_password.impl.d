@@ -1,0 +1,1 @@
+test/test_password.ml: Alcotest Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude Helpful History List Listx Msg Outcome Password Printf Rng Sensing Strategy

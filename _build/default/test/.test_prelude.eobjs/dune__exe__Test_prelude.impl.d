@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Coding Dist Float Fun Goalcom_prelude Hashtbl List Listx Rng Stats String Table

@@ -1,0 +1,1 @@
+test/test_printing.ml: Alcotest Codec Dialect Enum Exec Goalcom Goalcom_automata Goalcom_goals Goalcom_prelude History Io List Listx Msg Outcome Printf Printing Rng Sensing Strategy Universal

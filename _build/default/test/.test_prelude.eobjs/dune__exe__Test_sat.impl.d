@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Cnf Dpll Gen Goalcom_prelude Goalcom_sat List Listx Printf Rng

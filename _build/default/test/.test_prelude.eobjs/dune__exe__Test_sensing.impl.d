@@ -1,0 +1,1 @@
+test/test_sensing.ml: Alcotest Exec Format Goal Goalcom Goalcom_prelude History Io List Listx Msg Outcome Printf Referee Rng Sensing Strategy String View World

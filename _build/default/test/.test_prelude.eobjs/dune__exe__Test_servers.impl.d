@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Dialect Dialect_msg Enum Goalcom Goalcom_automata Goalcom_prelude Goalcom_servers Io Msg Rng Strategy Transform

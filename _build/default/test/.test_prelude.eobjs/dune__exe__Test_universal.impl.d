@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Enum Exec Goal Goalcom Goalcom_automata Goalcom_prelude History Io Levin List Msg Outcome Printf Referee Rng Sensing Seq Strategy Universal View World

@@ -1,0 +1,94 @@
+(* Unit tests for the baseline users, exercised on the printing goal. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+open Goalcom_baselines
+
+let alphabet = 4
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+let users = Printing.user_class ~alphabet dialects
+let goal = Printing.goal ~docs:[ [ 1; 2; 3 ] ] ~alphabet ()
+
+let run ~user ~server ?(horizon = 600) seed =
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+    (Rng.make seed)
+
+let test_fixed_succeeds_on_matching_server () =
+  let user = Baselines.fixed users in
+  let server = Printing.server ~alphabet (dialect 0) in
+  let outcome, _ = run ~user ~server 1 in
+  Alcotest.(check bool) "achieved" true outcome.Outcome.achieved
+
+let test_fixed_fails_on_other_servers () =
+  let user = Baselines.fixed users in
+  List.iter
+    (fun i ->
+      let server = Printing.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server (10 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fails vs %d" i)
+        false outcome.Outcome.achieved)
+    [ 1; 2; 3 ]
+
+let test_oracle_matches_every_server () =
+  List.iter
+    (fun i ->
+      let user = Baselines.oracle users i in
+      let server = Printing.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server (20 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "oracle %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_random_user_mostly_fails () =
+  let successes = ref 0 in
+  List.iter
+    (fun seed ->
+      let user = Baselines.random_actions ~alphabet () in
+      let server = Printing.server ~alphabet (dialect 0) in
+      let outcome, _ = run ~user ~server ~horizon:100 seed in
+      if outcome.Outcome.achieved then incr successes)
+    (Listx.range 0 10);
+  Alcotest.(check bool) "rarely succeeds" true (!successes <= 2)
+
+let test_blind_round_robin_cycles_but_never_halts () =
+  (* Without sensing it may pass through the right strategy — and then
+     leave it again; it cannot halt, so the finite goal is never
+     achieved (this is why safe sensing matters). *)
+  let user = Baselines.blind_round_robin ~quantum:25 users in
+  let server = Printing.server ~alphabet (dialect 2) in
+  let outcome, history = run ~user ~server ~horizon:500 3 in
+  Alcotest.(check bool) "never halts" false (History.halted history);
+  Alcotest.(check bool) "not achieved (finite goal needs a halt)" false
+    outcome.Outcome.achieved
+
+let test_validation () =
+  Alcotest.check_raises "empty fixed" (Invalid_argument "Baselines.fixed: empty class")
+    (fun () ->
+      ignore (Baselines.fixed (Enum.of_list ~name:"none" ([] : Strategy.user list))));
+  Alcotest.check_raises "bad quantum"
+    (Invalid_argument "Baselines.blind_round_robin: bad quantum") (fun () ->
+      ignore (Baselines.blind_round_robin ~quantum:0 users));
+  Alcotest.check_raises "infinite class"
+    (Invalid_argument "Baselines.blind_round_robin: infinite class") (fun () ->
+      ignore
+        (Baselines.blind_round_robin
+           (Enum.make ~name:"inf" (fun _ -> Some (Baselines.fixed users)))))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "fixed matches its server" `Quick test_fixed_succeeds_on_matching_server;
+          Alcotest.test_case "fixed fails elsewhere" `Quick test_fixed_fails_on_other_servers;
+          Alcotest.test_case "oracle always succeeds" `Quick test_oracle_matches_every_server;
+          Alcotest.test_case "random mostly fails" `Quick test_random_user_mostly_fails;
+          Alcotest.test_case "blind round robin never halts" `Quick test_blind_round_robin_cycles_but_never_halts;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+(* Tests for channel imperfections on the user↔server link. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_goals
+
+let echo_server =
+  Strategy.stateless ~name:"echo" (fun (obs : Io.Server.obs) ->
+      match obs.from_user with
+      | Msg.Silence -> Io.Server.silent
+      | m -> Io.Server.say_user m)
+
+let drive server msgs =
+  let rng = Rng.make 1 in
+  let inst = Strategy.Instance.create server in
+  List.map
+    (fun m ->
+      (Strategy.Instance.step rng inst
+         { Io.Server.from_user = m; from_world = Msg.Silence })
+        .Io.Server.to_user)
+    msgs
+
+let test_delay_zero_is_identity () =
+  let outs = drive (Channel.delayed ~rounds:0 echo_server) [ Msg.Int 1; Msg.Int 2 ] in
+  Alcotest.(check bool) "unchanged" true (outs = [ Msg.Int 1; Msg.Int 2 ])
+
+let test_delay_shifts_both_directions () =
+  (* Latency 1 in each direction: the echo of message k appears 2 steps
+     later than without delay. *)
+  let msgs = [ Msg.Int 1; Msg.Int 2; Msg.Int 3; Msg.Silence; Msg.Silence ] in
+  let outs = drive (Channel.delayed ~rounds:1 echo_server) msgs in
+  Alcotest.(check bool) "first two silent" true
+    (List.nth outs 0 = Msg.Silence && List.nth outs 1 = Msg.Silence);
+  Alcotest.(check bool) "echo of 1 at step 3" true (List.nth outs 2 = Msg.Int 1);
+  Alcotest.(check bool) "echo of 2 at step 4" true (List.nth outs 3 = Msg.Int 2)
+
+let test_delay_validation () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Channel.delayed: negative latency") (fun () ->
+      ignore (Channel.delayed ~rounds:(-1) echo_server))
+
+let test_drop_inbound () =
+  let all_dropped = Channel.drop_inbound ~drop_prob:1.0 ~seed:2 echo_server in
+  let outs = drive all_dropped [ Msg.Int 7; Msg.Int 8 ] in
+  Alcotest.(check bool) "nothing gets through" true
+    (List.for_all Msg.is_silence outs);
+  let none_dropped = Channel.drop_inbound ~drop_prob:0.0 ~seed:2 echo_server in
+  let outs = drive none_dropped [ Msg.Int 7 ] in
+  Alcotest.(check bool) "all gets through" true (outs = [ Msg.Int 7 ])
+
+let test_duplicate_outbound () =
+  let dup = Channel.duplicate_outbound echo_server in
+  let outs = drive dup [ Msg.Int 5; Msg.Silence; Msg.Silence ] in
+  Alcotest.(check bool) "original then duplicate" true
+    (List.nth outs 0 = Msg.Int 5 && List.nth outs 1 = Msg.Int 5
+    && List.nth outs 2 = Msg.Silence)
+
+(* End-to-end: the printing goal still works through imperfect links. *)
+
+let alphabet = 4
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+let goal = Printing.goal ~docs:[ [ 4; 2 ] ] ~alphabet ()
+
+let run ~user ~server ~horizon seed =
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+    (Rng.make seed)
+
+let test_informed_tolerates_delay () =
+  List.iter
+    (fun delay ->
+      let server = Channel.delayed ~rounds:delay (Printing.server ~alphabet (dialect 0)) in
+      let user = Printing.informed_user ~alphabet (dialect 0) in
+      let outcome, _ = run ~user ~server ~horizon:500 (10 + delay) in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d tolerated" delay)
+        true outcome.Outcome.achieved)
+    [ 0; 1; 2 ]
+
+let test_universal_tolerates_delay () =
+  let server = Channel.delayed ~rounds:2 (Printing.server ~alphabet (dialect 2)) in
+  let user = Printing.universal_user ~alphabet dialects in
+  let outcome, _ = run ~user ~server ~horizon:8000 20 in
+  Alcotest.(check bool) "universal through delayed link" true
+    outcome.Outcome.achieved
+
+let test_universal_tolerates_duplication () =
+  let server = Channel.duplicate_outbound (Printing.server ~alphabet (dialect 1)) in
+  let user = Printing.universal_user ~alphabet dialects in
+  let outcome, _ = run ~user ~server ~horizon:8000 30 in
+  Alcotest.(check bool) "universal through stuttering link" true
+    outcome.Outcome.achieved
+
+let test_universal_tolerates_mild_loss () =
+  (* The informed printing protocol is open-loop for data, so inbound
+     loss can garble a session — but retries (and re-sessions) recover;
+     mild loss should still mostly succeed within a generous horizon. *)
+  let successes = ref 0 in
+  List.iter
+    (fun seed ->
+      let server =
+        Channel.drop_inbound ~drop_prob:0.05 ~seed
+          (Printing.server ~alphabet (dialect 0))
+      in
+      let user = Printing.universal_user ~alphabet dialects in
+      let outcome, _ = run ~user ~server ~horizon:8000 (100 + seed) in
+      if outcome.Outcome.achieved then incr successes)
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly succeeds under 5%% loss (%d/5)" !successes)
+    true (!successes >= 4)
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "channel",
+        [
+          Alcotest.test_case "delay 0 identity" `Quick test_delay_zero_is_identity;
+          Alcotest.test_case "delay shifts" `Quick test_delay_shifts_both_directions;
+          Alcotest.test_case "delay validation" `Quick test_delay_validation;
+          Alcotest.test_case "drop inbound" `Quick test_drop_inbound;
+          Alcotest.test_case "duplicate outbound" `Quick test_duplicate_outbound;
+          Alcotest.test_case "informed tolerates delay" `Quick test_informed_tolerates_delay;
+          Alcotest.test_case "universal tolerates delay" `Quick test_universal_tolerates_delay;
+          Alcotest.test_case "universal tolerates duplication" `Quick test_universal_tolerates_duplication;
+          Alcotest.test_case "universal tolerates mild loss" `Quick test_universal_tolerates_mild_loss;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the control goal: the compact-goal case of Theorem 1. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+
+let alphabet = 4
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+let goal = Control.goal ~alphabet ()
+
+let run ~user ~server ?(horizon = 1500) seed =
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+    (Rng.make seed)
+
+let test_informed_keeps_plant_in_range () =
+  List.iter
+    (fun i ->
+      let user = Control.informed_user ~alphabet (dialect i) in
+      let server = Control.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server (10 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "dialect %d achieves" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_uncontrolled_plant_diverges () =
+  let user =
+    Strategy.stateless ~name:"idle" (fun (_ : Io.User.obs) -> Io.User.silent)
+  in
+  let server = Control.server ~alphabet (dialect 0) in
+  let outcome, history = run ~user ~server 3 in
+  Alcotest.(check bool) "fails" false outcome.Outcome.achieved;
+  (* The drift pushes the plant to the stop; violations accumulate. *)
+  Alcotest.(check bool) "many violations" true (outcome.Outcome.violations > 500);
+  let final_view = Listx.last (History.world_views history) in
+  (match final_view with
+  | Msg.Int p -> Alcotest.(check bool) "plant at stop" true (abs p > 5)
+  | _ -> Alcotest.fail "unexpected view")
+
+let test_wrong_dialect_diverges () =
+  let user = Control.informed_user ~alphabet (dialect 1) in
+  let server = Control.server ~alphabet (dialect 0) in
+  let outcome, _ = run ~user ~server 4 in
+  Alcotest.(check bool) "fails" false outcome.Outcome.achieved
+
+let test_universal_all_dialects () =
+  List.iter
+    (fun i ->
+      let stats = Universal.new_stats () in
+      let user = Control.universal_user ~stats ~alphabet dialects in
+      let server = Control.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server ~horizon:3000 (40 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "universal vs dialect %d (settled idx %d, %d switches)"
+           i stats.current_index stats.switches)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_universal_settles () =
+  (* After achieving the goal the universal user should stop switching:
+     violations (and hence negative indications) stop. *)
+  let stats = Universal.new_stats () in
+  let user = Control.universal_user ~stats ~alphabet dialects in
+  let server = Control.server ~alphabet (dialect 2) in
+  let outcome, history = run ~user ~server ~horizon:3000 5 in
+  Alcotest.(check bool) "achieved" true outcome.Outcome.achieved;
+  let last_violation =
+    match outcome.Outcome.last_violation with Some r -> r | None -> 0
+  in
+  Alcotest.(check bool) "violations stop early" true
+    (last_violation < History.length history / 2)
+
+let test_sensing_safe_and_viable () =
+  let servers = Enum.to_list (Control.server_class ~alphabet dialects) in
+  let users = Enum.to_list (Control.user_class ~alphabet dialects) in
+  let sensing = Control.sensing () in
+  let config = Exec.config ~horizon:1500 () in
+  let safety =
+    Sensing.check_safety_compact ~config ~goal ~users ~servers sensing
+      (Rng.make 7)
+  in
+  Alcotest.(check bool) "safety" true safety.Sensing.holds;
+  let user_for server =
+    let idx =
+      match
+        Listx.find_index (fun s -> Strategy.name s = Strategy.name server) servers
+      with
+      | Some i -> i
+      | None -> Alcotest.fail "unknown server"
+    in
+    Control.informed_user ~alphabet (dialect idx)
+  in
+  let viability =
+    Sensing.check_viability_compact ~config ~goal ~user_for ~servers sensing
+      (Rng.make 8)
+  in
+  Alcotest.(check bool) "viability" true viability.Sensing.holds
+
+let test_params_validation () =
+  Alcotest.check_raises "bad params"
+    (Invalid_argument "Control: inconsistent parameters") (fun () ->
+      ignore
+        (Control.world
+           ~params:{ Control.bound = 5; limit = 3; force = 1; max_drift = 1 }
+           ()))
+
+let () =
+  Alcotest.run "control"
+    [
+      ( "control",
+        [
+          Alcotest.test_case "informed keeps plant in range" `Quick
+            test_informed_keeps_plant_in_range;
+          Alcotest.test_case "uncontrolled diverges" `Quick
+            test_uncontrolled_plant_diverges;
+          Alcotest.test_case "wrong dialect diverges" `Quick
+            test_wrong_dialect_diverges;
+          Alcotest.test_case "universal all dialects" `Quick
+            test_universal_all_dialects;
+          Alcotest.test_case "universal settles" `Quick test_universal_settles;
+          Alcotest.test_case "sensing safe+viable" `Quick
+            test_sensing_safe_and_viable;
+          Alcotest.test_case "params validation" `Quick test_params_validation;
+        ] );
+    ]

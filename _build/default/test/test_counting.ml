@@ -1,0 +1,151 @@
+(* Tests for the counting-delegation goal: interactive verification of
+   a #SAT claim inside the model. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_goals
+
+let alphabet = 4
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+let params = { Counting.num_vars = 5; num_clauses = 8; clause_len = 3 }
+let goal = Counting.goal ~params ~alphabet ()
+
+let run ~user ~server ?(horizon = 600) seed =
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+    (Rng.make seed)
+
+let test_verifier_with_honest_prover () =
+  List.iter
+    (fun i ->
+      let user = Counting.verifier_user ~params ~alphabet (dialect i) in
+      let server = Counting.server ~alphabet (dialect i) in
+      let outcome, history = run ~user ~server (10 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "dialect %d achieves" i)
+        true outcome.Outcome.achieved;
+      (* A clean accepted proof needs exactly one claim request. *)
+      Alcotest.(check int)
+        (Printf.sprintf "dialect %d: one protocol run" i)
+        1
+        (Counting.claim_requests history);
+      (* Protocol length: claim + n rounds + report, with 2-round
+         message latency each. *)
+      Alcotest.(check bool) "reasonably fast" true (History.length history < 50))
+    (Listx.range 0 alphabet)
+
+let test_wrong_dialect_fails () =
+  let user = Counting.verifier_user ~params ~alphabet (dialect 1) in
+  let server = Counting.server ~alphabet (dialect 0) in
+  let outcome, _ = run ~user ~server 20 in
+  Alcotest.(check bool) "fails" false outcome.Outcome.achieved
+
+let test_universal_verifier () =
+  List.iter
+    (fun i ->
+      let user = Counting.universal_user ~params ~alphabet dialects in
+      let server = Counting.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server ~horizon:4000 (30 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "universal vs dialect %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_lying_prover_rejected_forever () =
+  let user = Counting.verifier_user ~params ~alphabet (dialect 0) in
+  let server =
+    Transform.with_dialect (dialect 0) (Counting.lying_prover ~alphabet ~offset:3)
+  in
+  let outcome, history = run ~user ~server ~horizon:400 40 in
+  Alcotest.(check bool) "never achieved" false outcome.Outcome.achieved;
+  (* Every protocol run is rejected at round one and restarted. *)
+  Alcotest.(check bool) "many rejected runs" true
+    (Counting.claim_requests history > 5)
+
+let test_tampering_prover_rejected () =
+  List.iter
+    (fun tamper_round ->
+      let user = Counting.verifier_user ~params ~alphabet (dialect 0) in
+      let server =
+        Transform.with_dialect (dialect 0)
+          (Counting.tampering_prover ~alphabet ~tamper_round ~offset:5)
+      in
+      let outcome, history = run ~user ~server ~horizon:800 (50 + tamper_round) in
+      Alcotest.(check bool)
+        (Printf.sprintf "tamper@%d never achieved" tamper_round)
+        false outcome.Outcome.achieved;
+      Alcotest.(check bool) "restarts" true (Counting.claim_requests history > 1))
+    [ 1; 3; 5 ]
+
+let test_cheating_provers_unhelpful () =
+  let user_class = Counting.user_class ~params ~alphabet dialects in
+  List.iter
+    (fun (label, server) ->
+      let verdict =
+        Helpful.check
+          ~config:(Exec.config ~horizon:400 ())
+          ~trials:1 ~goal ~user_class ~server (Rng.make 60)
+      in
+      Alcotest.(check bool) (label ^ " unhelpful") false verdict.Helpful.helpful)
+    [
+      ( "liar",
+        Transform.with_dialect (dialect 0) (Counting.lying_prover ~alphabet ~offset:1) );
+      ( "tamperer",
+        Transform.with_dialect (dialect 0)
+          (Counting.tampering_prover ~alphabet ~tamper_round:2 ~offset:7) );
+    ]
+
+let test_honest_prover_helpful () =
+  let verdict =
+    Helpful.check
+      ~config:(Exec.config ~horizon:400 ())
+      ~trials:1 ~goal
+      ~user_class:(Counting.user_class ~params ~alphabet dialects)
+      ~server:(Counting.server ~alphabet (dialect 2))
+      (Rng.make 61)
+  in
+  Alcotest.(check bool) "helpful" true verdict.Helpful.helpful;
+  Alcotest.(check (option int)) "witness is verifier 2" (Some 2)
+    verdict.Helpful.witness
+
+let test_sensing_safe () =
+  let users = Enum.to_list (Counting.user_class ~params ~alphabet dialects) in
+  let servers =
+    Enum.to_list (Counting.server_class ~alphabet dialects)
+    @ [
+        Transform.with_dialect (dialect 0) (Counting.lying_prover ~alphabet ~offset:2);
+      ]
+  in
+  let report =
+    Sensing.check_safety_finite
+      ~config:(Exec.config ~horizon:300 ())
+      ~goal ~users ~servers Counting.sensing (Rng.make 70)
+  in
+  Alcotest.(check bool) "safety" true report.Sensing.holds
+
+let test_validation () =
+  Alcotest.check_raises "zero offset"
+    (Invalid_argument "Counting.lying_prover: zero offset") (fun () ->
+      ignore (Counting.lying_prover ~alphabet ~offset:0));
+  Alcotest.check_raises "params"
+    (Invalid_argument "Counting: num_vars must be in 1..12") (fun () ->
+      ignore (Counting.world ~params:{ params with Counting.num_vars = 20 } ()))
+
+let () =
+  Alcotest.run "counting"
+    [
+      ( "counting",
+        [
+          Alcotest.test_case "verifier with honest prover" `Quick test_verifier_with_honest_prover;
+          Alcotest.test_case "wrong dialect fails" `Quick test_wrong_dialect_fails;
+          Alcotest.test_case "universal verifier" `Quick test_universal_verifier;
+          Alcotest.test_case "lying prover rejected" `Quick test_lying_prover_rejected_forever;
+          Alcotest.test_case "tampering prover rejected" `Quick test_tampering_prover_rejected;
+          Alcotest.test_case "cheating provers unhelpful" `Quick test_cheating_provers_unhelpful;
+          Alcotest.test_case "honest prover helpful" `Quick test_honest_prover_helpful;
+          Alcotest.test_case "sensing safe" `Quick test_sensing_safe;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the delegation goal: verification-based sensing, liars
+   caught, universality over dialected solvers. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_goals
+
+let alphabet = 4
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+let goal = Delegation.goal ~alphabet ()
+
+let run ~user ~server ?(horizon = 600) seed =
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+    (Rng.make seed)
+
+let test_informed_delegates () =
+  List.iter
+    (fun i ->
+      let user = Delegation.informed_user ~alphabet (dialect i) in
+      let server = Delegation.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server (10 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "dialect %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_mismatch_fails () =
+  let user = Delegation.informed_user ~alphabet (dialect 1) in
+  let server = Delegation.server ~alphabet (dialect 0) in
+  let outcome, _ = run ~user ~server 20 in
+  Alcotest.(check bool) "not achieved" false outcome.Outcome.achieved
+
+let test_universal_delegates () =
+  List.iter
+    (fun i ->
+      let user = Delegation.universal_user ~alphabet dialects in
+      let server = Delegation.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server ~horizon:3000 (30 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "universal vs dialect %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_liar_is_caught () =
+  (* The lying solver's answers fail verification; the informed user
+     re-asks instead of relaying them, and never claims success. *)
+  let user = Delegation.informed_user ~alphabet (dialect 0) in
+  let server = Transform.with_dialect (dialect 0) (Delegation.liar ~alphabet) in
+  let outcome, history = run ~user ~server 40 in
+  Alcotest.(check bool) "not achieved" false outcome.Outcome.achieved;
+  Alcotest.(check bool) "bad answers were caught" true
+    (Delegation.bad_answers history > 0)
+
+let test_liar_unhelpful () =
+  let server = Transform.with_dialect (dialect 0) (Delegation.liar ~alphabet) in
+  let verdict =
+    Helpful.check
+      ~config:(Exec.config ~horizon:400 ())
+      ~goal
+      ~user_class:(Delegation.user_class ~alphabet dialects)
+      ~server (Rng.make 50)
+  in
+  Alcotest.(check bool) "liar is unhelpful" false verdict.Helpful.helpful
+
+let test_solver_answers_directly () =
+  (* Drive the raw solver without the engine: ask for a formula and
+     verify the reply satisfies it. *)
+  let open Goalcom_sat in
+  let rng = Rng.make 60 in
+  let cnf, _ = Gen.planted rng ~num_vars:6 ~num_clauses:12 ~clause_len:3 in
+  let inst = Strategy.Instance.create (Delegation.solver ~alphabet) in
+  let act =
+    Strategy.Instance.step rng inst
+      {
+        Io.Server.from_user =
+          Msg.Pair (Msg.Sym Delegation.ask_cmd, Codec.cnf cnf);
+        from_world = Msg.Silence;
+      }
+  in
+  match act.Io.Server.to_user with
+  | Msg.Pair (Msg.Sym c, payload) ->
+      Alcotest.(check int) "answer cmd" Delegation.answer_cmd c;
+      (match Codec.assignment_opt ~num_vars:6 payload with
+      | Some a -> Alcotest.(check bool) "satisfies" true (Cnf.eval cnf a)
+      | None -> Alcotest.fail "undecodable assignment")
+  | _ -> Alcotest.fail "no answer"
+
+let test_solver_ignores_garbage () =
+  let rng = Rng.make 61 in
+  let inst = Strategy.Instance.create (Delegation.solver ~alphabet) in
+  let act =
+    Strategy.Instance.step rng inst
+      { Io.Server.from_user = Msg.Text "hello"; from_world = Msg.Silence }
+  in
+  Alcotest.(check bool) "silent" true (Msg.is_silence act.Io.Server.to_user)
+
+let test_sensing_safe () =
+  let users = Enum.to_list (Delegation.user_class ~alphabet dialects) in
+  let servers =
+    Enum.to_list (Delegation.server_class ~alphabet dialects)
+    @ [ Transform.with_dialect (dialect 0) (Delegation.liar ~alphabet) ]
+  in
+  let report =
+    Sensing.check_safety_finite
+      ~config:(Exec.config ~horizon:400 ())
+      ~goal ~users ~servers Delegation.sensing (Rng.make 70)
+  in
+  Alcotest.(check bool) "safety" true report.Sensing.holds
+
+let test_sensing_viable () =
+  let servers = Enum.to_list (Delegation.server_class ~alphabet dialects) in
+  let user_for server =
+    match
+      Listx.find_index (fun s -> Strategy.name s = Strategy.name server) servers
+    with
+    | Some i -> Delegation.informed_user ~alphabet (dialect i)
+    | None -> Alcotest.fail "unknown server"
+  in
+  let report =
+    Sensing.check_viability_finite
+      ~config:(Exec.config ~horizon:400 ())
+      ~goal ~user_for ~servers Delegation.sensing (Rng.make 71)
+  in
+  Alcotest.(check bool) "viability" true report.Sensing.holds
+
+let () =
+  Alcotest.run "delegation"
+    [
+      ( "delegation",
+        [
+          Alcotest.test_case "informed delegates" `Quick test_informed_delegates;
+          Alcotest.test_case "mismatch fails" `Quick test_mismatch_fails;
+          Alcotest.test_case "universal delegates" `Quick test_universal_delegates;
+          Alcotest.test_case "liar is caught" `Quick test_liar_is_caught;
+          Alcotest.test_case "liar is unhelpful" `Quick test_liar_unhelpful;
+          Alcotest.test_case "solver answers" `Quick test_solver_answers_directly;
+          Alcotest.test_case "solver ignores garbage" `Quick test_solver_ignores_garbage;
+          Alcotest.test_case "sensing safe" `Quick test_sensing_safe;
+          Alcotest.test_case "sensing viable" `Quick test_sensing_viable;
+        ] );
+    ]

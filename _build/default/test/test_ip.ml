@@ -1,0 +1,193 @@
+(* Tests for the interactive-proof substrate: field arithmetic,
+   Lagrange evaluation, CNF arithmetization, and sum-check completeness
+   and soundness. *)
+
+open Goalcom_prelude
+open Goalcom_sat
+open Goalcom_ip
+
+(* Gf *)
+
+let test_gf_basics () =
+  let a = Gf.of_int 5 and b = Gf.of_int 7 in
+  Alcotest.(check int) "add" 12 (Gf.to_int (Gf.add a b));
+  Alcotest.(check int) "sub mod" (Gf.p - 2) (Gf.to_int (Gf.sub a b));
+  Alcotest.(check int) "mul" 35 (Gf.to_int (Gf.mul a b));
+  Alcotest.(check int) "neg" (Gf.p - 5) (Gf.to_int (Gf.neg a));
+  Alcotest.(check int) "of_int negative" (Gf.p - 1) (Gf.to_int (Gf.of_int (-1)));
+  Alcotest.(check int) "of_int wraps" 1 (Gf.to_int (Gf.of_int (Gf.p + 1)))
+
+let test_gf_inverse () =
+  let rng = Rng.make 1 in
+  for _ = 1 to 50 do
+    let x = Gf.random rng in
+    if not (Gf.equal x Gf.zero) then
+      Alcotest.(check int) "x * x^-1 = 1" 1 (Gf.to_int (Gf.mul x (Gf.inv x)))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Gf.inv Gf.zero))
+
+let test_gf_pow () =
+  Alcotest.(check int) "2^10" 1024 (Gf.to_int (Gf.pow (Gf.of_int 2) 10));
+  Alcotest.(check int) "x^0" 1 (Gf.to_int (Gf.pow (Gf.of_int 9) 0));
+  (* Fermat: x^(p-1) = 1. *)
+  Alcotest.(check int) "fermat" 1 (Gf.to_int (Gf.pow (Gf.of_int 12345) (Gf.p - 1)))
+
+(* Poly *)
+
+let test_poly_eval_samples () =
+  (* g(X) = 3X^2 + 2X + 1: samples at 0,1,2 are 1, 6, 17. *)
+  let samples = Array.map Gf.of_int [| 1; 6; 17 |] in
+  let g x = Gf.of_int ((3 * x * x) + (2 * x) + 1) in
+  List.iter
+    (fun x ->
+      Alcotest.(check int)
+        (Printf.sprintf "g(%d)" x)
+        (Gf.to_int (g x))
+        (Gf.to_int (Poly.eval_samples samples (Gf.of_int x))))
+    [ 0; 1; 2; 3; 10; 1000 ]
+
+let test_poly_sum01 () =
+  let samples = Array.map Gf.of_int [| 4; 9; 100 |] in
+  Alcotest.(check int) "sum01" 13 (Gf.to_int (Poly.sum01 samples))
+
+(* Arith *)
+
+let test_arith_agrees_with_boolean_eval () =
+  let rng = Rng.make 2 in
+  for _ = 1 to 20 do
+    let cnf = Gen.uniform rng ~num_vars:5 ~num_clauses:8 ~clause_len:3 in
+    (* On every 0/1 point the polynomial equals the boolean value. *)
+    for code = 0 to 31 do
+      let bools = Array.init 6 (fun v -> v > 0 && code land (1 lsl (v - 1)) <> 0) in
+      let point =
+        Array.map (fun b -> if b then Gf.one else Gf.zero) bools
+      in
+      let expected = if Cnf.eval cnf bools then 1 else 0 in
+      Alcotest.(check int) "agrees" expected
+        (Gf.to_int (Arith.formula_eval cnf point))
+    done
+  done
+
+let test_arith_count_matches_dpll () =
+  let rng = Rng.make 3 in
+  for _ = 1 to 20 do
+    let cnf = Gen.uniform rng ~num_vars:6 ~num_clauses:10 ~clause_len:3 in
+    Alcotest.(check int) "count" (Dpll.count_models cnf)
+      (Arith.count_models_mod cnf)
+  done
+
+let test_arith_degree_bound () =
+  let cnf = Cnf.make ~num_vars:3 [ [ 1; 2 ]; [ -1; 3 ]; [ 1; -3 ] ] in
+  Alcotest.(check int) "var 1 in three clauses" 3 (Arith.degree_bound cnf)
+
+(* Sumcheck *)
+
+let random_cnf rng =
+  Gen.uniform rng ~num_vars:6 ~num_clauses:10 ~clause_len:3
+
+let test_sumcheck_completeness () =
+  let rng = Rng.make 4 in
+  for i = 1 to 20 do
+    let cnf = random_cnf rng in
+    let claimed = Arith.count_models_mod cnf in
+    let accepted, rounds =
+      Sumcheck.run rng cnf ~claimed ~prover:Sumcheck.honest_prover
+    in
+    Alcotest.(check bool) (Printf.sprintf "accepts %d" i) true accepted;
+    Alcotest.(check int) "n rounds" cnf.Cnf.num_vars rounds
+  done
+
+let test_sumcheck_rejects_wrong_claim () =
+  let rng = Rng.make 5 in
+  for i = 1 to 20 do
+    let cnf = random_cnf rng in
+    let claimed = Arith.count_models_mod cnf + 1 in
+    let accepted, rounds =
+      Sumcheck.run rng cnf ~claimed ~prover:Sumcheck.honest_prover
+    in
+    Alcotest.(check bool) (Printf.sprintf "rejects %d" i) false accepted;
+    (* An honest prover cannot even pass round 1 with a false claim. *)
+    Alcotest.(check int) "caught immediately" 1 rounds
+  done
+
+let test_sumcheck_rejects_tampered_rounds () =
+  (* A consistent lie in round k passes that round's sum check but is
+     caught later, with overwhelming probability over the challenges. *)
+  let rng = Rng.make 6 in
+  List.iter
+    (fun tamper_round ->
+      for i = 1 to 10 do
+        let cnf = random_cnf rng in
+        let claimed = Arith.count_models_mod cnf in
+        let accepted, rounds =
+          Sumcheck.run rng cnf ~claimed
+            ~prover:(Sumcheck.tampered_prover ~tamper_round ~offset:(i + 1))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "tamper@%d trial %d rejected" tamper_round i)
+          false accepted;
+        Alcotest.(check bool) "runs past the tampered round" true
+          (rounds >= tamper_round)
+      done)
+    [ 1; 3; 6 ]
+
+let test_sumcheck_rejects_malformed_samples () =
+  let rng = Rng.make 7 in
+  let cnf = random_cnf rng in
+  let short_prover _cnf ~prefix:_ = [| Gf.zero; Gf.one |] in
+  let accepted, _ =
+    Sumcheck.run rng cnf
+      ~claimed:(Arith.count_models_mod cnf)
+      ~prover:short_prover
+  in
+  Alcotest.(check bool) "wrong arity rejected" false accepted
+
+let test_sumcheck_soundness_error_is_small () =
+  (* 60 adversarial transcripts, all rejected: the n·d/p bound predicts
+     a vanishing acceptance probability. *)
+  let rng = Rng.make 8 in
+  let accepted = ref 0 in
+  for i = 1 to 60 do
+    let cnf = random_cnf rng in
+    let ok, _ =
+      Sumcheck.run rng cnf
+        ~claimed:(Arith.count_models_mod cnf)
+        ~prover:
+          (Sumcheck.tampered_prover
+             ~tamper_round:(1 + (i mod cnf.Cnf.num_vars))
+             ~offset:(1 + (i mod 17)))
+    in
+    if ok then incr accepted
+  done;
+  Alcotest.(check int) "no lie survives" 0 !accepted
+
+let () =
+  Alcotest.run "ip"
+    [
+      ( "gf",
+        [
+          Alcotest.test_case "basics" `Quick test_gf_basics;
+          Alcotest.test_case "inverse" `Quick test_gf_inverse;
+          Alcotest.test_case "pow" `Quick test_gf_pow;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "lagrange eval" `Quick test_poly_eval_samples;
+          Alcotest.test_case "sum01" `Quick test_poly_sum01;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "boolean agreement" `Quick test_arith_agrees_with_boolean_eval;
+          Alcotest.test_case "count matches dpll" `Quick test_arith_count_matches_dpll;
+          Alcotest.test_case "degree bound" `Quick test_arith_degree_bound;
+        ] );
+      ( "sumcheck",
+        [
+          Alcotest.test_case "completeness" `Quick test_sumcheck_completeness;
+          Alcotest.test_case "rejects wrong claim" `Quick test_sumcheck_rejects_wrong_claim;
+          Alcotest.test_case "rejects tampered rounds" `Quick test_sumcheck_rejects_tampered_rounds;
+          Alcotest.test_case "rejects malformed samples" `Quick test_sumcheck_rejects_malformed_samples;
+          Alcotest.test_case "soundness error small" `Quick test_sumcheck_soundness_error_is_small;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for the maze goal and the Grid substrate. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+
+let alphabet = 5
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+
+let open_scenario =
+  Maze.scenario ~width:6 ~height:6 ~start:(0, 0) ~target:(4, 3) ()
+
+let walled_scenario =
+  Maze.scenario
+    ~blocked:[ (1, 0); (1, 1); (1, 2); (1, 3); (1, 4); (3, 5); (3, 4); (3, 3) ]
+    ~width:6 ~height:6 ~start:(0, 0) ~target:(5, 5) ()
+
+let run ~user ~server ~scenario ?(horizon = 400) seed =
+  let goal = Maze.goal ~scenarios:[ scenario ] ~alphabet () in
+  Exec.run_outcome
+    ~config:(Exec.config ~horizon ())
+    ~goal ~user ~server (Rng.make seed)
+
+(* Grid substrate *)
+
+let test_grid_moves () =
+  let g = Grid.make ~width:3 ~height:3 ~blocked:[ (1, 1) ] () in
+  Alcotest.(check (pair int int)) "east" (1, 0) (Grid.move g (0, 0) Grid.east);
+  Alcotest.(check (pair int int)) "blocked" (1, 0) (Grid.move g (1, 0) Grid.south);
+  Alcotest.(check (pair int int)) "wall" (0, 0) (Grid.move g (0, 0) Grid.west);
+  Alcotest.(check (pair int int)) "north wall" (0, 0) (Grid.move g (0, 0) Grid.north)
+
+let test_grid_bfs_open () =
+  let g = Grid.make ~width:5 ~height:5 () in
+  match Grid.bfs_path g (0, 0) (4, 4) with
+  | None -> Alcotest.fail "path expected"
+  | Some path ->
+      Alcotest.(check int) "shortest length" 8 (List.length path);
+      let final = List.fold_left (Grid.move g) (0, 0) path in
+      Alcotest.(check (pair int int)) "arrives" (4, 4) final
+
+let test_grid_bfs_walls () =
+  let g = walled_scenario.Maze.grid in
+  match Grid.bfs_path g (0, 0) (5, 5) with
+  | None -> Alcotest.fail "path expected"
+  | Some path ->
+      let final = List.fold_left (Grid.move g) (0, 0) path in
+      Alcotest.(check (pair int int)) "arrives" (5, 5) final;
+      Alcotest.(check bool) "detour is longer than manhattan" true
+        (List.length path > Grid.manhattan (0, 0) (5, 5))
+
+let test_grid_bfs_unreachable () =
+  let g =
+    Grid.make ~width:3 ~height:3 ~blocked:[ (1, 0); (1, 1); (1, 2) ] ()
+  in
+  Alcotest.(check (option (list int)))
+    "unreachable" None
+    (Grid.bfs_path g (0, 0) (2, 0))
+
+let test_grid_validation () =
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Grid.make: non-positive dimensions") (fun () ->
+      ignore (Grid.make ~width:0 ~height:3 ()));
+  Alcotest.check_raises "oob wall"
+    (Invalid_argument "Grid.make: blocked cell out of bounds") (fun () ->
+      ignore (Grid.make ~width:2 ~height:2 ~blocked:[ (5, 5) ] ()))
+
+(* Maze goal *)
+
+let test_informed_reaches_target () =
+  List.iter
+    (fun scenario ->
+      let user = Maze.informed_user ~alphabet ~scenario (dialect 0) in
+      let server = Maze.server ~alphabet (dialect 0) in
+      let outcome, _ = run ~user ~server ~scenario 5 in
+      Alcotest.(check bool) "achieved" true outcome.Outcome.achieved)
+    [ open_scenario; walled_scenario ]
+
+let test_informed_all_dialects () =
+  List.iter
+    (fun i ->
+      let user = Maze.informed_user ~alphabet ~scenario:open_scenario (dialect i) in
+      let server = Maze.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server ~scenario:open_scenario (50 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "dialect %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_mismatch_fails () =
+  let user = Maze.informed_user ~alphabet ~scenario:open_scenario (dialect 2) in
+  let server = Maze.server ~alphabet (dialect 0) in
+  let outcome, _ = run ~user ~server ~scenario:open_scenario 9 in
+  Alcotest.(check bool) "not achieved" false outcome.Outcome.achieved
+
+let test_universal_all_dialects () =
+  List.iter
+    (fun i ->
+      let user =
+        Maze.universal_user ~alphabet ~scenario:open_scenario dialects
+      in
+      let server = Maze.server ~alphabet (dialect i) in
+      let outcome, _ =
+        run ~user ~server ~scenario:open_scenario ~horizon:4000 (77 + i)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "universal vs dialect %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_universal_walled () =
+  let user =
+    Maze.universal_user ~alphabet ~scenario:walled_scenario dialects
+  in
+  let server = Maze.server ~alphabet (dialect 3) in
+  let outcome, _ = run ~user ~server ~scenario:walled_scenario ~horizon:8000 3 in
+  Alcotest.(check bool) "achieved" true outcome.Outcome.achieved
+
+let test_sensing_safe () =
+  let goal = Maze.goal ~scenarios:[ open_scenario ] ~alphabet () in
+  let users =
+    Enum.to_list (Maze.user_class ~alphabet ~scenario:open_scenario dialects)
+  in
+  let servers = Enum.to_list (Maze.server_class ~alphabet dialects) in
+  let report =
+    Sensing.check_safety_finite ~goal ~users ~servers Maze.sensing (Rng.make 4)
+  in
+  Alcotest.(check bool) "safety" true report.Sensing.holds
+
+let test_scenario_validation () =
+  Alcotest.check_raises "unreachable"
+    (Invalid_argument "Maze.scenario: target unreachable") (fun () ->
+      ignore
+        (Maze.scenario
+           ~blocked:[ (1, 0); (1, 1); (1, 2) ]
+           ~width:3 ~height:3 ~start:(0, 0) ~target:(2, 2) ()))
+
+let () =
+  Alcotest.run "maze"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "moves" `Quick test_grid_moves;
+          Alcotest.test_case "bfs open" `Quick test_grid_bfs_open;
+          Alcotest.test_case "bfs walls" `Quick test_grid_bfs_walls;
+          Alcotest.test_case "bfs unreachable" `Quick test_grid_bfs_unreachable;
+          Alcotest.test_case "validation" `Quick test_grid_validation;
+        ] );
+      ( "maze",
+        [
+          Alcotest.test_case "informed reaches target" `Quick test_informed_reaches_target;
+          Alcotest.test_case "informed all dialects" `Quick test_informed_all_dialects;
+          Alcotest.test_case "mismatch fails" `Quick test_mismatch_fails;
+          Alcotest.test_case "universal all dialects" `Quick test_universal_all_dialects;
+          Alcotest.test_case "universal walled maze" `Quick test_universal_walled;
+          Alcotest.test_case "sensing safe" `Quick test_sensing_safe;
+          Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for the prediction goal: mistake bounds, the halving learner,
+   teacher delegation, and universality over a heterogeneous class
+   (teachers for every dialect + a server-free learner). *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_goals
+
+let alphabet = 3
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+let params = { Prediction.num_attributes = 5 }
+let goal = Prediction.goal ~params ~alphabet ()
+
+let run ~user ~server ?(horizon = 1200) seed =
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+    (Rng.make seed)
+
+let test_teacher_user_with_matching_dialect () =
+  List.iter
+    (fun i ->
+      let user = Prediction.teacher_user ~params ~alphabet (dialect i) in
+      let server = Prediction.server ~alphabet (dialect i) in
+      let outcome, history = run ~user ~server (10 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "dialect %d achieves" i)
+        true outcome.Outcome.achieved;
+      Alcotest.(check bool)
+        (Printf.sprintf "dialect %d: few mistakes" i)
+        true
+        (Prediction.mistakes history < 12))
+    (Listx.range 0 alphabet)
+
+let test_teacher_user_wrong_dialect_fails () =
+  let user = Prediction.teacher_user ~params ~alphabet (dialect 1) in
+  let server = Prediction.server ~alphabet (dialect 0) in
+  let outcome, history = run ~user ~server 20 in
+  Alcotest.(check bool) "fails" false outcome.Outcome.achieved;
+  (* Predicting the constant 0 against random parities errs ~half the
+     time, forever. *)
+  Alcotest.(check bool) "many mistakes" true (Prediction.mistakes history > 100)
+
+let test_learner_needs_no_server () =
+  let user = Prediction.learner_user ~params () in
+  let server =
+    Strategy.stateless ~name:"absent" (fun (_ : Io.Server.obs) -> Io.Server.silent)
+  in
+  let outcome, history = run ~user ~server 30 in
+  Alcotest.(check bool) "achieved without a server" true outcome.Outcome.achieved;
+  (* Halving learner: at most num_attributes mistakes once feedback
+     flows (plus the unscored warm-up rounds). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mistake bound (made %d)" (Prediction.mistakes history))
+    true
+    (Prediction.mistakes history <= params.Prediction.num_attributes + 2)
+
+let test_learner_beats_mistake_bound_repeatedly () =
+  List.iter
+    (fun seed ->
+      let user = Prediction.learner_user ~params () in
+      let server = Transform.silent () in
+      let _, history = run ~user ~server seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d within bound" seed)
+        true
+        (Prediction.mistakes history <= params.Prediction.num_attributes + 2))
+    [ 41; 42; 43; 44; 45 ]
+
+let test_universal_with_teacher_servers () =
+  List.iter
+    (fun i ->
+      let user = Prediction.universal_user ~params ~alphabet dialects in
+      let server = Prediction.server ~alphabet (dialect i) in
+      let outcome, _ = run ~user ~server ~horizon:2500 (50 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "universal vs teacher %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_universal_with_useless_server () =
+  (* Even a silent server is "helpful" for this goal — the learner in
+     the class needs nothing — so the universal user must still win. *)
+  let user = Prediction.universal_user ~params ~alphabet dialects in
+  let outcome, _ = run ~user ~server:(Transform.silent ()) ~horizon:2500 60 in
+  Alcotest.(check bool) "achieved via the learner" true outcome.Outcome.achieved
+
+let test_every_server_is_helpful () =
+  let user_class = Prediction.user_class ~params ~alphabet dialects in
+  List.iter
+    (fun (label, server) ->
+      let verdict =
+        Helpful.check
+          ~config:(Exec.config ~horizon:1200 ())
+          ~trials:1 ~goal ~user_class ~server (Rng.make 70)
+      in
+      Alcotest.(check bool) (label ^ " helpful") true verdict.Helpful.helpful)
+    [
+      ("teacher", Prediction.server ~alphabet (dialect 0));
+      ("silent", Transform.silent ());
+    ]
+
+let test_parity_world_scoring () =
+  (* Drive the raw world: silence predictions must register as
+     mistakes once scoring starts. *)
+  let w = Prediction.world ~params () in
+  let inst = World.Instance.create w in
+  let rng = Rng.make 80 in
+  let step () =
+    ignore
+      (World.Instance.step rng inst
+         { Io.World.from_user = Msg.Silence; from_server = Msg.Silence });
+    World.Instance.view inst
+  in
+  let v1 = step () in
+  let v2 = step () in
+  let v3 = step () in
+  Alcotest.(check bool) "no score in warm-up" true
+    (v1 = Msg.Int 1 && v2 = Msg.Int 1);
+  Alcotest.(check bool) "silence scored as mistake" true (v3 = Msg.Int 0)
+
+let test_sensing_negative_on_mistake () =
+  let user = Prediction.teacher_user ~params ~alphabet (dialect 1) in
+  let server = Prediction.server ~alphabet (dialect 0) in
+  let history =
+    Exec.run ~config:(Exec.config ~horizon:300 ()) ~goal ~user ~server
+      (Rng.make 90)
+  in
+  let negatives =
+    Listx.count (fun (_, v) -> v = Sensing.Negative)
+      (Sensing.verdicts Prediction.sensing history)
+  in
+  (* A constant-0 predictor errs about half the time. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "negatives track mistakes (%d)" negatives)
+    true
+    (negatives > 60 && negatives < 240)
+
+let test_params_validation () =
+  Alcotest.check_raises "too many attributes"
+    (Invalid_argument "Prediction: num_attributes must be in 1..14") (fun () ->
+      ignore (Prediction.world ~params:{ Prediction.num_attributes = 20 } ()))
+
+let () =
+  Alcotest.run "prediction"
+    [
+      ( "prediction",
+        [
+          Alcotest.test_case "teacher user (matching)" `Quick test_teacher_user_with_matching_dialect;
+          Alcotest.test_case "teacher user (wrong) fails" `Quick test_teacher_user_wrong_dialect_fails;
+          Alcotest.test_case "learner needs no server" `Quick test_learner_needs_no_server;
+          Alcotest.test_case "learner mistake bound" `Quick test_learner_beats_mistake_bound_repeatedly;
+          Alcotest.test_case "universal vs teachers" `Quick test_universal_with_teacher_servers;
+          Alcotest.test_case "universal vs silent server" `Quick test_universal_with_useless_server;
+          Alcotest.test_case "every server helpful" `Quick test_every_server_is_helpful;
+          Alcotest.test_case "world scoring" `Quick test_parity_world_scoring;
+          Alcotest.test_case "sensing on mistakes" `Quick test_sensing_negative_on_mistake;
+          Alcotest.test_case "params validation" `Quick test_params_validation;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the printing goal: printer mechanics, world bookkeeping,
+   informed-user success, dialect mismatch failure, sensing validity and
+   the universal user's recovery. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+
+let alphabet = 4
+let rng seed = Rng.make seed
+
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+
+let run_with ~user ~server ~doc ?(horizon = 200) seed =
+  let goal = Printing.goal ~docs:[ doc ] ~alphabet () in
+  Exec.run_outcome
+    ~config:(Exec.config ~horizon ())
+    ~goal ~user ~server (rng seed)
+
+let test_informed_identity () =
+  let doc = [ 3; 1; 4; 1; 5 ] in
+  let user = Printing.informed_user ~alphabet (dialect 0) in
+  let server = Printing.server ~alphabet (dialect 0) in
+  let outcome, history = run_with ~user ~server ~doc 42 in
+  Alcotest.(check bool) "achieved" true outcome.Outcome.achieved;
+  Alcotest.(check bool) "halted" true outcome.Outcome.halted;
+  Alcotest.(check bool)
+    "halts promptly" true
+    (History.length history < 30)
+
+let test_informed_every_rotation () =
+  let doc = [ 7; 7; 2 ] in
+  List.iter
+    (fun i ->
+      let user = Printing.informed_user ~alphabet (dialect i) in
+      let server = Printing.server ~alphabet (dialect i) in
+      let outcome, _ = run_with ~user ~server ~doc (100 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "rotation %d achieved" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_mismatch_fails () =
+  let doc = [ 1; 2; 3 ] in
+  let user = Printing.informed_user ~alphabet (dialect 0) in
+  let server = Printing.server ~alphabet (dialect 1) in
+  let outcome, _ = run_with ~user ~server ~doc 7 in
+  Alcotest.(check bool) "not achieved" false outcome.Outcome.achieved
+
+let test_universal_succeeds_with_every_rotation () =
+  List.iter
+    (fun i ->
+      let user = Printing.universal_user ~alphabet dialects in
+      let server = Printing.server ~alphabet (dialect i) in
+      let outcome, _ =
+        run_with ~user ~server ~doc:[ 5; 6 ] ~horizon:2000 (200 + i)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "universal vs rotation %d" i)
+        true outcome.Outcome.achieved)
+    (Listx.range 0 alphabet)
+
+let test_universal_recovers_from_garbage_page () =
+  (* The universal user's early wrong-dialect sessions dirty the page;
+     the right session must clear it first. *)
+  let stats = Universal.new_stats () in
+  let user = Printing.universal_user ~stats ~alphabet dialects in
+  let server = Printing.server ~alphabet (dialect (alphabet - 1)) in
+  let outcome, _ =
+    run_with ~user ~server ~doc:[ 9; 8; 7; 6 ] ~horizon:4000 11
+  in
+  Alcotest.(check bool) "achieved" true outcome.Outcome.achieved;
+  Alcotest.(check bool) "tried several sessions" true (stats.sessions > 1)
+
+let test_sensing_safe_and_viable () =
+  let goal = Printing.goal ~alphabet () in
+  let users = Enum.to_list (Printing.user_class ~alphabet dialects) in
+  let servers = Enum.to_list (Printing.server_class ~alphabet dialects) in
+  let safety =
+    Sensing.check_safety_finite ~goal ~users ~servers Printing.sensing (rng 1)
+  in
+  Alcotest.(check bool) "safety holds" true safety.Sensing.holds;
+  let user_for server =
+    (* Recover the dialect from the server's position in the class. *)
+    let idx =
+      match
+        Listx.find_index
+          (fun s -> Strategy.name s = Strategy.name server)
+          servers
+      with
+      | Some i -> i
+      | None -> Alcotest.fail "server not in class"
+    in
+    Printing.informed_user ~alphabet (dialect idx)
+  in
+  let viability =
+    Sensing.check_viability_finite ~goal ~user_for ~servers Printing.sensing
+      (rng 2)
+  in
+  Alcotest.(check bool) "viability holds" true viability.Sensing.holds
+
+let test_printer_direct () =
+  (* Drive the raw printer server without the engine. *)
+  let printer = Printing.printer ~alphabet in
+  let inst = Strategy.Instance.create printer in
+  let r = rng 3 in
+  let feed m =
+    Strategy.Instance.step r inst
+      { Io.Server.from_user = m; from_world = Msg.Silence }
+  in
+  let page_of (act : Io.Server.act) = Codec.ints_opt act.to_world in
+  ignore (feed (Msg.Pair (Msg.Sym Printing.print_cmd, Msg.Int 4)));
+  let act = feed (Msg.Pair (Msg.Sym Printing.print_cmd, Msg.Int 2)) in
+  Alcotest.(check (option (list int))) "two chars" (Some [ 4; 2 ]) (page_of act);
+  let act = feed (Msg.Sym Printing.clear_cmd) in
+  Alcotest.(check (option (list int))) "cleared" (Some []) (page_of act);
+  let act = feed (Msg.Text "garbage") in
+  Alcotest.(check (option (list int))) "garbage ignored" (Some []) (page_of act)
+
+let test_universal_over_full_permutation_class () =
+  (* Not just rotations: the entire symmetric group S_3 as the dialect
+     class (6 permutations of a 3-symbol alphabet). *)
+  let alphabet = 3 in
+  let perms = Dialect.enumerate_all ~size:alphabet in
+  Alcotest.(check (option int)) "3! dialects" (Some 6) (Enum.cardinality perms);
+  List.iter
+    (fun i ->
+      let user = Printing.universal_user ~alphabet perms in
+      let server = Printing.server ~alphabet (Enum.get_exn perms i) in
+      let goal = Printing.goal ~docs:[ [ 8; 1 ] ] ~alphabet () in
+      let outcome, _ =
+        Exec.run_outcome
+          ~config:(Exec.config ~horizon:6000 ())
+          ~goal ~user ~server (Rng.make (300 + i))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "permutation %d" i)
+        true outcome.Outcome.achieved)
+    [ 0; 2; 5 ]
+
+let test_goal_validation () =
+  Alcotest.check_raises "empty doc" (Invalid_argument "Printing: empty document")
+    (fun () -> ignore (Printing.world_of_doc []));
+  Alcotest.check_raises "small alphabet"
+    (Invalid_argument "Printing: alphabet must have at least 3 symbols")
+    (fun () -> ignore (Printing.goal ~alphabet:2 ()))
+
+let () =
+  Alcotest.run "printing"
+    [
+      ( "printing",
+        [
+          Alcotest.test_case "informed identity dialect" `Quick test_informed_identity;
+          Alcotest.test_case "informed all rotations" `Quick test_informed_every_rotation;
+          Alcotest.test_case "dialect mismatch fails" `Quick test_mismatch_fails;
+          Alcotest.test_case "universal succeeds" `Quick test_universal_succeeds_with_every_rotation;
+          Alcotest.test_case "universal recovers" `Quick test_universal_recovers_from_garbage_page;
+          Alcotest.test_case "full permutation class" `Quick test_universal_over_full_permutation_class;
+          Alcotest.test_case "sensing safe+viable" `Quick test_sensing_safe_and_viable;
+          Alcotest.test_case "printer mechanics" `Quick test_printer_direct;
+          Alcotest.test_case "validation" `Quick test_goal_validation;
+        ] );
+    ]

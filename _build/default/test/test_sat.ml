@@ -1,0 +1,132 @@
+(* Unit tests for the SAT substrate: CNF evaluation, DPLL completeness
+   on small formulas, generators. *)
+
+open Goalcom_prelude
+open Goalcom_sat
+
+let test_cnf_eval () =
+  let f = Cnf.make ~num_vars:3 [ [ 1; -2 ]; [ 2; 3 ] ] in
+  let a = [| false; true; false; false |] in
+  Alcotest.(check bool) "first clause" true (Cnf.eval_clause a [ 1; -2 ]);
+  Alcotest.(check bool) "second clause" false (Cnf.eval_clause a [ 2; 3 ]);
+  Alcotest.(check bool) "whole" false (Cnf.eval f a);
+  let b = [| false; true; true; true |] in
+  Alcotest.(check bool) "satisfying" true (Cnf.eval f b)
+
+let test_cnf_validation () =
+  Alcotest.check_raises "zero literal" (Invalid_argument "Cnf.make: bad literal 0")
+    (fun () -> ignore (Cnf.make ~num_vars:2 [ [ 0 ] ]));
+  Alcotest.check_raises "big literal" (Invalid_argument "Cnf.make: bad literal 5")
+    (fun () -> ignore (Cnf.make ~num_vars:2 [ [ 5 ] ]));
+  Alcotest.check_raises "empty clause" (Invalid_argument "Cnf.make: empty clause")
+    (fun () -> ignore (Cnf.make ~num_vars:2 [ [] ]));
+  Alcotest.check_raises "length" (Invalid_argument "Cnf.eval: assignment length mismatch")
+    (fun () -> ignore (Cnf.eval (Cnf.make ~num_vars:2 [ [ 1 ] ]) [| false |]))
+
+let test_cnf_to_string () =
+  let f = Cnf.make ~num_vars:2 [ [ 1; -2 ] ] in
+  Alcotest.(check string) "render" "(1 -2)" (Cnf.to_string f)
+
+let test_dpll_sat_simple () =
+  let f = Cnf.make ~num_vars:2 [ [ 1 ]; [ -1; 2 ] ] in
+  match Dpll.solve f with
+  | None -> Alcotest.fail "should be satisfiable"
+  | Some a ->
+      Alcotest.(check bool) "model" true (Cnf.eval f a);
+      Alcotest.(check bool) "x1" true a.(1);
+      Alcotest.(check bool) "x2" true a.(2)
+
+let test_dpll_unsat () =
+  let f = Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check bool) "unsat" false (Dpll.satisfiable f);
+  let g =
+    Cnf.make ~num_vars:2 [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ]
+  in
+  Alcotest.(check bool) "unsat 2" false (Dpll.satisfiable g)
+
+let test_dpll_agrees_with_bruteforce () =
+  (* On random tiny formulas DPLL must agree with exhaustive counting. *)
+  let rng = Rng.make 50 in
+  List.iter
+    (fun i ->
+      let f =
+        Gen.uniform rng ~num_vars:4 ~num_clauses:(6 + (i mod 6)) ~clause_len:2
+      in
+      let brute = Dpll.count_models f > 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "formula %d" i)
+        brute (Dpll.satisfiable f))
+    (Listx.range 0 40)
+
+let test_dpll_solution_verifies () =
+  let rng = Rng.make 51 in
+  List.iter
+    (fun i ->
+      let f = Gen.uniform rng ~num_vars:6 ~num_clauses:14 ~clause_len:3 in
+      match Dpll.solve f with
+      | None -> ()
+      | Some a ->
+          Alcotest.(check bool) (Printf.sprintf "model %d verifies" i) true
+            (Cnf.eval f a))
+    (Listx.range 0 40)
+
+let test_planted_is_satisfiable () =
+  let rng = Rng.make 52 in
+  List.iter
+    (fun i ->
+      let f, plant =
+        Gen.planted rng ~num_vars:8 ~num_clauses:24 ~clause_len:3
+      in
+      Alcotest.(check bool) (Printf.sprintf "plant %d satisfies" i) true
+        (Cnf.eval f plant);
+      Alcotest.(check bool) (Printf.sprintf "dpll solves %d" i) true
+        (Dpll.satisfiable f))
+    (Listx.range 0 20)
+
+let test_planted_shape () =
+  let rng = Rng.make 53 in
+  let f, _ = Gen.planted rng ~num_vars:5 ~num_clauses:7 ~clause_len:3 in
+  Alcotest.(check int) "clauses" 7 (Cnf.num_clauses f);
+  List.iter
+    (fun clause ->
+      Alcotest.(check int) "clause length" 3 (List.length clause);
+      let vars = List.map abs clause in
+      Alcotest.(check int) "distinct vars" 3
+        (List.length (List.sort_uniq compare vars)))
+    f.Cnf.clauses
+
+let test_count_models () =
+  let f = Cnf.make ~num_vars:2 [ [ 1; 2 ] ] in
+  Alcotest.(check int) "3 models" 3 (Dpll.count_models f);
+  Alcotest.(check int) "limit" 2 (Dpll.count_models ~limit:2 f)
+
+let test_gen_validation () =
+  let rng = Rng.make 54 in
+  Alcotest.check_raises "clause_len"
+    (Invalid_argument "Sat.Gen: clause_len exceeds num_vars") (fun () ->
+      ignore (Gen.uniform rng ~num_vars:2 ~num_clauses:1 ~clause_len:3))
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "eval" `Quick test_cnf_eval;
+          Alcotest.test_case "validation" `Quick test_cnf_validation;
+          Alcotest.test_case "to_string" `Quick test_cnf_to_string;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "sat simple" `Quick test_dpll_sat_simple;
+          Alcotest.test_case "unsat" `Quick test_dpll_unsat;
+          Alcotest.test_case "agrees with brute force" `Quick test_dpll_agrees_with_bruteforce;
+          Alcotest.test_case "solutions verify" `Quick test_dpll_solution_verifies;
+          Alcotest.test_case "count models" `Quick test_count_models;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "planted satisfiable" `Quick test_planted_is_satisfiable;
+          Alcotest.test_case "planted shape" `Quick test_planted_shape;
+          Alcotest.test_case "validation" `Quick test_gen_validation;
+        ] );
+    ]

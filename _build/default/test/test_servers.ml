@@ -1,0 +1,146 @@
+(* Unit tests for server transforms and dialect message coding. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_servers
+
+let echo_server =
+  Strategy.stateless ~name:"echo" (fun (obs : Io.Server.obs) ->
+      match obs.from_user with
+      | Msg.Silence -> Io.Server.silent
+      | m -> Io.Server.say_user m)
+
+let step_server server msg =
+  let rng = Rng.make 1 in
+  let inst = Strategy.Instance.create server in
+  Strategy.Instance.step rng inst
+    { Io.Server.from_user = msg; from_world = Msg.Silence }
+
+(* Dialect_msg *)
+
+let test_dialect_msg_encode_decode () =
+  let d = Dialect.of_array [| 2; 0; 1 |] in
+  let m = Msg.Pair (Msg.Sym 0, Msg.Seq [ Msg.Sym 1; Msg.Int 5; Msg.Text "x" ]) in
+  let enc = Dialect_msg.encode d m in
+  Alcotest.(check bool) "encoded" true
+    (Msg.equal enc (Msg.Pair (Msg.Sym 2, Msg.Seq [ Msg.Sym 0; Msg.Int 5; Msg.Text "x" ])));
+  Alcotest.(check bool) "roundtrip" true (Msg.equal m (Dialect_msg.decode d enc))
+
+let test_dialect_msg_out_of_range_syms () =
+  let d = Dialect.of_array [| 1; 0 |] in
+  (* Symbol 7 is outside the dialect's 2-symbol alphabet: untouched. *)
+  Alcotest.(check bool) "out of range untouched" true
+    (Msg.equal (Msg.Sym 7) (Dialect_msg.encode d (Msg.Sym 7)))
+
+let test_dialect_msg_identity () =
+  let d = Dialect.identity 4 in
+  let m = Msg.Seq [ Msg.Sym 0; Msg.Sym 3 ] in
+  Alcotest.(check bool) "identity" true (Msg.equal m (Dialect_msg.encode d m))
+
+(* with_dialect *)
+
+let test_with_dialect_translates_both_ways () =
+  let d = Dialect.rotation ~size:4 1 in
+  let server = Transform.with_dialect d echo_server in
+  (* User speaks the dialect: sends Sym 1 (= canonical 0 encoded).  The
+     base echo sees canonical 0, replies 0, encoded back to Sym 1. *)
+  let act = step_server server (Msg.Sym 1) in
+  Alcotest.(check bool) "echoed in dialect" true
+    (Msg.equal act.Io.Server.to_user (Msg.Sym 1))
+
+let test_with_dialect_mismatch_visible () =
+  let d = Dialect.rotation ~size:4 1 in
+  (* A canonical-speaking user sends Sym 0; the dialected echo decodes it
+     to 3, echoes 3, and encodes the reply back to Sym 0 — so a pure
+     echo hides the dialect; a non-symmetric base must be used to
+     observe it.  Check the decoded view through a counting server. *)
+  let seen = ref [] in
+  let spy =
+    Strategy.stateless ~name:"spy" (fun (obs : Io.Server.obs) ->
+        (match obs.from_user with
+        | Msg.Sym s -> seen := s :: !seen
+        | _ -> ());
+        Io.Server.silent)
+  in
+  let server = Transform.with_dialect d spy in
+  ignore (step_server server (Msg.Sym 0));
+  Alcotest.(check (list int)) "decoded to canonical 3" [ 3 ] !seen
+
+let test_dialect_class_enumerates () =
+  let dialects = Dialect.enumerate_rotations ~size:3 in
+  let cls = Transform.dialect_class ~base:echo_server dialects in
+  Alcotest.(check (option int)) "card" (Some 3) (Enum.cardinality cls)
+
+(* noisy *)
+
+let test_noisy_drops_messages () =
+  let noisy = Transform.noisy ~flip_prob:1.0 ~seed:5 echo_server in
+  let act = step_server noisy (Msg.Int 3) in
+  Alcotest.(check bool) "dropped" true (Msg.is_silence act.Io.Server.to_user);
+  let clean = Transform.noisy ~flip_prob:0.0 ~seed:5 echo_server in
+  let act = step_server clean (Msg.Int 3) in
+  Alcotest.(check bool) "passes" true (Msg.equal act.Io.Server.to_user (Msg.Int 3))
+
+let test_noisy_validation () =
+  Alcotest.check_raises "prob" (Invalid_argument "Transform.noisy: flip_prob out of range")
+    (fun () -> ignore (Transform.noisy ~flip_prob:1.5 ~seed:1 echo_server))
+
+(* lazy_every *)
+
+let test_lazy_every () =
+  let lazy_server = Transform.lazy_every 3 echo_server in
+  let rng = Rng.make 2 in
+  let inst = Strategy.Instance.create lazy_server in
+  let feed m =
+    Strategy.Instance.step rng inst
+      { Io.Server.from_user = m; from_world = Msg.Silence }
+  in
+  let a1 = feed (Msg.Int 1) in
+  let a2 = feed (Msg.Int 2) in
+  let a3 = feed (Msg.Int 3) in
+  Alcotest.(check bool) "skip 1" true (Msg.is_silence a1.Io.Server.to_user);
+  Alcotest.(check bool) "skip 2" true (Msg.is_silence a2.Io.Server.to_user);
+  Alcotest.(check bool) "answers 3rd" true
+    (Msg.equal a3.Io.Server.to_user (Msg.Int 3))
+
+(* unhelpful servers *)
+
+let test_silent_server () =
+  let act = step_server (Transform.silent ()) (Msg.Int 1) in
+  Alcotest.(check bool) "silent" true
+    (Msg.is_silence act.Io.Server.to_user && Msg.is_silence act.Io.Server.to_world)
+
+let test_babbler_emits_syms () =
+  let act = step_server (Transform.babbler ~alphabet_size:5 ~seed:3) Msg.Silence in
+  (match act.Io.Server.to_user with
+  | Msg.Sym s -> Alcotest.(check bool) "in range" true (s >= 0 && s < 5)
+  | _ -> Alcotest.fail "expected a symbol")
+
+let test_deaf_server_ignores_user () =
+  let deaf = Transform.deaf echo_server in
+  let act = step_server deaf (Msg.Int 9) in
+  Alcotest.(check bool) "no echo" true (Msg.is_silence act.Io.Server.to_user)
+
+let () =
+  Alcotest.run "servers"
+    [
+      ( "dialect_msg",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_dialect_msg_encode_decode;
+          Alcotest.test_case "out of range" `Quick test_dialect_msg_out_of_range_syms;
+          Alcotest.test_case "identity" `Quick test_dialect_msg_identity;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "with_dialect translates" `Quick test_with_dialect_translates_both_ways;
+          Alcotest.test_case "mismatch visible" `Quick test_with_dialect_mismatch_visible;
+          Alcotest.test_case "dialect class" `Quick test_dialect_class_enumerates;
+          Alcotest.test_case "noisy" `Quick test_noisy_drops_messages;
+          Alcotest.test_case "noisy validation" `Quick test_noisy_validation;
+          Alcotest.test_case "lazy" `Quick test_lazy_every;
+          Alcotest.test_case "silent" `Quick test_silent_server;
+          Alcotest.test_case "babbler" `Quick test_babbler_emits_syms;
+          Alcotest.test_case "deaf" `Quick test_deaf_server_ignores_user;
+        ] );
+    ]
