@@ -1,0 +1,22 @@
+# Tier-1 verification in one command: `make check`.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Everything the CI gate requires, in order.
+check: build test
+
+# Regenerates every experiment table, runs the bechamel kernels, and
+# writes BENCH_faults.json with the fault-layer timings.
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -191,6 +191,37 @@ let e14_kernel =
            ~sensing:(Control.sensing ()) ())
       ~server 14
 
+let fault_stack spec =
+  match Goalcom_faults.Fault.stack_of_string ~alphabet spec with
+  | Ok f -> Goalcom_faults.Fault.apply f
+  | Error e -> invalid_arg e
+
+let e16_kernel =
+  let goal = Printing.goal ~docs:[ [ 4; 2 ] ] ~alphabet () in
+  let server =
+    fault_stack "corrupt:0.05+crash:60" (Printing.server ~alphabet (dialect 2))
+  in
+  fun () ->
+    run_once ~horizon:4000 ~goal
+      ~user:(Printing.universal_user ~alphabet dialects)
+      ~server 16
+
+(* Fault-layer micro-benchmarks: the same printing run through a single
+   fault, isolating each combinator's per-round overhead. *)
+
+let fault_kernel spec k =
+  let goal = Printing.goal ~docs:[ [ 4; 2 ] ] ~alphabet () in
+  let server = fault_stack spec (Printing.server ~alphabet (dialect 2)) in
+  fun () ->
+    run_once ~horizon:2000 ~goal
+      ~user:(Printing.universal_user ~alphabet dialects)
+      ~server k
+
+let fault_corrupt_kernel = fault_kernel "corrupt:0.20" 17
+let fault_reorder_kernel = fault_kernel "reorder:2" 18
+let fault_crash_kernel = fault_kernel "crash:40" 19
+let fault_adversary_kernel = fault_kernel "adversary:12" 20
+
 (* Engine micro-benchmarks. *)
 
 let micro_exec_round =
@@ -249,6 +280,11 @@ let tests =
       Test.make ~name:"e13_online_learning" (Staged.stage e13_kernel);
       Test.make ~name:"e14_grace_ablation" (Staged.stage e14_kernel);
       Test.make ~name:"e15_interactive_proof" (Staged.stage e15_kernel);
+      Test.make ~name:"e16_fault_matrix" (Staged.stage e16_kernel);
+      Test.make ~name:"fault_corrupt" (Staged.stage fault_corrupt_kernel);
+      Test.make ~name:"fault_reorder" (Staged.stage fault_reorder_kernel);
+      Test.make ~name:"fault_crash" (Staged.stage fault_crash_kernel);
+      Test.make ~name:"fault_adversary" (Staged.stage fault_adversary_kernel);
       Test.make ~name:"micro_exec_1000_rounds" (Staged.stage micro_exec_round);
       Test.make ~name:"micro_mealy_decode_256" (Staged.stage micro_mealy_decode);
       Test.make ~name:"micro_dpll_8x(10v,30c)" (Staged.stage micro_dpll);
@@ -288,8 +324,45 @@ let print_bench () =
   let rows = List.sort compare !rows in
   Table.print
     (Table.make ~title:"bechamel (ns/run)" ~columns:[ "benchmark"; "time (ns)" ]
-       rows)
+       rows);
+  rows
+
+(* The fault-layer timings, exported for tracking across revisions. *)
+let write_fault_json rows =
+  (* Bechamel names are "goalcom/<kernel>"; keep the fault-layer ones. *)
+  let base name =
+    match String.rindex_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let is_fault = function
+    | [ name; _ ] -> has_prefix "e16" (base name) || has_prefix "fault_" (base name)
+    | _ -> false
+  in
+  let entries =
+    List.filter_map
+      (function
+        | [ name; est ] when is_fault [ name; est ] ->
+            let ns =
+              match float_of_string_opt est with
+              | Some f -> Printf.sprintf "%.1f" f
+              | None -> "null"
+            in
+            Some (Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %s}" name ns)
+        | _ -> None)
+      rows
+  in
+  let oc = open_out "BENCH_faults.json" in
+  Printf.fprintf oc
+    "{\n  \"seed\": %d,\n  \"unit\": \"ns/run\",\n  \"results\": [\n%s\n  ]\n}\n"
+    seed
+    (String.concat ",\n" entries);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_faults.json (%d entries)\n" (List.length entries)
 
 let () =
   print_experiments ();
-  print_bench ()
+  write_fault_json (print_bench ())

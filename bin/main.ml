@@ -104,7 +104,16 @@ let demo_cmd =
   let horizon_arg =
     Arg.(value & opt int 8000 & info [ "horizon" ] ~docv:"N" ~doc:"Round budget.")
   in
-  let run goal_kind user_kind dialect_idx horizon seed =
+  let fault_arg =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:"Wrap the server in a fault stack (repeatable; outermost \
+                   first).  Specs: nop, delay:K, drop:P, dup, corrupt:P, \
+                   reorder:K, burst:PE,PX,PD, crash:K, intermittent:ON,OFF, \
+                   adversary:B; join with + for one flag, e.g. \
+                   corrupt:0.05+crash:60.")
+  in
+  let run goal_kind user_kind dialect_idx horizon fault_specs seed =
     let alphabet = 6 in
     let dialects = Dialect.enumerate_rotations ~size:alphabet in
     let dialect i = Enum.get_exn dialects (i mod alphabet) in
@@ -168,6 +177,18 @@ let demo_cmd =
       | `Fixed -> Goalcom_baselines.Baselines.fixed user_class
       | `Random -> Goalcom_baselines.Baselines.random_actions ~alphabet ()
     in
+    let fault =
+      let module Fault = Goalcom_faults.Fault in
+      List.fold_left
+        (fun acc spec ->
+          match Fault.stack_of_string ~alphabet spec with
+          | Ok f -> Fault.compose acc f
+          | Error e ->
+              Printf.eprintf "%s\n" e;
+              exit 1)
+        Fault.nop fault_specs
+    in
+    let server = Goalcom_faults.Fault.apply fault server in
     let outcome, history =
       Exec.run_outcome
         ~config:(Exec.config ~horizon ())
@@ -181,7 +202,8 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run one goal once and report the outcome.")
-    Term.(const run $ goal_arg $ user_arg $ dialect_arg $ horizon_arg $ seed_arg)
+    Term.(const run $ goal_arg $ user_arg $ dialect_arg $ horizon_arg
+          $ fault_arg $ seed_arg)
 
 (* check *)
 

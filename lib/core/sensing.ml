@@ -27,6 +27,35 @@ let negatives_after t history round =
     (fun (r, v) -> r > round && v = Negative)
     (verdicts t history)
 
+(* The verdict at round r is the raw verdict on the view as it stood at
+   round r; the tolerant verdict looks at the raw verdicts over the last
+   [window] rounds and only reports Negative when at least [threshold]
+   of them are Negative.  This keeps compact safety for persistent
+   failures (a failing execution eventually makes every recent raw
+   verdict Negative, so tolerant negatives also recur forever) while a
+   transient fault — one bad round inside a healthy stretch — no longer
+   evicts the correct strategy.  Do NOT use this with finite-goal
+   halting: making Negative harder makes Positive easier, which is the
+   unsafe direction when positives trigger halting. *)
+let tolerant ~window ~threshold t =
+  if window <= 0 then invalid_arg "Sensing.tolerant: window must be positive";
+  if threshold <= 0 || threshold > window then
+    invalid_arg "Sensing.tolerant: threshold must be in 1..window";
+  {
+    name = Printf.sprintf "%s/tolerant(%d-of-%d)" t.name threshold window;
+    sense =
+      (fun view ->
+        let depth = min window (View.length view) in
+        let rec negs k acc =
+          if k >= depth || acc >= threshold then acc
+          else begin
+            let v = t.sense (View.drop_latest k view) in
+            negs (k + 1) (if v = Negative then acc + 1 else acc)
+          end
+        in
+        if negs 0 0 >= threshold then Negative else Positive);
+  }
+
 let corrupt_unsafe ~flip_to_positive rng t =
   {
     name = Printf.sprintf "%s/unsafe(%.2f)" t.name flip_to_positive;

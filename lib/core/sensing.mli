@@ -46,6 +46,19 @@ val verdicts : t -> History.t -> (int * verdict) list
 val negatives_after : t -> History.t -> int -> int
 (** Number of negative indications strictly after the given round. *)
 
+val tolerant : window:int -> threshold:int -> t -> t
+(** Fault-tolerant wrapper for {e compact-goal switching}: the wrapped
+    function reports [Negative] only when the underlying sensing is
+    Negative on at least [threshold] of the last [window] prefixes of
+    the view (i.e. [threshold]-of-[window] recent raw negatives).
+    Transient faults — an isolated bad round — no longer evict the
+    correct strategy, while persistent failure still produces negatives
+    infinitely often, so compact safety is preserved.  Not for use with
+    finite-goal halting (there, flipping Negative to Positive is the
+    unsafe direction).  Each call re-evaluates the base sensing on up to
+    [window] prefixes ({!View.drop_latest}), so keep the window small.
+    @raise Invalid_argument unless [1 <= threshold <= window]. *)
+
 val corrupt_unsafe :
   flip_to_positive:float -> Goalcom_prelude.Rng.t -> t -> t
 (** Ablation helper: with the given probability a [Negative] indication

@@ -16,6 +16,15 @@ let reset_stats s =
   s.current_index <- 0;
   s.settled_round <- 0
 
+(* Enumeration progress that outlives the strategy instance.  A crash
+   (of the user process, or a harness-level restart after a server
+   crash) re-runs [init]; with a checkpoint the fresh instance resumes
+   the enumeration where the previous one left off instead of paying
+   the whole enumeration overhead again from index 0. *)
+type checkpoint = { mutable saved_index : int; mutable saved_slots : int }
+
+let new_checkpoint () = { saved_index = 0; saved_slots = 0 }
+
 let enum_get_cyclic enum i =
   match Enum.cardinality enum with
   | Some 0 -> invalid_arg "Universal: empty strategy enumeration"
@@ -49,10 +58,19 @@ type 'inst compact_state = {
   c_view : View.t;
   c_pending : (Io.User.obs * Io.User.act) option;
   c_rounds_in : int;  (* rounds the current strategy has run *)
+  c_attempt : int;  (* retries already spent on the current index *)
+  c_last_world : Msg.t option;  (* previous from_world observation *)
+  c_stall : int;  (* consecutive rounds without world-view progress *)
 }
 
-let compact ?(grace = 1) ?(growth = `Doubling) ?stats ~enum ~sensing () =
+let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
+    ?checkpoint ?stats ~enum ~sensing () =
   if grace < 0 then invalid_arg "Universal.compact: negative grace";
+  if retries < 0 then invalid_arg "Universal.compact: negative retries";
+  (match wedge_after with
+  | Some w when w <= 0 ->
+      invalid_arg "Universal.compact: wedge_after must be positive"
+  | _ -> ());
   (match Enum.cardinality enum with
   | Some 0 -> invalid_arg "Universal.compact: empty strategy enumeration"
   | _ -> ());
@@ -64,29 +82,44 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?stats ~enum ~sensing () =
      doubling patience eventually covers any bounded recovery time —
      this realises the growing time allowance of the full version's
      construction.  [`Constant] keeps patience fixed; it exists for the
-     ablation experiment that demonstrates why the growth matters. *)
-  let effective_grace index =
-    match growth with
-    | `Constant -> grace
-    | `Doubling -> begin
-        match Enum.cardinality enum with
-        | Some card when card > 0 ->
-            let wraps = min (index / card) 20 in
-            grace * (1 lsl wraps)
-        | _ -> grace
-      end
+     ablation experiment that demonstrates why the growth matters.
+
+     On top of either growth, each retry of the {e same} index (see
+     [retries]) doubles the patience again — exponential backoff, so a
+     strategy evicted by a transient fault is re-tried with enough
+     room to outlast the fault before the enumeration moves on. *)
+  let effective_grace index attempt =
+    let base =
+      match growth with
+      | `Constant -> grace
+      | `Doubling -> begin
+          match Enum.cardinality enum with
+          | Some card when card > 0 ->
+              let wraps = min (index / card) 20 in
+              grace * (1 lsl wraps)
+          | _ -> grace
+        end
+    in
+    base * (1 lsl min attempt 20)
   in
   let module I = Strategy.Instance in
   Strategy.make
     ~name:(Printf.sprintf "universal-compact(%s;%s)" (Enum.name enum) sensing.Sensing.name)
     ~init:(fun () ->
       Option.iter reset_stats stats;
+      let start =
+        match checkpoint with Some c -> c.saved_index | None -> 0
+      in
+      Option.iter (fun s -> s.current_index <- start) stats;
       {
-        c_index = 0;
-        c_inst = I.create (enum_get_cyclic enum 0);
+        c_index = start;
+        c_inst = I.create (enum_get_cyclic enum start);
         c_view = View.empty;
         c_pending = None;
         c_rounds_in = 0;
+        c_attempt = 0;
+        c_last_world = None;
+        c_stall = 0;
       })
     ~step:(fun rng state (obs : Io.User.obs) ->
       let view = extend_view state.c_view state.c_pending in
@@ -94,26 +127,56 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?stats ~enum ~sensing () =
         if state.c_pending = None then Sensing.Positive (* nothing to judge yet *)
         else sensing.Sensing.sense view
       in
-      let state =
+      (* Wedge detection: a frozen from_world stream means the current
+         strategy is not moving the world at all (e.g. the server
+         crashed or went silent mid-session); once the stall outlasts
+         the wedge window we force re-enumeration immediately instead
+         of spinning out the remaining grace. *)
+      let stall =
+        match state.c_last_world with
+        | Some prev when Msg.equal prev obs.Io.User.from_world ->
+            state.c_stall + 1
+        | _ -> 0
+      in
+      let wedged =
+        match wedge_after with Some w -> stall >= w | None -> false
+      in
+      let state, stall =
         if
           verdict = Sensing.Negative
-          && state.c_rounds_in >= effective_grace state.c_index
+          && (state.c_rounds_in >= effective_grace state.c_index state.c_attempt
+             || wedged)
         then begin
-          let index = state.c_index + 1 in
-          Option.iter
-            (fun s ->
-              s.switches <- s.switches + 1;
-              s.current_index <- index;
-              s.settled_round <- obs.Io.User.round)
-            stats;
-          {
-            state with
-            c_index = index;
-            c_inst = I.create (enum_get_cyclic enum index);
-            c_rounds_in = 0;
-          }
+          if (not wedged) && state.c_attempt < retries then
+            (* Retry the same index from scratch with doubled patience
+               before giving up on it. *)
+            ( {
+                state with
+                c_inst = I.create (enum_get_cyclic enum state.c_index);
+                c_rounds_in = 0;
+                c_attempt = state.c_attempt + 1;
+              },
+              0 )
+          else begin
+            let index = state.c_index + 1 in
+            Option.iter
+              (fun s ->
+                s.switches <- s.switches + 1;
+                s.current_index <- index;
+                s.settled_round <- obs.Io.User.round)
+              stats;
+            Option.iter (fun c -> c.saved_index <- index) checkpoint;
+            ( {
+                state with
+                c_index = index;
+                c_inst = I.create (enum_get_cyclic enum index);
+                c_rounds_in = 0;
+                c_attempt = 0;
+              },
+              0 )
+          end
         end
-        else state
+        else (state, stall)
       in
       let act = { (I.step rng state.c_inst obs) with Io.User.halt = false } in
       ( {
@@ -121,6 +184,8 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?stats ~enum ~sensing () =
           c_view = view;
           c_pending = Some (obs, act);
           c_rounds_in = state.c_rounds_in + 1;
+          c_last_world = Some obs.Io.User.from_world;
+          c_stall = stall;
         },
         act ))
 
@@ -132,7 +197,13 @@ type 'inst finite_state = {
   f_pending : (Io.User.obs * Io.User.act) option;
 }
 
-let finite ?schedule ?stats ~enum ~sensing () =
+let rec seq_drop n s =
+  if n <= 0 then s
+  else begin
+    match s () with Seq.Nil -> s | Seq.Cons (_, rest) -> seq_drop (n - 1) rest
+  end
+
+let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
   (match Enum.cardinality enum with
   | Some 0 -> invalid_arg "Universal.finite: empty strategy enumeration"
   | _ -> ());
@@ -144,8 +215,18 @@ let finite ?schedule ?stats ~enum ~sensing () =
     ~name:(Printf.sprintf "universal-finite(%s;%s)" (Enum.name enum) sensing.Sensing.name)
     ~init:(fun () ->
       Option.iter reset_stats stats;
+      let sched = initial_schedule () in
+      (* Resume past the sessions a previous incarnation already spent:
+         the schedule is deterministic, so skipping the first
+         [saved_slots] slots continues exactly where the crash cut the
+         enumeration off. *)
+      let sched =
+        match checkpoint with
+        | Some c -> seq_drop c.saved_slots sched
+        | None -> sched
+      in
       {
-        f_sched = initial_schedule ();
+        f_sched = sched;
         f_current = None;
         f_used = 0;
         f_view = View.empty;
@@ -179,6 +260,11 @@ let finite ?schedule ?stats ~enum ~sensing () =
                     s.current_index <- slot.Levin.index;
                     s.settled_round <- obs.Io.User.round)
                   stats;
+                Option.iter
+                  (fun c ->
+                    c.saved_slots <- c.saved_slots + 1;
+                    c.saved_index <- slot.Levin.index)
+                  checkpoint;
                 {
                   state with
                   f_sched = rest;

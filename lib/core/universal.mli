@@ -32,9 +32,28 @@ type stats = {
 
 val new_stats : unit -> stats
 
+(** Enumeration progress that outlives a strategy instance.  Pass the
+    same checkpoint to successive incarnations of a universal user:
+    when [init] runs again (a crash-restart of the user, or a harness
+    re-instantiation after a mid-session server crash) the fresh
+    instance resumes the enumeration from the last recorded position —
+    {!field:saved_index} for {!compact}, the first
+    {!field:saved_slots}-skipping slot of the Levin schedule for
+    {!finite} — instead of re-paying the whole enumeration overhead
+    from index 0. *)
+type checkpoint = {
+  mutable saved_index : int;  (** index of the last adopted strategy *)
+  mutable saved_slots : int;  (** Levin schedule slots already consumed *)
+}
+
+val new_checkpoint : unit -> checkpoint
+
 val compact :
   ?grace:int ->
   ?growth:[ `Constant | `Doubling ] ->
+  ?retries:int ->
+  ?wedge_after:int ->
+  ?checkpoint:checkpoint ->
   ?stats:stats ->
   enum:Strategy.user Goalcom_automata.Enum.t ->
   sensing:Sensing.t ->
@@ -52,10 +71,30 @@ val compact :
     the ablation experiment that shows why it is needed).  Finite
     enumerations are cycled (wrap-around).  The inner strategies' halt
     requests are suppressed — compact executions run forever.
-    @raise Invalid_argument if the enumeration is empty. *)
+
+    Robustness options (all off by default):
+    - [retries]: when a negative indication evicts the current
+      strategy, re-adopt the {e same} index afresh up to [retries]
+      times before advancing, doubling the effective grace on each
+      attempt (retry with exponential backoff).  A transient fault —
+      a burst of loss, a server crash mid-recovery — then costs a
+      retry, not a full extra pass over the enumeration.
+    - [wedge_after]: if the [from_world] observation stream is frozen
+      for [wedge_after] consecutive rounds while sensing is negative,
+      the current strategy is evicted immediately (even mid-grace):
+      a wedged session — server down, channel dead — is not worth
+      spinning the grace window on.  The stall counter resets on every
+      switch, so each strategy still gets [wedge_after] rounds to move
+      the world.
+    - [checkpoint]: record enumeration progress so a future
+      re-instantiation resumes from the saved index (see
+      {!type:checkpoint}).
+    @raise Invalid_argument if the enumeration is empty, [retries] is
+    negative, or [wedge_after] is not positive. *)
 
 val finite :
   ?schedule:Levin.slot Seq.t ->
+  ?checkpoint:checkpoint ->
   ?stats:stats ->
   enum:Strategy.user Goalcom_automata.Enum.t ->
   sensing:Sensing.t ->
@@ -66,5 +105,8 @@ val finite :
     instantiates candidate [slot.index] afresh and runs it for
     [slot.budget] rounds; the user halts as soon as sensing reports
     positive on the completed rounds.  Slot indices are reduced modulo
-    the enumeration's cardinality when it is finite.
+    the enumeration's cardinality when it is finite.  With
+    [checkpoint], consumed schedule slots are recorded and a fresh
+    instance skips them, resuming the enumeration where a crashed
+    predecessor stopped.
     @raise Invalid_argument if the enumeration is empty. *)

@@ -20,6 +20,13 @@ let events_rev t = t.rev
 let latest t = match t.rev with [] -> None | e :: _ -> Some e
 let last_n n t = List.rev (Listx.take n t.rev)
 
+let drop_latest k t =
+  if k <= 0 then t
+  else begin
+    let rec go k rev = if k = 0 then rev else match rev with [] -> [] | _ :: rest -> go (k - 1) rest in
+    { rev = go k t.rev; len = max 0 (t.len - k) }
+  end
+
 (* NOTE on timing: the messages a user *received* in round r are the ones
    emitted in round r-1.  The view event for round r therefore pairs the
    user's round-r sends with the round-(r-1) incoming messages, matching

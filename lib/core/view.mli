@@ -32,6 +32,12 @@ val latest : t -> event option
 val last_n : int -> t -> event list
 (** The last [n] events, chronological. *)
 
+val drop_latest : int -> t -> t
+(** The view as it was [k] rounds ago (the [k] most recent events
+    removed); [t] itself when [k <= 0], {!empty} when [k >= length t].
+    O(k).  Used by tolerant sensing to re-evaluate a verdict on recent
+    prefixes of the same view. *)
+
 val of_history : History.t -> t
 (** Project a full history onto what the user saw. *)
 

@@ -1,0 +1,392 @@
+open Goalcom
+open Goalcom_prelude
+
+type t = { name : string; wrap : Strategy.server -> Strategy.server }
+
+let name t = t.name
+let apply t server = t.wrap server
+
+let make ~name wrap = { name; wrap }
+
+let nop = { name = "nop"; wrap = Fun.id }
+
+(* [compose f g] applies [g] closest to the server: the composed link
+   reads outbound as server → g → f → user and inbound the other way —
+   the same convention as function composition. *)
+let compose f g =
+  if f == nop then g
+  else if g == nop then f
+  else { name = f.name ^ "+" ^ g.name; wrap = (fun s -> f.wrap (g.wrap s)) }
+
+let stack = function
+  | [] -> nop
+  | faults -> List.fold_left compose nop faults
+
+(* Channel wrappers, re-exported so a whole fault stack can be written
+   in one algebra. *)
+
+let delay ~rounds =
+  if rounds < 0 then invalid_arg "Fault.delay: negative latency";
+  if rounds = 0 then nop
+  else
+    {
+      name = Printf.sprintf "delay(%d)" rounds;
+      wrap = Goalcom_servers.Channel.delayed ~rounds;
+    }
+
+let drop ~prob =
+  if prob < 0. || prob > 1. then invalid_arg "Fault.drop: prob out of range";
+  if prob = 0. then nop
+  else
+    {
+      name = Printf.sprintf "drop(%.2f)" prob;
+      wrap = Goalcom_servers.Channel.drop_inbound ~drop_prob:prob;
+    }
+
+let duplicate =
+  { name = "dup"; wrap = Goalcom_servers.Channel.duplicate_outbound }
+
+(* Corruption: flip one site of the message.  Symbols are flipped
+   within the [0, alphabet) command space through their mixed-radix
+   code (Coding.encode_tuple) with a non-zero offset, so a corrupted
+   symbol is always a *different valid* symbol — the nastiest case for
+   a dialect protocol, since the garbled command still parses. *)
+
+let flip_sym rng ~alphabet s =
+  if alphabet <= 1 || s < 0 || s >= alphabet then s
+  else begin
+    let radices = [| alphabet |] in
+    let code = Coding.encode_tuple ~radices [| s |] in
+    let space = Coding.tuple_space ~radices in
+    let code = (code + 1 + Rng.int rng (alphabet - 1)) mod space in
+    (Coding.decode_tuple ~radices code).(0)
+  end
+
+let rec corrupt_msg rng ~alphabet = function
+  | Msg.Silence -> Msg.Silence
+  | Msg.Sym s -> Msg.Sym (flip_sym rng ~alphabet s)
+  | Msg.Int n -> Msg.Int (abs (n lxor (1 lsl Rng.int rng 8)))
+  | Msg.Text s when s = "" -> Msg.Text s
+  | Msg.Text s ->
+      let b = Bytes.of_string s in
+      let i = Rng.int rng (Bytes.length b) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      Msg.Text (Bytes.to_string b)
+  | Msg.Pair (a, b) ->
+      if Rng.bool rng then Msg.Pair (corrupt_msg rng ~alphabet a, b)
+      else Msg.Pair (a, corrupt_msg rng ~alphabet b)
+  | Msg.Seq [] -> Msg.Seq []
+  | Msg.Seq ms ->
+      let i = Rng.int rng (List.length ms) in
+      Msg.Seq
+        (List.mapi
+           (fun j m -> if j = i then corrupt_msg rng ~alphabet m else m)
+           ms)
+
+let corrupt ~alphabet ~prob =
+  if prob < 0. || prob > 1. then invalid_arg "Fault.corrupt: prob out of range";
+  if alphabet <= 0 then invalid_arg "Fault.corrupt: bad alphabet";
+  if prob = 0. then nop
+  else begin
+    let module I = Strategy.Instance in
+    {
+      name = Printf.sprintf "corrupt(%.2f)" prob;
+      wrap =
+        (fun base ->
+          Strategy.make
+            ~name:(Printf.sprintf "corrupt(%.2f,%s)" prob (Strategy.name base))
+            ~init:(fun () -> I.create base)
+            ~step:(fun rng inst (obs : Io.Server.obs) ->
+              let zap m =
+                if Msg.is_silence m then m
+                else if Rng.bernoulli rng prob then corrupt_msg rng ~alphabet m
+                else m
+              in
+              let obs = { obs with Io.Server.from_user = zap obs.Io.Server.from_user } in
+              let act = I.step rng inst obs in
+              (inst, { act with Io.Server.to_user = zap act.Io.Server.to_user })));
+    }
+  end
+
+(* Reordering with bounded skew: non-silent messages enter a per-
+   direction buffer; each round the link either stays quiet or releases
+   a uniformly chosen buffered message, except that a message that has
+   already waited [skew] rounds is released first (oldest overdue
+   wins).  No message is ever created, lost, or delayed more than
+   [skew] rounds beyond its arrival. *)
+
+let reorder_pop rng ~skew buffer =
+  match buffer with
+  | [] -> (Msg.Silence, [])
+  | _ ->
+      let overdue = List.exists (fun (_, age) -> age >= skew) buffer in
+      if (not overdue) && Rng.bernoulli rng 0.5 then
+        (Msg.Silence, List.map (fun (m, age) -> (m, age + 1)) buffer)
+      else begin
+        let idx =
+          if overdue then begin
+            (* first (oldest) overdue entry *)
+            let rec find i = function
+              | (_, age) :: _ when age >= skew -> i
+              | _ :: rest -> find (i + 1) rest
+              | [] -> 0
+            in
+            find 0 buffer
+          end
+          else Rng.int rng (List.length buffer)
+        in
+        let msg = fst (List.nth buffer idx) in
+        let rest = List.filteri (fun j _ -> j <> idx) buffer in
+        (msg, List.map (fun (m, age) -> (m, age + 1)) rest)
+      end
+
+let reorder ~skew =
+  if skew < 0 then invalid_arg "Fault.reorder: negative skew";
+  if skew = 0 then nop
+  else begin
+    let module I = Strategy.Instance in
+    let push buffer m =
+      if Msg.is_silence m then buffer else buffer @ [ (m, 0) ]
+    in
+    {
+      name = Printf.sprintf "reorder(%d)" skew;
+      wrap =
+        (fun base ->
+          Strategy.make
+            ~name:(Printf.sprintf "reorder(%d,%s)" skew (Strategy.name base))
+            ~init:(fun () -> (I.create base, [], []))
+            ~step:(fun rng (inst, inbox, outbox) (obs : Io.Server.obs) ->
+              let delivered_in, inbox =
+                reorder_pop rng ~skew (push inbox obs.Io.Server.from_user)
+              in
+              let act =
+                I.step rng inst { obs with Io.Server.from_user = delivered_in }
+              in
+              let delivered_out, outbox =
+                reorder_pop rng ~skew (push outbox act.Io.Server.to_user)
+              in
+              ( (inst, inbox, outbox),
+                { act with Io.Server.to_user = delivered_out } )));
+    }
+  end
+
+(* Bursty loss: a two-state Gilbert–Elliott chain shared by both
+   directions of the link.  In the bad state each non-silent message is
+   dropped with [drop_prob]; the good state is loss-free.  The chain
+   advances once per round on the per-step RNG. *)
+
+let burst ~p_enter ~p_exit ~drop_prob =
+  let check name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Fault.burst: %s out of range" name)
+  in
+  check "p_enter" p_enter;
+  check "p_exit" p_exit;
+  check "drop_prob" drop_prob;
+  let module I = Strategy.Instance in
+  {
+    name = Printf.sprintf "burst(%.2f,%.2f,%.2f)" p_enter p_exit drop_prob;
+    wrap =
+      (fun base ->
+        Strategy.make
+          ~name:(Printf.sprintf "burst(%.2f,%s)" drop_prob (Strategy.name base))
+          ~init:(fun () -> (I.create base, false))
+          ~step:(fun rng (inst, bad) (obs : Io.Server.obs) ->
+            let bad =
+              if bad then not (Rng.bernoulli rng p_exit)
+              else Rng.bernoulli rng p_enter
+            in
+            let zap m =
+              if bad && (not (Msg.is_silence m)) && Rng.bernoulli rng drop_prob
+              then Msg.Silence
+              else m
+            in
+            let obs = { obs with Io.Server.from_user = zap obs.Io.Server.from_user } in
+            let act = I.step rng inst obs in
+            ((inst, bad), { act with Io.Server.to_user = zap act.Io.Server.to_user })));
+  }
+
+(* Crash-restart: every [every] rounds the wrapped server's state is
+   reset to its initial value (Strategy.Instance.restart) — the server
+   process died and came back up with empty memory, losing any dialect
+   or session progress accumulated so far. *)
+
+let crash_restart ~every =
+  if every <= 0 then invalid_arg "Fault.crash_restart: period must be positive";
+  let module I = Strategy.Instance in
+  {
+    name = Printf.sprintf "crash(%d)" every;
+    wrap =
+      (fun base ->
+        Strategy.make
+          ~name:(Printf.sprintf "crash(%d,%s)" every (Strategy.name base))
+          ~init:(fun () -> (I.create base, 0))
+          ~step:(fun rng (inst, age) obs ->
+            let age =
+              if age >= every then begin
+                I.restart inst;
+                0
+              end
+              else age
+            in
+            ((inst, age + 1), I.step rng inst obs)));
+  }
+
+(* Intermittent helpfulness: [on] rounds of normal service, then [off]
+   rounds in which the server is down — it does not observe anything
+   (its state is frozen, messages sent to it are lost) and emits either
+   silence or, with [noise], random symbols that imitate a babbling
+   peer. *)
+
+let intermittent ?noise ~on ~off () =
+  if on <= 0 || off < 0 then invalid_arg "Fault.intermittent: bad schedule";
+  (match noise with
+  | Some a when a <= 0 -> invalid_arg "Fault.intermittent: bad noise alphabet"
+  | _ -> ());
+  if off = 0 then nop
+  else begin
+    let module I = Strategy.Instance in
+    {
+      name =
+        Printf.sprintf "intermittent(%d/%d%s)" on off
+          (match noise with Some _ -> ",noisy" | None -> "");
+      wrap =
+        (fun base ->
+          Strategy.make
+            ~name:
+              (Printf.sprintf "intermittent(%d/%d,%s)" on off
+                 (Strategy.name base))
+            ~init:(fun () -> (I.create base, 0))
+            ~step:(fun rng (inst, tick) obs ->
+              if tick mod (on + off) < on then
+                ((inst, tick + 1), I.step rng inst obs)
+              else begin
+                let out =
+                  match noise with
+                  | None -> Io.Server.silent
+                  | Some alphabet ->
+                      Io.Server.say_user (Msg.Sym (Rng.int rng alphabet))
+                in
+                ((inst, tick + 1), out)
+              end));
+    }
+  end
+
+(* Adversarial scheduler: a budget of single-fault rounds, spent where
+   it hurts the most.  Starving the server of an inbound command stops
+   all progress dead, so that is the first choice; failing that, a
+   corrupted non-silent reply misleads the user's sensing.  At most one
+   fault per round, nothing once the budget is gone. *)
+
+let adversary ~budget ~alphabet =
+  if budget < 0 then invalid_arg "Fault.adversary: negative budget";
+  if alphabet <= 0 then invalid_arg "Fault.adversary: bad alphabet";
+  let module I = Strategy.Instance in
+  {
+    name = Printf.sprintf "adversary(%d)" budget;
+    wrap =
+      (fun base ->
+        Strategy.make
+          ~name:(Printf.sprintf "adversary(%d,%s)" budget (Strategy.name base))
+          ~init:(fun () -> (I.create base, budget))
+          ~step:(fun rng (inst, left) (obs : Io.Server.obs) ->
+            if left > 0 && not (Msg.is_silence obs.Io.Server.from_user) then begin
+              let act =
+                I.step rng inst { obs with Io.Server.from_user = Msg.Silence }
+              in
+              ((inst, left - 1), act)
+            end
+            else begin
+              let act = I.step rng inst obs in
+              if left > 0 && not (Msg.is_silence act.Io.Server.to_user) then
+                ( (inst, left - 1),
+                  {
+                    act with
+                    Io.Server.to_user =
+                      corrupt_msg rng ~alphabet act.Io.Server.to_user;
+                  } )
+              else ((inst, left), act)
+            end));
+  }
+
+(* Spec parsing, for CLI flags and randomised tests. *)
+
+let spec_error spec reason =
+  Error (Printf.sprintf "bad fault spec %S: %s" spec reason)
+
+let of_string ~alphabet spec =
+  let fail = spec_error spec in
+  let head, args =
+    match String.index_opt spec ':' with
+    | None -> (spec, [])
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.split_on_char ','
+            (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  let int_arg s = int_of_string_opt (String.trim s) in
+  let float_arg s = float_of_string_opt (String.trim s) in
+  try
+    match (head, args) with
+    | "nop", [] -> Ok nop
+    | "delay", [ k ] -> begin
+        match int_arg k with
+        | Some k -> Ok (delay ~rounds:k)
+        | None -> fail "delay:K wants an integer"
+      end
+    | "drop", [ p ] -> begin
+        match float_arg p with
+        | Some p -> Ok (drop ~prob:p)
+        | None -> fail "drop:P wants a float"
+      end
+    | "dup", [] -> Ok duplicate
+    | "corrupt", [ p ] -> begin
+        match float_arg p with
+        | Some p -> Ok (corrupt ~alphabet ~prob:p)
+        | None -> fail "corrupt:P wants a float"
+      end
+    | "reorder", [ k ] -> begin
+        match int_arg k with
+        | Some k -> Ok (reorder ~skew:k)
+        | None -> fail "reorder:K wants an integer"
+      end
+    | "burst", [ a; b; c ] -> begin
+        match (float_arg a, float_arg b, float_arg c) with
+        | Some p_enter, Some p_exit, Some drop_prob ->
+            Ok (burst ~p_enter ~p_exit ~drop_prob)
+        | _ -> fail "burst:PENTER,PEXIT,PDROP wants three floats"
+      end
+    | "crash", [ k ] -> begin
+        match int_arg k with
+        | Some k -> Ok (crash_restart ~every:k)
+        | None -> fail "crash:K wants an integer"
+      end
+    | "intermittent", [ on; off ] -> begin
+        match (int_arg on, int_arg off) with
+        | Some on, Some off -> Ok (intermittent ~on ~off ())
+        | _ -> fail "intermittent:ON,OFF wants two integers"
+      end
+    | "adversary", [ b ] -> begin
+        match int_arg b with
+        | Some b -> Ok (adversary ~budget:b ~alphabet)
+        | None -> fail "adversary:B wants an integer"
+      end
+    | _ ->
+        fail
+          "known faults: nop delay:K drop:P dup corrupt:P reorder:K \
+           burst:PE,PX,PD crash:K intermittent:ON,OFF adversary:B"
+  with Invalid_argument reason -> fail reason
+
+let stack_of_string ~alphabet spec =
+  let specs =
+    List.filter (fun s -> s <> "") (String.split_on_char '+' spec)
+  in
+  let rec go acc = function
+    | [] -> Ok (stack (List.rev acc))
+    | s :: rest -> begin
+        match of_string ~alphabet s with
+        | Ok f -> go (f :: acc) rest
+        | Error _ as e -> e
+      end
+  in
+  go [] specs

@@ -219,7 +219,7 @@ let bad_answers history =
           | None -> false)
         (History.rounds history)
 
-let universal_user ?schedule ?stats ~alphabet dialects =
-  Universal.finite ?schedule ?stats
+let universal_user ?schedule ?checkpoint ?stats ~alphabet dialects =
+  Universal.finite ?schedule ?checkpoint ?stats
     ~enum:(user_class ~alphabet dialects)
     ~sensing ()

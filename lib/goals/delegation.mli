@@ -70,6 +70,7 @@ val bad_answers : History.t -> int
 
 val universal_user :
   ?schedule:Levin.slot Seq.t ->
+  ?checkpoint:Universal.checkpoint ->
   ?stats:Universal.stats ->
   alphabet:int ->
   Dialect.t Enum.t ->

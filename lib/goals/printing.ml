@@ -137,7 +137,7 @@ let sensing =
         (fun e -> page_matched e.View.from_world)
         (Goalcom_prelude.Listx.take sensing_window (View.events_rev view)))
 
-let universal_user ?schedule ?stats ~alphabet dialects =
-  Universal.finite ?schedule ?stats
+let universal_user ?schedule ?checkpoint ?stats ~alphabet dialects =
+  Universal.finite ?schedule ?checkpoint ?stats
     ~enum:(user_class ~alphabet dialects)
     ~sensing ()

@@ -66,8 +66,11 @@ val sensing : Sensing.t
 
 val universal_user :
   ?schedule:Levin.slot Seq.t ->
+  ?checkpoint:Universal.checkpoint ->
   ?stats:Universal.stats ->
   alphabet:int ->
   Dialect.t Enum.t ->
   Strategy.user
-(** {!Universal.finite} over {!user_class} with {!sensing}. *)
+(** {!Universal.finite} over {!user_class} with {!sensing}.  Pass a
+    [checkpoint] to resume the enumeration across re-instantiations
+    (crash tolerance). *)

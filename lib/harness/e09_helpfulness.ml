@@ -31,7 +31,7 @@ let run ~seed =
       (Listx.range 0 alphabet)
     @ [
         ("silent server", Transform.silent ());
-        ("babbling server", Transform.babbler ~alphabet_size:alphabet ~seed:(seed + 7));
+        ("babbling server", Transform.babbler ~alphabet_size:alphabet);
         ("deaf printer", Transform.deaf (Printing.printer ~alphabet));
       ]
   in

@@ -1,0 +1,36 @@
+(** E16 — the fault matrix (robustness tentpole).
+
+    Runs {universal, dialect-informed oracle, fixed-protocol} users on
+    the printing and delegation goals against servers wrapped in
+    {!Goalcom_faults.Fault} stacks — corruption, reordering, bursty
+    loss, crash-restart, intermittent outages, their compositions, and
+    an adversarial scheduler — and checks that universality and
+    sensing safety survive every recoverable stack. *)
+
+open Goalcom_prelude
+
+val title : string
+val claim : string
+
+type stack_spec = { spec : string; recoverable : bool }
+
+val stacks : stack_spec list
+(** The fault stacks of the matrix, as {!Goalcom_faults.Fault.stack_of_string}
+    specs, with the expected recoverability class. *)
+
+type row = {
+  goal_name : string;
+  spec : string;
+  recoverable : bool;
+  universal_rate : float;
+  universal_rounds : float;
+  oracle_rate : float;
+  fixed_rate : float;
+  unsafe_halts : int;  (** summed over all users of the row *)
+}
+
+val rows : seed:int -> row list
+(** Structured results, one row per goal × fault stack — what the test
+    suite asserts invariants over. *)
+
+val run : seed:int -> Table.t

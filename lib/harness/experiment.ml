@@ -42,6 +42,8 @@ let all =
       claim = E14_grace_ablation.claim; run = E14_grace_ablation.run };
     { id = "e15"; kind = Table; title = E15_interactive_proof.title;
       claim = E15_interactive_proof.claim; run = E15_interactive_proof.run };
+    { id = "e16"; kind = Table; title = E16_fault_matrix.title;
+      claim = E16_fault_matrix.claim; run = E16_fault_matrix.run };
   ]
 
 let find id =

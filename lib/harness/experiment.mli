@@ -20,7 +20,7 @@ type t = {
 }
 
 val all : t list
-(** E1 through E10, in order. *)
+(** E1 through E16, in order. *)
 
 val find : string -> t option
 (** Lookup by id (case-insensitive). *)

@@ -7,6 +7,7 @@ type result = {
   success_rate : float;
   rounds_to_success : float list;
   mean_rounds : float;
+  unsafe_halts : int;
 }
 
 let rounds_of_success (goal : Goal.t) (outcome : Outcome.t) =
@@ -26,6 +27,7 @@ let run ?config ?tail_window ~trials ~seed ~goal ~user ~server () =
   if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
   let master = Rng.make seed in
   let successes = ref 0 in
+  let unsafe = ref 0 in
   let rounds = ref [] in
   for i = 0 to trials - 1 do
     let trial_rng = Rng.split master in
@@ -42,6 +44,7 @@ let run ?config ?tail_window ~trials ~seed ~goal ~user ~server () =
       incr successes;
       rounds := rounds_of_success goal outcome :: !rounds
     end
+    else if outcome.Outcome.halted then incr unsafe
   done;
   let rounds_to_success = List.rev !rounds in
   {
@@ -51,6 +54,7 @@ let run ?config ?tail_window ~trials ~seed ~goal ~user ~server () =
     rounds_to_success;
     mean_rounds =
       (if rounds_to_success = [] then Float.nan else Stats.mean rounds_to_success);
+    unsafe_halts = !unsafe;
   }
 
 let pp ppf r =

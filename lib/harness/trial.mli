@@ -15,6 +15,10 @@ type result = {
           round of the last referee violation) of the successful
           trials *)
   mean_rounds : float;  (** mean of [rounds_to_success]; [nan] if none *)
+  unsafe_halts : int;
+      (** trials where the user halted yet the referee rejects — a
+          sensing-safety violation (finite goals; always 0 when sensing
+          is safe) *)
 }
 
 val run :

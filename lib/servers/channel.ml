@@ -32,30 +32,41 @@ let delayed ~rounds base =
           { act with Io.Server.to_user = delivered_out } ))
   end
 
-let drop_inbound ~drop_prob ~seed base =
+(* Randomness is drawn from the per-step [rng] (not a private stream
+   fixed at construction), so separate trials and separate instances of
+   the same wrapped strategy never share RNG state and replays with the
+   same execution seed reproduce the same losses. *)
+let drop_inbound ~drop_prob base =
   if drop_prob < 0. || drop_prob > 1. then
     invalid_arg "Channel.drop_inbound: drop_prob out of range";
-  let rng = Rng.make seed in
-  Strategy.rename
-    (Printf.sprintf "drop-in(%.2f,%s)" drop_prob (Strategy.name base))
-    (Strategy.map_obs
-       (fun (obs : Io.Server.obs) ->
-         if
-           (not (Msg.is_silence obs.Io.Server.from_user))
-           && Rng.bernoulli rng drop_prob
-         then { obs with Io.Server.from_user = Msg.Silence }
-         else obs)
-       base)
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:(Printf.sprintf "drop-in(%.2f,%s)" drop_prob (Strategy.name base))
+    ~init:(fun () -> I.create base)
+    ~step:(fun rng inst (obs : Io.Server.obs) ->
+      let obs =
+        if
+          (not (Msg.is_silence obs.Io.Server.from_user))
+          && Rng.bernoulli rng drop_prob
+        then { obs with Io.Server.from_user = Msg.Silence }
+        else obs
+      in
+      (inst, I.step rng inst obs))
 
 let duplicate_outbound base =
   let module I = Strategy.Instance in
   Strategy.make
     ~name:(Printf.sprintf "dup-out(%s)" (Strategy.name base))
-    ~init:(fun () -> (I.create base, Msg.Silence))
+    ~init:(fun () -> (I.create base, []))
     ~step:(fun rng (inst, pending) obs ->
       let act = I.step rng inst obs in
       let out = act.Io.Server.to_user in
       if Msg.is_silence out then
-        (* Deliver the pending duplicate, if any. *)
-        ((inst, Msg.Silence), { act with Io.Server.to_user = pending })
-      else ((inst, out), act))
+        (* Deliver the oldest pending duplicate, if any. *)
+        match pending with
+        | [] -> ((inst, []), act)
+        | d :: rest -> ((inst, rest), { act with Io.Server.to_user = d })
+      else
+        (* Queue the duplicate (never overwrite): back-to-back emissions
+           each get their echo once the link next falls silent. *)
+        ((inst, pending @ [ out ]), act))

@@ -15,14 +15,16 @@ val delayed : rounds:int -> Strategy.server -> Strategy.server
     server↔world channels are untouched.
     @raise Invalid_argument if [rounds < 0]. *)
 
-val drop_inbound :
-  drop_prob:float -> seed:int -> Strategy.server -> Strategy.server
+val drop_inbound : drop_prob:float -> Strategy.server -> Strategy.server
 (** Each user→server message is lost (replaced by silence) with the
     given probability — the inbound counterpart of
-    {!Transform.noisy}.  Deterministic given [seed].
+    {!Transform.noisy}.  Randomness comes from the per-step RNG, so
+    runs are deterministic given the execution seed and independent
+    across instances.
     @raise Invalid_argument if the probability is out of range. *)
 
 val duplicate_outbound : Strategy.server -> Strategy.server
 (** Every non-silent server→user message is delivered again on the
-    following round (a stuttering link); useful for checking that user
+    next silent round (a stuttering link); duplicates of back-to-back
+    emissions are queued, never lost.  Useful for checking that user
     strategies tolerate duplicated feedback. *)

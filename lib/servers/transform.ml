@@ -19,18 +19,20 @@ let dialect_class ~base dialects =
     (fun d -> with_dialect d base)
     dialects
 
-let noisy ~flip_prob ~seed base =
+(* Per-step RNG (see Channel.drop_inbound): a construction-time stream
+   would be shared across instances and diverge under replay. *)
+let noisy ~flip_prob base =
   if flip_prob < 0. || flip_prob > 1. then
     invalid_arg "Transform.noisy: flip_prob out of range";
-  let rng = Rng.make seed in
-  Strategy.rename
-    (Printf.sprintf "noisy(%.2f,%s)" flip_prob (Strategy.name base))
-    (Strategy.map_act
-       (fun (act : Io.Server.act) ->
-         if Rng.bernoulli rng flip_prob then
-           { act with Io.Server.to_user = Msg.Silence }
-         else act)
-       base)
+  let module I = Strategy.Instance in
+  Strategy.make
+    ~name:(Printf.sprintf "noisy(%.2f,%s)" flip_prob (Strategy.name base))
+    ~init:(fun () -> I.create base)
+    ~step:(fun rng inst obs ->
+      let act = I.step rng inst obs in
+      if Rng.bernoulli rng flip_prob then
+        (inst, { act with Io.Server.to_user = Msg.Silence })
+      else (inst, act))
 
 let lazy_every k base =
   if k <= 0 then invalid_arg "Transform.lazy_every: k must be positive";
@@ -44,10 +46,9 @@ let lazy_every k base =
 
 let silent () = Strategy.stateless ~name:"silent-server" (fun _ -> Io.Server.silent)
 
-let babbler ~alphabet_size ~seed =
+let babbler ~alphabet_size =
   if alphabet_size <= 0 then invalid_arg "Transform.babbler: bad alphabet";
-  let rng = Rng.make seed in
-  Strategy.stateless ~name:"babbler-server" (fun _ ->
+  Strategy.stateless_random ~name:"babbler-server" (fun rng _ ->
       {
         Io.Server.to_user = Msg.Sym (Rng.int rng alphabet_size);
         to_world = Msg.Sym (Rng.int rng alphabet_size);

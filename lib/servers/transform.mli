@@ -20,12 +20,11 @@ val dialect_class :
   base:Strategy.server -> Dialect.t Enum.t -> Strategy.server Enum.t
 (** One dialected copy of [base] per dialect. *)
 
-val noisy :
-  flip_prob:float -> seed:int -> Strategy.server -> Strategy.server
+val noisy : flip_prob:float -> Strategy.server -> Strategy.server
 (** With probability [flip_prob], an outgoing user-channel message is
-    replaced by [Silence] (a lossy channel).  Deterministic given
-    [seed].  @raise Invalid_argument if the probability is out of
-    range. *)
+    replaced by [Silence] (a lossy channel).  Randomness comes from the
+    per-step RNG, so runs are deterministic given the execution seed.
+    @raise Invalid_argument if the probability is out of range. *)
 
 val lazy_every : int -> Strategy.server -> Strategy.server
 (** Responds only every [k]-th round; in between it emits silence and
@@ -35,7 +34,7 @@ val lazy_every : int -> Strategy.server -> Strategy.server
 val silent : unit -> Strategy.server
 (** The unhelpful server that never says anything. *)
 
-val babbler : alphabet_size:int -> seed:int -> Strategy.server
+val babbler : alphabet_size:int -> Strategy.server
 (** An unhelpful server that emits uniformly random symbols to the user
     and the world, ignoring everything it hears. *)
 

@@ -42,11 +42,11 @@ let test_delay_validation () =
       ignore (Channel.delayed ~rounds:(-1) echo_server))
 
 let test_drop_inbound () =
-  let all_dropped = Channel.drop_inbound ~drop_prob:1.0 ~seed:2 echo_server in
+  let all_dropped = Channel.drop_inbound ~drop_prob:1.0 echo_server in
   let outs = drive all_dropped [ Msg.Int 7; Msg.Int 8 ] in
   Alcotest.(check bool) "nothing gets through" true
     (List.for_all Msg.is_silence outs);
-  let none_dropped = Channel.drop_inbound ~drop_prob:0.0 ~seed:2 echo_server in
+  let none_dropped = Channel.drop_inbound ~drop_prob:0.0 echo_server in
   let outs = drive none_dropped [ Msg.Int 7 ] in
   Alcotest.(check bool) "all gets through" true (outs = [ Msg.Int 7 ])
 
@@ -56,6 +56,38 @@ let test_duplicate_outbound () =
   Alcotest.(check bool) "original then duplicate" true
     (List.nth outs 0 = Msg.Int 5 && List.nth outs 1 = Msg.Int 5
     && List.nth outs 2 = Msg.Silence)
+
+let test_duplicate_queues_consecutive_emissions () =
+  (* Regression: a single pending slot lost the duplicate of the first
+     of two back-to-back emissions; the queue must deliver both. *)
+  let dup = Channel.duplicate_outbound echo_server in
+  let outs =
+    drive dup [ Msg.Int 1; Msg.Int 2; Msg.Silence; Msg.Silence; Msg.Silence ]
+  in
+  Alcotest.(check bool) "both duplicates delivered in order" true
+    (outs
+    = [ Msg.Int 1; Msg.Int 2; Msg.Int 1; Msg.Int 2; Msg.Silence ])
+
+let test_drop_inbound_instances_independent () =
+  (* Regression: a construction-time RNG was shared by all instances of
+     the same wrapped strategy, so replays diverged.  With per-step
+     randomness, two instances driven with equal per-step seeds see
+     identical losses. *)
+  let dropped = Channel.drop_inbound ~drop_prob:0.5 echo_server in
+  let drive_with_seed seed =
+    let rng = Rng.make seed in
+    let inst = Strategy.Instance.create dropped in
+    List.map
+      (fun m ->
+        (Strategy.Instance.step rng inst
+           { Io.Server.from_user = m; from_world = Msg.Silence })
+          .Io.Server.to_user)
+      (List.map (fun i -> Msg.Int i) (Listx.range 0 40))
+  in
+  Alcotest.(check bool) "same seed, same losses" true
+    (drive_with_seed 7 = drive_with_seed 7);
+  Alcotest.(check bool) "loss is actually happening" true
+    (List.exists Msg.is_silence (drive_with_seed 7))
 
 (* End-to-end: the printing goal still works through imperfect links. *)
 
@@ -101,7 +133,7 @@ let test_universal_tolerates_mild_loss () =
   List.iter
     (fun seed ->
       let server =
-        Channel.drop_inbound ~drop_prob:0.05 ~seed
+        Channel.drop_inbound ~drop_prob:0.05
           (Printing.server ~alphabet (dialect 0))
       in
       let user = Printing.universal_user ~alphabet dialects in
@@ -122,6 +154,10 @@ let () =
           Alcotest.test_case "delay validation" `Quick test_delay_validation;
           Alcotest.test_case "drop inbound" `Quick test_drop_inbound;
           Alcotest.test_case "duplicate outbound" `Quick test_duplicate_outbound;
+          Alcotest.test_case "duplicate queues consecutive emissions" `Quick
+            test_duplicate_queues_consecutive_emissions;
+          Alcotest.test_case "drop instances independent" `Quick
+            test_drop_inbound_instances_independent;
           Alcotest.test_case "informed tolerates delay" `Quick test_informed_tolerates_delay;
           Alcotest.test_case "universal tolerates delay" `Quick test_universal_tolerates_delay;
           Alcotest.test_case "universal tolerates duplication" `Quick test_universal_tolerates_duplication;

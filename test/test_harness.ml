@@ -78,7 +78,7 @@ let test_trial_validation () =
       ignore (Trial.run ~config ~trials:0 ~seed:1 ~goal ~user:winner ~server:idle_server ()))
 
 let test_registry_complete () =
-  Alcotest.(check int) "fifteen experiments" 15 (List.length Experiment.all);
+  Alcotest.(check int) "sixteen experiments" 16 (List.length Experiment.all);
   List.iteri
     (fun i (e : Experiment.t) ->
       Alcotest.(check string) "ordered ids" (Printf.sprintf "e%d" (i + 1)) e.id)
@@ -92,7 +92,7 @@ let test_registry_find () =
 
 let test_registry_kinds () =
   let kinds = List.map (fun (e : Experiment.t) -> e.kind) Experiment.all in
-  Alcotest.(check int) "eight tables" 8
+  Alcotest.(check int) "nine tables" 9
     (List.length (List.filter (fun k -> k = Experiment.Table) kinds));
   Alcotest.(check int) "seven figures" 7
     (List.length (List.filter (fun k -> k = Experiment.Figure) kinds));

@@ -75,16 +75,16 @@ let test_dialect_class_enumerates () =
 (* noisy *)
 
 let test_noisy_drops_messages () =
-  let noisy = Transform.noisy ~flip_prob:1.0 ~seed:5 echo_server in
+  let noisy = Transform.noisy ~flip_prob:1.0 echo_server in
   let act = step_server noisy (Msg.Int 3) in
   Alcotest.(check bool) "dropped" true (Msg.is_silence act.Io.Server.to_user);
-  let clean = Transform.noisy ~flip_prob:0.0 ~seed:5 echo_server in
+  let clean = Transform.noisy ~flip_prob:0.0 echo_server in
   let act = step_server clean (Msg.Int 3) in
   Alcotest.(check bool) "passes" true (Msg.equal act.Io.Server.to_user (Msg.Int 3))
 
 let test_noisy_validation () =
   Alcotest.check_raises "prob" (Invalid_argument "Transform.noisy: flip_prob out of range")
-    (fun () -> ignore (Transform.noisy ~flip_prob:1.5 ~seed:1 echo_server))
+    (fun () -> ignore (Transform.noisy ~flip_prob:1.5 echo_server))
 
 (* lazy_every *)
 
@@ -112,7 +112,7 @@ let test_silent_server () =
     (Msg.is_silence act.Io.Server.to_user && Msg.is_silence act.Io.Server.to_world)
 
 let test_babbler_emits_syms () =
-  let act = step_server (Transform.babbler ~alphabet_size:5 ~seed:3) Msg.Silence in
+  let act = step_server (Transform.babbler ~alphabet_size:5) Msg.Silence in
   (match act.Io.Server.to_user with
   | Msg.Sym s -> Alcotest.(check bool) "in range" true (s >= 0 && s < 5)
   | _ -> Alcotest.fail "expected a symbol")
