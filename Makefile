@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check ci bench clean
 
 all: build
 
@@ -12,6 +12,15 @@ test:
 
 # Everything the CI gate requires, in order.
 check: build test
+
+# Mirror of .github/workflows/ci.yml: build, test, trace smoke, golden
+# drift. Run before pushing.
+ci: check
+	dune exec bin/main.exe -- run e1 --trace /tmp/e1.jsonl
+	test -s /tmp/e1.jsonl
+	head -1 /tmp/e1.jsonl | grep -q '^{"ev":"'
+	dune exec bin/main.exe -- trace-golden test/golden
+	git diff --exit-code test/golden
 
 # Regenerates every experiment table, runs the bechamel kernels, and
 # writes BENCH_faults.json with the fault-layer timings.

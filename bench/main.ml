@@ -363,6 +363,249 @@ let write_fault_json rows =
   close_out oc;
   Printf.printf "\nwrote BENCH_faults.json (%d entries)\n" (List.length entries)
 
+(* Tracing overhead on the E1 kernel.
+
+   The tentpole claim of lib/obs is that the no-sink path is free: every
+   emission site is a load-and-branch, no event is allocated.  A binary
+   cannot contain both the instrumented and the pre-instrumentation
+   engine, so the baseline is a guard-free replica of Exec.run's loop
+   (below) driving the exact same strategies; the replica is checked
+   against Exec.run for bit-identical histories before timing.  On top
+   of the no-sink point we time the attached-sink variants: Trace.null
+   (pure dispatch cost), the Metrics aggregator, and JSONL rendering
+   into a Buffer. *)
+
+let replica_run ~config ~goal ~user ~server rng =
+  let user_rng = Rng.split rng in
+  let server_rng = Rng.split rng in
+  let world_rng = Rng.split rng in
+  let user_inst = Strategy.Instance.create user in
+  let server_inst = Strategy.Instance.create server in
+  let world_inst =
+    World.Instance.create (Goal.world ~choice:config.Exec.world_choice goal)
+  in
+  let initial_world_view = World.Instance.view world_inst in
+  let rec loop round halted drain_left prev_acts rounds_rev =
+    let (u2s, u2w), (s2u, s2w), (w2u, w2s) = prev_acts in
+    if round > config.Exec.horizon || (halted && drain_left <= 0) then
+      History.make ~initial_world_view (List.rev rounds_rev)
+    else begin
+      let user_act : Io.User.act =
+        if halted then Io.User.halt_act
+        else
+          Strategy.Instance.step user_rng user_inst
+            { Io.User.from_server = s2u; from_world = w2u; round }
+      in
+      let server_act : Io.Server.act =
+        Strategy.Instance.step server_rng server_inst
+          { Io.Server.from_user = u2s; from_world = w2s }
+      in
+      let world_act : Io.World.act =
+        World.Instance.step world_rng world_inst
+          { Io.World.from_user = u2w; from_server = s2w }
+      in
+      let halted' = halted || user_act.halt in
+      let round_record =
+        {
+          History.Round.index = round;
+          user_to_server = user_act.to_server;
+          user_to_world = user_act.to_world;
+          server_to_user = server_act.to_user;
+          server_to_world = server_act.to_world;
+          world_to_user = world_act.to_user;
+          world_to_server = world_act.to_server;
+          world_view = World.Instance.view world_inst;
+          user_halted = halted';
+        }
+      in
+      let drain_left' = if halted then drain_left - 1 else config.Exec.drain in
+      loop (round + 1) halted' drain_left'
+        ( (user_act.to_server, user_act.to_world),
+          (server_act.to_user, server_act.to_world),
+          (world_act.to_user, world_act.to_server) )
+        (round_record :: rounds_rev)
+    end
+  in
+  let silence2 = (Msg.Silence, Msg.Silence) in
+  loop 1 false config.Exec.drain (silence2, silence2, silence2) []
+
+let trace_e1_setup () =
+  let goal = Printing.goal ~docs:[ [ 3; 1; 4 ] ] ~alphabet () in
+  let server = Printing.server ~alphabet (dialect 2) in
+  let user = Printing.universal_user ~alphabet dialects in
+  let config = Exec.config ~horizon:2000 () in
+  (config, goal, user, server)
+
+let minimum l = List.fold_left min infinity l
+
+let median l =
+  let a = List.sort compare l in
+  List.nth a (List.length a / 2)
+
+let print_trace_overhead () =
+  print_endline "\n==================================================";
+  print_endline " Tracing overhead (E1 kernel)";
+  print_endline "==================================================";
+  let config, goal, user, server = trace_e1_setup () in
+  (* Replica fidelity: same seed, same history, or the baseline is not
+     measuring the same work. *)
+  let fidelity =
+    History.rounds (replica_run ~config ~goal ~user ~server (Rng.make seed))
+    = History.rounds (Exec.run ~config ~goal ~user ~server (Rng.make seed))
+  in
+  if not fidelity then
+    failwith "trace overhead: replica loop diverged from Exec.run";
+  let buf = Buffer.create 65536 in
+  let metrics = Goalcom_obs.Metrics.create () in
+  let variants =
+    [
+      ( "untraced replica",
+        fun k ->
+          ignore (replica_run ~config ~goal ~user ~server (Rng.make (seed + k)))
+      );
+      ( "no sink",
+        fun k ->
+          ignore (Exec.run ~config ~goal ~user ~server (Rng.make (seed + k))) );
+      ( "null sink",
+        fun k ->
+          ignore
+            (Exec.run ~sink:Trace.null ~config ~goal ~user ~server
+               (Rng.make (seed + k))) );
+      ( "metrics sink",
+        fun k ->
+          ignore
+            (Exec.run
+               ~sink:(Goalcom_obs.Metrics.sink metrics)
+               ~config ~goal ~user ~server
+               (Rng.make (seed + k))) );
+      ( "jsonl sink (buffer)",
+        fun k ->
+          Buffer.clear buf;
+          ignore
+            (Exec.run
+               ~sink:(Goalcom_obs.Jsonl.buffer_sink buf)
+               ~config ~goal ~user ~server
+               (Rng.make (seed + k))) );
+    ]
+  in
+  (* Each variant is measured PAIRED against the baseline at single-run
+     granularity: baseline and variant alternate run by run (with the
+     order itself alternating, so neither arm always inherits the
+     other's cache state), each round yields one variant/baseline ratio
+     from sums taken microseconds apart — frequency scaling, thermal
+     drift and scheduler noise hit both arms equally and cancel in the
+     ratio.  The reported overhead is the median ratio over rounds. *)
+  let baseline = snd (List.hd variants) in
+  List.iter (fun (_, f) -> for k = 0 to 4 do f k done) variants;
+  let calibrate f =
+    let t0 = Unix.gettimeofday () in
+    for k = 0 to 9 do
+      f k
+    done;
+    (Unix.gettimeofday () -. t0) /. 10.
+  in
+  let per_run = calibrate baseline in
+  let n = max 10 (int_of_float (0.05 /. max 1e-6 per_run)) in
+  let rounds = 15 in
+  let measure_paired f =
+    let ratios = ref [] in
+    let best_base = ref infinity and best_var = ref infinity in
+    for _ = 1 to rounds do
+      (* Settle the heap so one arm's garbage is not charged to the
+         other arm's runs. *)
+      Gc.full_major ();
+      let tb = ref 0. and tv = ref 0. in
+      for k = 1 to n do
+        if k land 1 = 0 then begin
+          let t0 = Unix.gettimeofday () in
+          baseline k;
+          let t1 = Unix.gettimeofday () in
+          f k;
+          let t2 = Unix.gettimeofday () in
+          tb := !tb +. (t1 -. t0);
+          tv := !tv +. (t2 -. t1)
+        end
+        else begin
+          let t0 = Unix.gettimeofday () in
+          f k;
+          let t1 = Unix.gettimeofday () in
+          baseline k;
+          let t2 = Unix.gettimeofday () in
+          tv := !tv +. (t1 -. t0);
+          tb := !tb +. (t2 -. t1)
+        end
+      done;
+      ratios := (!tv /. !tb) :: !ratios;
+      best_base := min !best_base (!tb /. float_of_int n);
+      best_var := min !best_var (!tv /. float_of_int n)
+    done;
+    (median !ratios, !best_base, !best_var)
+  in
+  let measured =
+    List.map (fun (name, f) -> (name, measure_paired f)) (List.tl variants)
+  in
+  let base_ms =
+    1e3 *. minimum (List.map (fun (_, (_, b, _)) -> b) measured)
+  in
+  let pct r = 100. *. (r -. 1.) in
+  let rows =
+    ("untraced replica", [ Printf.sprintf "%.3f" base_ms; "baseline" ])
+    :: List.map
+         (fun (name, (ratio, _, v)) ->
+           ( name,
+             [
+               Printf.sprintf "%.3f" (v *. 1e3);
+               Printf.sprintf "%+.2f%%" (pct ratio);
+             ] ))
+         measured
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf
+            "tracing overhead, E1 kernel (median of %d rounds x %d paired runs)"
+            rounds n)
+       ~columns:[ "variant"; "ms/run"; "vs baseline" ]
+       (List.map (fun (name, cells) -> name :: cells) rows));
+  let nosink_pct =
+    match measured with (_, (r, _, _)) :: _ -> pct r | [] -> 0.
+  in
+  Printf.printf "\nno-sink tracing overhead: %+.2f%% (acceptance: < 2%%)\n"
+    nosink_pct;
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"kernel\": \"e1_universality\",\n\
+    \  \"rounds\": %d,\n\
+    \  \"paired_runs_per_round\": %d,\n\
+    \  \"unit\": \"ms/run\",\n\
+    \  \"no_sink_overhead_pct\": %.3f,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    seed rounds n nosink_pct
+    (String.concat ",\n"
+       (Printf.sprintf
+          "    {\"name\": \"untraced replica\", \"ms_per_run\": %.4f}"
+          base_ms
+       :: List.map
+            (fun (name, (ratio, _, v)) ->
+              Printf.sprintf
+                "    {\"name\": %S, \"ms_per_run\": %.4f, \
+                 \"overhead_pct\": %.3f}"
+                name (v *. 1e3) (pct ratio))
+            measured));
+  close_out oc;
+  Printf.printf "wrote BENCH_trace.json (%d entries)\n" (List.length variants)
+
 let () =
-  print_experiments ();
-  write_fault_json (print_bench ())
+  (* BENCH_ONLY=trace skips the (slow) experiment tables and bechamel
+     kernels while iterating on the tracing-overhead measurement. *)
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | Some "trace" -> print_trace_overhead ()
+  | _ ->
+      print_experiments ();
+      write_fault_json (print_bench ());
+      print_trace_overhead ()

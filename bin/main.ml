@@ -2,11 +2,14 @@
 
    Subcommands:
      list                      enumerate the experiment registry
-     run <id> [--seed] [--csv] run one experiment
+     run <id> [--seed] [--csv] run one experiment ([--trace FILE] writes
+                               a JSONL execution trace)
      all [--seed]              run every experiment
      demo <goal> [options]     run one goal with a chosen user and report
+                               ([--trace] streams events and metrics)
      check <goal>              validate sensing safety/viability and
-                               helpfulness for a goal's server class *)
+                               helpfulness for a goal's server class
+     trace-golden <dir>        regenerate the golden trace files *)
 
 open Cmdliner
 open Goalcom
@@ -38,12 +41,26 @@ let list_cmd =
 
 let run_cmd =
   let id_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e1..e10).")
+    (* The docv range tracks the registry, not a hand-written constant. *)
+    let ids_doc =
+      match Experiment.all with
+      | [] -> "Experiment id."
+      | es ->
+          Printf.sprintf "Experiment id (%s..%s)." (List.hd es).Experiment.id
+            (Listx.last es).Experiment.id
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:ids_doc)
   in
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
   in
-  let run id seed csv =
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a JSONL execution trace of every run the \
+                   experiment performs to $(docv).")
+  in
+  let run id seed csv trace =
     match Experiment.find id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `goalcom list`\n" id;
@@ -51,11 +68,20 @@ let run_cmd =
     | Some e ->
         Printf.printf "# %s — %s\n# claim: %s\n%!" e.Experiment.id
           e.Experiment.title e.Experiment.claim;
-        let table = e.Experiment.run ~seed in
-        if csv then print_string (Table.to_csv table) else Table.print table
+        let render () =
+          let table = e.Experiment.run ~seed in
+          if csv then print_string (Table.to_csv table) else Table.print table
+        in
+        (match trace with
+        | None -> render ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Trace.with_sink (Goalcom_obs.Jsonl.sink oc) render))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment.")
-    Term.(const run $ id_arg $ seed_arg $ csv_arg)
+    Term.(const run $ id_arg $ seed_arg $ csv_arg $ trace_arg)
 
 (* all *)
 
@@ -113,7 +139,13 @@ let demo_cmd =
                    adversary:B; join with + for one flag, e.g. \
                    corrupt:0.05+crash:60.")
   in
-  let run goal_kind user_kind dialect_idx horizon fault_specs seed =
+  let trace_flag =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Stream the execution trace to stdout (compact form) and \
+                   print a metrics summary after the run.")
+  in
+  let run goal_kind user_kind dialect_idx horizon fault_specs trace seed =
     let alphabet = 6 in
     let dialects = Dialect.enumerate_rotations ~size:alphabet in
     let dialect i = Enum.get_exn dialects (i mod alphabet) in
@@ -189,8 +221,21 @@ let demo_cmd =
         Fault.nop fault_specs
     in
     let server = Goalcom_faults.Fault.apply fault server in
+    let meter =
+      if trace then
+        Some (Goalcom_obs.Metrics.create ~clock:Unix.gettimeofday ())
+      else None
+    in
+    let sink =
+      Option.map
+        (fun m ->
+          Trace.tee
+            (Goalcom_obs.Pretty.sink Format.std_formatter)
+            (Goalcom_obs.Metrics.sink m))
+        meter
+    in
     let outcome, history =
-      Exec.run_outcome
+      Exec.run_outcome ?sink
         ~config:(Exec.config ~horizon ())
         ~goal ~user ~server (Rng.make seed)
     in
@@ -198,12 +243,17 @@ let demo_cmd =
     Format.printf "user    : %s@." (Strategy.name user);
     Format.printf "server  : %s@." (Strategy.name server);
     Format.printf "outcome : %a@." Outcome.pp outcome;
-    Format.printf "rounds  : %d@." (History.length history)
+    Format.printf "rounds  : %d@." (History.length history);
+    Option.iter
+      (fun m ->
+        Format.printf "metrics :@.%a@." Goalcom_obs.Metrics.pp
+          (Goalcom_obs.Metrics.summary m))
+      meter
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run one goal once and report the outcome.")
     Term.(const run $ goal_arg $ user_arg $ dialect_arg $ horizon_arg
-          $ fault_arg $ seed_arg)
+          $ fault_arg $ trace_flag $ seed_arg)
 
 (* check *)
 
@@ -351,6 +401,29 @@ let transcript_cmd =
        ~doc:"Run an informed user on a goal and print the round-by-round history.")
     Term.(const run $ goal_arg $ dialect_arg $ rounds_arg $ seed_arg)
 
+(* trace-golden *)
+
+let trace_golden_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR"
+             ~doc:"Directory to write the <case>.jsonl files into \
+                   (the test suite reads test/golden).")
+  in
+  let run dir =
+    List.iter
+      (fun (c : Trace_cases.case) ->
+        let path = Filename.concat dir (c.Trace_cases.name ^ ".jsonl") in
+        let events = c.Trace_cases.events () in
+        Goalcom_obs.Jsonl.to_file path events;
+        Printf.printf "wrote %s (%d events)\n" path (List.length events))
+      Trace_cases.all
+  in
+  Cmd.v
+    (Cmd.info "trace-golden"
+       ~doc:"Regenerate the golden trace files the test suite diffs against.")
+    Term.(const run $ dir_arg)
+
 let () =
   let info =
     Cmd.info "goalcom" ~version:"1.0.0"
@@ -359,4 +432,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; demo_cmd; check_cmd; transcript_cmd ]))
+          [
+            list_cmd; run_cmd; all_cmd; demo_cmd; check_cmd; transcript_cmd;
+            trace_golden_cmd;
+          ]))

@@ -9,69 +9,105 @@ let config ?(horizon = 1000) ?(drain = 2) ?(world_choice = 0) () =
 
 let default_config = config ()
 
-let run ?(config = default_config) ~goal ~user ~server rng =
-  let user_rng = Rng.split rng in
-  let server_rng = Rng.split rng in
-  let world_rng = Rng.split rng in
-  let user_inst = Strategy.Instance.create user in
-  let server_inst = Strategy.Instance.create server in
-  let world_inst = World.Instance.create (Goal.world ~choice:config.world_choice goal) in
-  let initial_world_view = World.Instance.view world_inst in
-  (* Messages in flight: emitted last round, delivered this round. *)
-  let rec loop round halted drain_left prev_acts rounds_rev =
-    let (u2s, u2w), (s2u, s2w), (w2u, w2s) = prev_acts in
-    if round > config.horizon || (halted && drain_left <= 0) then
-      History.make ~initial_world_view (List.rev rounds_rev)
-    else begin
-      let user_act : Io.User.act =
-        if halted then Io.User.halt_act
-        else
-          Strategy.Instance.step user_rng user_inst
-            { Io.User.from_server = s2u; from_world = w2u; round }
-      in
-      let server_act : Io.Server.act =
-        Strategy.Instance.step server_rng server_inst
-          { Io.Server.from_user = u2s; from_world = w2s }
-      in
-      let world_act : Io.World.act =
-        World.Instance.step world_rng world_inst
-          { Io.World.from_user = u2w; from_server = s2w }
-      in
-      let halted' = halted || user_act.halt in
-      let round_record =
-        {
-          History.Round.index = round;
-          user_to_server = user_act.to_server;
-          user_to_world = user_act.to_world;
-          server_to_user = server_act.to_user;
-          server_to_world = server_act.to_world;
-          world_to_user = world_act.to_user;
-          world_to_server = world_act.to_server;
-          world_view = World.Instance.view world_inst;
-          user_halted = halted';
-        }
-      in
-      let drain_left' = if halted then drain_left - 1 else config.drain in
-      loop (round + 1) halted' drain_left'
-        ( (user_act.to_server, user_act.to_world),
-          (server_act.to_user, server_act.to_world),
-          (world_act.to_user, world_act.to_server) )
-        (round_record :: rounds_rev)
-    end
+let run ?sink ?(config = default_config) ~goal ~user ~server rng =
+  let body () =
+    (* Resolved once: strategies cannot (re)install sinks mid-run. *)
+    let tracing = Trace.enabled () in
+    if tracing then
+      Trace.emit
+        (Trace.Run_start
+           {
+             goal = Goal.name goal;
+             user = Strategy.name user;
+             server = Strategy.name server;
+             horizon = config.horizon;
+             drain = config.drain;
+             world_choice = config.world_choice;
+           });
+    let user_rng = Rng.split rng in
+    let server_rng = Rng.split rng in
+    let world_rng = Rng.split rng in
+    let user_inst = Strategy.Instance.create user in
+    let server_inst = Strategy.Instance.create server in
+    let world_inst = World.Instance.create (Goal.world ~choice:config.world_choice goal) in
+    let initial_world_view = World.Instance.view world_inst in
+    let emit_msg round src dst msg =
+      if not (Msg.is_silence msg) then
+        Trace.emit (Trace.Emit { round; src; dst; msg })
+    in
+    (* Messages in flight: emitted last round, delivered this round. *)
+    let rec loop round halted drain_left prev_acts rounds_rev =
+      let (u2s, u2w), (s2u, s2w), (w2u, w2s) = prev_acts in
+      if round > config.horizon || (halted && drain_left <= 0) then begin
+        let history = History.make ~initial_world_view (List.rev rounds_rev) in
+        if tracing then
+          Trace.emit
+            (Trace.Run_end { rounds = History.length history; halted });
+        history
+      end
+      else begin
+        if tracing then begin
+          Trace.set_round round;
+          Trace.emit (Trace.Round_start { round })
+        end;
+        let user_act : Io.User.act =
+          if halted then Io.User.halt_act
+          else
+            Strategy.Instance.step user_rng user_inst
+              { Io.User.from_server = s2u; from_world = w2u; round }
+        in
+        let server_act : Io.Server.act =
+          Strategy.Instance.step server_rng server_inst
+            { Io.Server.from_user = u2s; from_world = w2s }
+        in
+        let world_act : Io.World.act =
+          World.Instance.step world_rng world_inst
+            { Io.World.from_user = u2w; from_server = s2w }
+        in
+        let halted' = halted || user_act.halt in
+        if tracing then begin
+          emit_msg round Trace.User Trace.Server user_act.to_server;
+          emit_msg round Trace.User Trace.World user_act.to_world;
+          emit_msg round Trace.Server Trace.User server_act.to_user;
+          emit_msg round Trace.Server Trace.World server_act.to_world;
+          emit_msg round Trace.World Trace.User world_act.to_user;
+          emit_msg round Trace.World Trace.Server world_act.to_server;
+          if halted' && not halted then Trace.emit (Trace.Halt { round })
+        end;
+        let round_record =
+          {
+            History.Round.index = round;
+            user_to_server = user_act.to_server;
+            user_to_world = user_act.to_world;
+            server_to_user = server_act.to_user;
+            server_to_world = server_act.to_world;
+            world_to_user = world_act.to_user;
+            world_to_server = world_act.to_server;
+            world_view = World.Instance.view world_inst;
+            user_halted = halted';
+          }
+        in
+        let drain_left' = if halted then drain_left - 1 else config.drain in
+        loop (round + 1) halted' drain_left'
+          ( (user_act.to_server, user_act.to_world),
+            (server_act.to_user, server_act.to_world),
+            (world_act.to_user, world_act.to_server) )
+          (round_record :: rounds_rev)
+      end
+    in
+    let silence2 = (Msg.Silence, Msg.Silence) in
+    loop 1 false config.drain (silence2, silence2, silence2) []
   in
-  let silence2 = (Msg.Silence, Msg.Silence) in
-  loop 1 false config.drain (silence2, silence2, silence2) []
+  match sink with None -> body () | Some s -> Trace.with_sink s body
 
-let run_outcome ?config ?tail_window ~goal ~user ~server rng =
-  let history = run ?config ~goal ~user ~server rng in
-  (Outcome.judge ?tail_window goal history, history)
-
-let success_rate ?config ?tail_window ~trials ~goal ~user ~server rng =
-  if trials <= 0 then invalid_arg "Exec.success_rate: trials must be positive";
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    let trial_rng = Rng.split rng in
-    let outcome, _ = run_outcome ?config ?tail_window ~goal ~user ~server trial_rng in
-    if outcome.achieved then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+let run_outcome ?sink ?config ?tail_window ~goal ~user ~server rng =
+  let body () =
+    let history = run ?config ~goal ~user ~server rng in
+    let outcome = Outcome.judge ?tail_window goal history in
+    if Trace.enabled () then
+      List.iter
+        (fun round -> Trace.emit (Trace.Violation { round }))
+        outcome.Outcome.violation_rounds;
+    (outcome, history)
+  in
+  match sink with None -> body () | Some s -> Trace.with_sink s body

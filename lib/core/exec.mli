@@ -7,7 +7,14 @@
     so in-flight messages (e.g. the user's final answer to the world)
     are delivered and reflected in the world state, then stops.
 
-    Compact goals never halt: the run is truncated at [horizon]. *)
+    Compact goals never halt: the run is truncated at [horizon].
+
+    {b Tracing.}  Both entry points take an optional {!Trace.sink}.
+    When given, it is installed as the ambient sink for the duration of
+    the call (so strategy-level emitters — universal users, tolerant
+    sensing, fault wrappers — share it); when absent, whatever ambient
+    sink is already installed (see {!Trace.set_sink}) is used, and with
+    no sink at all the tracing path allocates nothing. *)
 
 type config = {
   horizon : int;  (** maximum number of rounds; must be positive *)
@@ -19,6 +26,7 @@ val config : ?horizon:int -> ?drain:int -> ?world_choice:int -> unit -> config
 (** Defaults: [horizon = 1000], [drain = 2], [world_choice = 0]. *)
 
 val run :
+  ?sink:Trace.sink ->
   ?config:config ->
   goal:Goal.t ->
   user:Strategy.user ->
@@ -27,9 +35,12 @@ val run :
   History.t
 (** Execute the coupled system and return its history.  The generator
     is split into independent streams for the three parties, so a
-    party's randomness does not depend on the others' sampling order. *)
+    party's randomness does not depend on the others' sampling order.
+    Emits [Run_start], [Round_start], [Emit] (non-silent messages
+    only), [Halt] and [Run_end] trace events when tracing is on. *)
 
 val run_outcome :
+  ?sink:Trace.sink ->
   ?config:config ->
   ?tail_window:int ->
   goal:Goal.t ->
@@ -37,15 +48,10 @@ val run_outcome :
   server:Strategy.server ->
   Goalcom_prelude.Rng.t ->
   Outcome.t * History.t
-(** {!run} followed by {!Outcome.judge}. *)
+(** {!run} followed by {!Outcome.judge}; additionally emits one
+    [Violation] event per referee-violation round (after [Run_end] —
+    violations are post-hoc judgments, not run-time occurrences).
 
-val success_rate :
-  ?config:config ->
-  ?tail_window:int ->
-  trials:int ->
-  goal:Goal.t ->
-  user:Strategy.user ->
-  server:Strategy.server ->
-  Goalcom_prelude.Rng.t ->
-  float
-(** Fraction of [trials] independent runs that achieve the goal. *)
+    For success-rate estimation over repeated trials use
+    [Goalcom_harness.Trial.run] (or its [success_rate] wrapper), which
+    also cycles world choices and counts unsafe halts. *)

@@ -51,6 +51,36 @@ let halt_round t =
 let prefix n t =
   { t with rounds = Listx.take n t.rounds }
 
+(* Post-hoc reconstruction of the engine-level trace events from a
+   recorded history: what Exec.run would have emitted for the same run
+   minus Run_start (the config is not recorded) and minus the
+   strategy-internal events (sensing, switches, faults), which only
+   exist in live traces. *)
+let trace_events t =
+  let emit round src dst msg acc =
+    if Msg.is_silence msg then acc
+    else Trace.Emit { round; src; dst; msg } :: acc
+  in
+  let events, halt_seen =
+    List.fold_left
+      (fun (acc, halt_seen) (r : Round.t) ->
+        let acc = Trace.Round_start { round = r.index } :: acc in
+        let acc =
+          emit r.index Trace.User Trace.Server r.user_to_server acc
+          |> emit r.index Trace.User Trace.World r.user_to_world
+          |> emit r.index Trace.Server Trace.User r.server_to_user
+          |> emit r.index Trace.Server Trace.World r.server_to_world
+          |> emit r.index Trace.World Trace.User r.world_to_user
+          |> emit r.index Trace.World Trace.Server r.world_to_server
+        in
+        if r.user_halted && not halt_seen then
+          (Trace.Halt { round = r.index } :: acc, true)
+        else (acc, halt_seen))
+      ([], false) t.rounds
+  in
+  List.rev
+    (Trace.Run_end { rounds = length t; halted = halt_seen } :: events)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>initial world %a@,%a@]" Msg.pp t.initial_world_view
     (Format.pp_print_list Round.pp)

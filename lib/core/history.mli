@@ -48,4 +48,11 @@ val halt_round : t -> int option
 val prefix : int -> t -> t
 (** First [n] rounds. *)
 
+val trace_events : t -> Trace.event list
+(** Post-hoc reconstruction of the engine-level trace of this history:
+    the [Round_start], [Emit], [Halt] and [Run_end] events {!Exec.run}
+    would have emitted for the same run.  [Run_start] (the config is not
+    recorded in a history) and the strategy-internal events (sensing
+    verdicts, switches, fault activations) exist only in live traces. *)
+
 val pp : Format.formatter -> t -> unit

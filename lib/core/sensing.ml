@@ -41,19 +41,45 @@ let tolerant ~window ~threshold t =
   if window <= 0 then invalid_arg "Sensing.tolerant: window must be positive";
   if threshold <= 0 || threshold > window then
     invalid_arg "Sensing.tolerant: threshold must be in 1..window";
+  let name = Printf.sprintf "%s/tolerant(%d-of-%d)" t.name threshold window in
   {
-    name = Printf.sprintf "%s/tolerant(%d-of-%d)" t.name threshold window;
+    name;
     sense =
       (fun view ->
         let depth = min window (View.length view) in
-        let rec negs k acc =
-          if k >= depth || acc >= threshold then acc
+        if depth = 0 then Positive
+        else begin
+          let raw0 = t.sense view in
+          let rec negs k acc =
+            if k >= depth || acc >= threshold then acc
+            else begin
+              let v = t.sense (View.drop_latest k view) in
+              negs (k + 1) (if v = Negative then acc + 1 else acc)
+            end
+          in
+          let n = negs 1 (if raw0 = Negative then 1 else 0) in
+          if n >= threshold then Negative
           else begin
-            let v = t.sense (View.drop_latest k view) in
-            negs (k + 1) (if v = Negative then acc + 1 else acc)
+            (* A raw negative masked by a healthy recent window is the
+               interesting tolerant-sensing event: record it when
+               tracing (every unmasked verdict is already visible to
+               the universal user's own [Sense] emission). *)
+            if raw0 = Negative && Trace.enabled () then
+              Trace.emit
+                (Trace.Sense
+                   {
+                     round =
+                       (match View.latest view with
+                       | Some e -> e.View.round
+                       | None -> 0);
+                     sensor = name ^ "/mask";
+                     positive = true;
+                     clock = n;
+                     patience = threshold;
+                   });
+            Positive
           end
-        in
-        if negs 0 0 >= threshold then Negative else Positive);
+        end);
   }
 
 let corrupt_unsafe ~flip_to_positive rng t =

@@ -57,6 +57,10 @@ val tolerant : window:int -> threshold:int -> t -> t
     finite-goal halting (there, flipping Negative to Positive is the
     unsafe direction).  Each call re-evaluates the base sensing on up to
     [window] prefixes ({!View.drop_latest}), so keep the window small.
+    When tracing is on, each raw negative that the window masks to
+    [Positive] emits a {!Trace.Sense} event whose sensor name carries a
+    ["/mask"] suffix ([clock] = raw negatives in the window, [patience]
+    = [threshold]).
     @raise Invalid_argument unless [1 <= threshold <= window]. *)
 
 val corrupt_unsafe :

@@ -1,0 +1,166 @@
+(* Structured execution tracing.
+
+   The event algebra lives in lib/core (rather than lib/obs) because the
+   emitters — Exec, Universal, Sensing, and the fault layer — are below
+   the observability library in the dependency order; lib/obs builds the
+   metrics aggregator, JSONL exporter and pretty-printer on top of this
+   module.
+
+   Sink discipline: there is one ambient sink (like a Logs reporter).
+   Emitters guard every emission with [enabled ()] so that when no sink
+   is installed no event value is ever allocated — the entire cost of
+   the disabled tracing path is one load-and-branch per emission site. *)
+
+type party = User | Server | World
+
+let party_name = function User -> "user" | Server -> "server" | World -> "world"
+
+type event =
+  | Run_start of {
+      goal : string;
+      user : string;
+      server : string;
+      horizon : int;
+      drain : int;
+      world_choice : int;
+    }
+  | Round_start of { round : int }
+  | Emit of { round : int; src : party; dst : party; msg : Msg.t }
+  | Halt of { round : int }
+  | Sense of {
+      round : int;
+      sensor : string;
+      positive : bool;
+      clock : int;
+      patience : int;
+    }
+  | Switch of { round : int; from_index : int; to_index : int; attempt : int }
+  | Resume of { index : int; slots : int }
+  | Session of { round : int; index : int; budget : int }
+  | Fault of { round : int; fault : string; detail : string }
+  | Violation of { round : int }
+  | Run_end of { rounds : int; halted : bool }
+
+type sink = event -> unit
+
+(* The ambient sink, and the round the engine is currently executing
+   (kept here so emitters that cannot see the round — the fault layer
+   wraps a server, whose observations carry no round number — can still
+   stamp their events).  Both are only touched when tracing is on. *)
+
+let ambient : sink option ref = ref None
+let ambient_round = ref 0
+
+(* Pattern match, not [<> None]: the guard sits on every emission site
+   in the engine's hot loop, and structural comparison is a C call. *)
+let[@inline] enabled () = match !ambient with None -> false | Some _ -> true
+let current () = !ambient
+let set_sink s = ambient := s
+
+let emit ev = match !ambient with None -> () | Some f -> f ev
+
+let set_round r = ambient_round := r
+let current_round () = !ambient_round
+
+let with_sink s f =
+  let prev = !ambient in
+  let prev_round = !ambient_round in
+  ambient := Some s;
+  Fun.protect
+    ~finally:(fun () ->
+      ambient := prev;
+      ambient_round := prev_round)
+    f
+
+let tee a b ev =
+  a ev;
+  b ev
+
+let null _ = ()
+
+(* Invariant checking over recorded traces.  An invariant inspects the
+   whole event list and reports the first violation as a message. *)
+
+type invariant = { inv_name : string; inv_check : event list -> string option }
+
+let invariant ~name check = { inv_name = name; inv_check = check }
+let invariant_name i = i.inv_name
+
+let rounds_increase =
+  invariant ~name:"round numbers strictly increase" (fun events ->
+      let rec go prev = function
+        | [] -> None
+        | Round_start { round } :: rest ->
+            if round > prev then go round rest
+            else
+              Some
+                (Printf.sprintf "round %d started after round %d" round prev)
+        | _ :: rest -> go prev rest
+      in
+      go 0 events)
+
+let no_emission_after_drain =
+  invariant ~name:"no party emits after the user halts (beyond drain)"
+    (fun events ->
+      let drain =
+        List.find_map
+          (function Run_start { drain; _ } -> Some drain | _ -> None)
+          events
+      in
+      let halt =
+        List.find_map
+          (function Halt { round } -> Some round | _ -> None)
+          events
+      in
+      match (halt, drain) with
+      | None, _ -> None
+      | Some h, drain ->
+          let drain = Option.value drain ~default:0 in
+          List.find_map
+            (function
+              | Emit { round; src; dst; _ } when round > h + drain ->
+                  Some
+                    (Printf.sprintf
+                       "%s emitted to %s in round %d, after halt round %d + \
+                        drain %d"
+                       (party_name src) (party_name dst) round h drain)
+              | _ -> None)
+            events)
+
+let switch_follows_negative =
+  invariant ~name:"every switch is preceded by a negative sensing verdict"
+    (fun events ->
+      let rec go last_sense = function
+        | [] -> None
+        | Sense { positive; _ } :: rest -> go (Some positive) rest
+        | Switch { round; to_index; _ } :: rest -> begin
+            match last_sense with
+            | Some false -> go last_sense rest
+            | Some true ->
+                Some
+                  (Printf.sprintf
+                     "switch to index %d at round %d follows a positive verdict"
+                     to_index round)
+            | None ->
+                Some
+                  (Printf.sprintf
+                     "switch to index %d at round %d with no prior verdict"
+                     to_index round)
+          end
+        | _ :: rest -> go last_sense rest
+      in
+      go None events)
+
+let standard =
+  [ rounds_increase; no_emission_after_drain; switch_follows_negative ]
+
+let check invariants events =
+  let rec go = function
+    | [] -> Ok ()
+    | inv :: rest -> begin
+        match inv.inv_check events with
+        | None -> go rest
+        | Some msg -> Error (Printf.sprintf "%s: %s" inv.inv_name msg)
+      end
+  in
+  go invariants

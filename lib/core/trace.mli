@@ -1,0 +1,120 @@
+(** Structured execution tracing: the event algebra and the ambient sink.
+
+    Every claim in the paper is about what happens {e during} a run —
+    sensing verdicts, the strategy switches of Theorem 1's enumeration,
+    rounds until the referee settles.  This module makes those moments
+    first-class events.  {!Exec.run} emits round boundaries, per-party
+    message emissions and the user's halt; {!Universal} emits sensing
+    verdicts, strategy switches, Levin schedule steps and checkpoint
+    resumes; {!Sensing.tolerant} emits masked verdicts; the fault layer
+    ([lib/faults]) emits fault activations; {!Exec.run_outcome} emits
+    referee violations.  The metrics aggregator, JSONL exporter and
+    pretty-printer live on top, in [lib/obs] ([goalcom_obs]).
+
+    {b Sink discipline.}  There is a single ambient sink, installed with
+    {!set_sink} or scoped with {!with_sink} (the model is a [Logs]
+    reporter).  Emitters guard every emission site with {!enabled}, so
+    with no sink installed {e no event value is allocated}: the disabled
+    path costs one load-and-branch per site.  Traces carry no wall-clock
+    stamps — a trace is a pure function of (strategies, goal, seed,
+    config), so same seed ⇒ bit-identical trace; timing lives in the
+    metrics layer, out of band. *)
+
+type party = User | Server | World
+
+val party_name : party -> string
+(** ["user"], ["server"], ["world"]. *)
+
+type event =
+  | Run_start of {
+      goal : string;
+      user : string;
+      server : string;
+      horizon : int;
+      drain : int;
+      world_choice : int;
+    }  (** emitted once by {!Exec.run}, before the parties are created *)
+  | Round_start of { round : int }  (** round boundary (rounds start at 1) *)
+  | Emit of { round : int; src : party; dst : party; msg : Msg.t }
+      (** a non-silent message placed on the wire in [round] *)
+  | Halt of { round : int }  (** the user requested halt in [round] *)
+  | Sense of {
+      round : int;
+      sensor : string;
+      positive : bool;
+      clock : int;  (** rounds the judged strategy has been running *)
+      patience : int;  (** effective grace / tolerance threshold in force *)
+    }  (** a sensing verdict, as consumed by a universal construction *)
+  | Switch of { round : int; from_index : int; to_index : int; attempt : int }
+      (** compact enumeration advanced (or retried: same index, higher
+          [attempt]) after a negative indication *)
+  | Resume of { index : int; slots : int }
+      (** a fresh incarnation resumed a checkpointed enumeration *)
+  | Session of { round : int; index : int; budget : int }
+      (** the finite (Levin) construction started a scheduled session *)
+  | Fault of { round : int; fault : string; detail : string }
+      (** a fault combinator activated (corruption, crash, outage, ...) *)
+  | Violation of { round : int }
+      (** referee violation, judged post-run by {!Exec.run_outcome} *)
+  | Run_end of { rounds : int; halted : bool }
+
+type sink = event -> unit
+
+(** {1 The ambient sink} *)
+
+val enabled : unit -> bool
+(** Guard emissions with this so the no-sink path allocates nothing. *)
+
+val emit : event -> unit
+(** Deliver to the ambient sink ([()] when none is installed). *)
+
+val current : unit -> sink option
+
+val set_sink : sink option -> unit
+(** Install (or clear) the ambient sink globally — CLI-style usage. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Run the thunk with the given sink installed, restoring the previous
+    sink (and current round) afterwards, exceptions included. *)
+
+val set_round : int -> unit
+(** Maintained by {!Exec.run} while tracing so emitters that cannot see
+    the round number (fault wrappers) can stamp their events. *)
+
+val current_round : unit -> int
+
+val tee : sink -> sink -> sink
+(** Both sinks, left first. *)
+
+val null : sink
+(** Accepts and discards every event (for benchmarking the hot path). *)
+
+(** {1 Trace invariants}
+
+    Pure checks over recorded event lists; the trace-invariant test
+    suite and the golden tests run {!check} with {!standard}. *)
+
+type invariant
+
+val invariant : name:string -> (event list -> string option) -> invariant
+(** The function returns [Some message] describing the first violation,
+    [None] if the trace satisfies the invariant. *)
+
+val invariant_name : invariant -> string
+
+val rounds_increase : invariant
+(** [Round_start] rounds are strictly increasing. *)
+
+val no_emission_after_drain : invariant
+(** After [Halt] at round [h], no [Emit] occurs past [h + drain] (drain
+    taken from [Run_start], 0 if absent). *)
+
+val switch_follows_negative : invariant
+(** Every [Switch] is immediately preceded (in sense order) by a
+    negative [Sense] verdict. *)
+
+val standard : invariant list
+(** The three invariants above. *)
+
+val check : invariant list -> event list -> (unit, string) result
+(** First violated invariant, as ["<invariant>: <detail>"]. *)

@@ -111,6 +111,8 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
         match checkpoint with Some c -> c.saved_index | None -> 0
       in
       Option.iter (fun s -> s.current_index <- start) stats;
+      if start > 0 && Trace.enabled () then
+        Trace.emit (Trace.Resume { index = start; slots = 0 });
       {
         c_index = start;
         c_inst = I.create (enum_get_cyclic enum start);
@@ -127,6 +129,16 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
         if state.c_pending = None then Sensing.Positive (* nothing to judge yet *)
         else sensing.Sensing.sense view
       in
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Sense
+             {
+               round = obs.Io.User.round;
+               sensor = sensing.Sensing.name;
+               positive = verdict = Sensing.Positive;
+               clock = state.c_rounds_in;
+               patience = effective_grace state.c_index state.c_attempt;
+             });
       (* Wedge detection: a frozen from_world stream means the current
          strategy is not moving the world at all (e.g. the server
          crashed or went silent mid-session); once the stall outlasts
@@ -147,9 +159,18 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
           && (state.c_rounds_in >= effective_grace state.c_index state.c_attempt
              || wedged)
         then begin
-          if (not wedged) && state.c_attempt < retries then
+          if (not wedged) && state.c_attempt < retries then begin
             (* Retry the same index from scratch with doubled patience
                before giving up on it. *)
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Switch
+                   {
+                     round = obs.Io.User.round;
+                     from_index = state.c_index;
+                     to_index = state.c_index;
+                     attempt = state.c_attempt + 1;
+                   });
             ( {
                 state with
                 c_inst = I.create (enum_get_cyclic enum state.c_index);
@@ -157,8 +178,18 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
                 c_attempt = state.c_attempt + 1;
               },
               0 )
+          end
           else begin
             let index = state.c_index + 1 in
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Switch
+                   {
+                     round = obs.Io.User.round;
+                     from_index = state.c_index;
+                     to_index = index;
+                     attempt = 0;
+                   });
             Option.iter
               (fun s ->
                 s.switches <- s.switches + 1;
@@ -222,7 +253,11 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
          enumeration off. *)
       let sched =
         match checkpoint with
-        | Some c -> seq_drop c.saved_slots sched
+        | Some c ->
+            if c.saved_slots > 0 && Trace.enabled () then
+              Trace.emit
+                (Trace.Resume { index = c.saved_index; slots = c.saved_slots });
+            seq_drop c.saved_slots sched
         | None -> sched
       in
       {
@@ -238,6 +273,19 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
         if state.f_pending = None then Sensing.Negative (* nothing achieved yet *)
         else sensing.Sensing.sense view
       in
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Sense
+             {
+               round = obs.Io.User.round;
+               sensor = sensing.Sensing.name;
+               positive = verdict = Sensing.Positive;
+               clock = state.f_used;
+               patience =
+                 (match state.f_current with
+                 | Some (slot, _) -> slot.Levin.budget
+                 | None -> 0);
+             });
       if verdict = Sensing.Positive then
         ({ state with f_view = view; f_pending = None }, Io.User.halt_act)
       else begin
@@ -253,6 +301,14 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
             | Seq.Nil ->
                 invalid_arg "Universal.finite: schedule exhausted"
             | Seq.Cons (slot, rest) ->
+                if Trace.enabled () then
+                  Trace.emit
+                    (Trace.Session
+                       {
+                         round = obs.Io.User.round;
+                         index = slot.Levin.index;
+                         budget = slot.Levin.budget;
+                       });
                 Option.iter
                   (fun s ->
                     s.sessions <- s.sessions + 1;

@@ -10,6 +10,15 @@ let make ~name wrap = { name; wrap }
 
 let nop = { name = "nop"; wrap = Fun.id }
 
+(* Fault wrappers observe the server-side interface only, which carries
+   no round counter; when tracing they stamp their events with the
+   engine's ambient round (set by {!Exec.run} before each round).  No
+   emission ever consumes randomness, so traced and untraced runs draw
+   the same RNG stream. *)
+let emit_fault fault detail =
+  if Trace.enabled () then
+    Trace.emit (Trace.Fault { round = Trace.current_round (); fault; detail })
+
 (* [compose f g] applies [g] closest to the server: the composed link
    reads outbound as server → g → f → user and inbound the other way —
    the same convention as function composition. *)
@@ -89,22 +98,31 @@ let corrupt ~alphabet ~prob =
   if prob = 0. then nop
   else begin
     let module I = Strategy.Instance in
+    let fname = Printf.sprintf "corrupt(%.2f)" prob in
     {
-      name = Printf.sprintf "corrupt(%.2f)" prob;
+      name = fname;
       wrap =
         (fun base ->
           Strategy.make
             ~name:(Printf.sprintf "corrupt(%.2f,%s)" prob (Strategy.name base))
             ~init:(fun () -> I.create base)
             ~step:(fun rng inst (obs : Io.Server.obs) ->
-              let zap m =
+              let zap dir m =
                 if Msg.is_silence m then m
-                else if Rng.bernoulli rng prob then corrupt_msg rng ~alphabet m
+                else if Rng.bernoulli rng prob then begin
+                  emit_fault fname dir;
+                  corrupt_msg rng ~alphabet m
+                end
                 else m
               in
-              let obs = { obs with Io.Server.from_user = zap obs.Io.Server.from_user } in
+              let obs =
+                { obs with
+                  Io.Server.from_user = zap "inbound" obs.Io.Server.from_user }
+              in
               let act = I.step rng inst obs in
-              (inst, { act with Io.Server.to_user = zap act.Io.Server.to_user })));
+              ( inst,
+                { act with
+                  Io.Server.to_user = zap "outbound" act.Io.Server.to_user } )));
     }
   end
 
@@ -117,11 +135,11 @@ let corrupt ~alphabet ~prob =
 
 let reorder_pop rng ~skew buffer =
   match buffer with
-  | [] -> (Msg.Silence, [])
+  | [] -> (Msg.Silence, [], false)
   | _ ->
       let overdue = List.exists (fun (_, age) -> age >= skew) buffer in
       if (not overdue) && Rng.bernoulli rng 0.5 then
-        (Msg.Silence, List.map (fun (m, age) -> (m, age + 1)) buffer)
+        (Msg.Silence, List.map (fun (m, age) -> (m, age + 1)) buffer, false)
       else begin
         let idx =
           if overdue then begin
@@ -137,7 +155,8 @@ let reorder_pop rng ~skew buffer =
         in
         let msg = fst (List.nth buffer idx) in
         let rest = List.filteri (fun j _ -> j <> idx) buffer in
-        (msg, List.map (fun (m, age) -> (m, age + 1)) rest)
+        (* idx > 0 means a younger message overtook the queue head. *)
+        (msg, List.map (fun (m, age) -> (m, age + 1)) rest, idx > 0)
       end
 
 let reorder ~skew =
@@ -148,23 +167,26 @@ let reorder ~skew =
     let push buffer m =
       if Msg.is_silence m then buffer else buffer @ [ (m, 0) ]
     in
+    let fname = Printf.sprintf "reorder(%d)" skew in
     {
-      name = Printf.sprintf "reorder(%d)" skew;
+      name = fname;
       wrap =
         (fun base ->
           Strategy.make
             ~name:(Printf.sprintf "reorder(%d,%s)" skew (Strategy.name base))
             ~init:(fun () -> (I.create base, [], []))
             ~step:(fun rng (inst, inbox, outbox) (obs : Io.Server.obs) ->
-              let delivered_in, inbox =
+              let delivered_in, inbox, ooo_in =
                 reorder_pop rng ~skew (push inbox obs.Io.Server.from_user)
               in
+              if ooo_in then emit_fault fname "inbound";
               let act =
                 I.step rng inst { obs with Io.Server.from_user = delivered_in }
               in
-              let delivered_out, outbox =
+              let delivered_out, outbox, ooo_out =
                 reorder_pop rng ~skew (push outbox act.Io.Server.to_user)
               in
+              if ooo_out then emit_fault fname "outbound";
               ( (inst, inbox, outbox),
                 { act with Io.Server.to_user = delivered_out } )));
     }
@@ -184,8 +206,9 @@ let burst ~p_enter ~p_exit ~drop_prob =
   check "p_exit" p_exit;
   check "drop_prob" drop_prob;
   let module I = Strategy.Instance in
+  let fname = Printf.sprintf "burst(%.2f,%.2f,%.2f)" p_enter p_exit drop_prob in
   {
-    name = Printf.sprintf "burst(%.2f,%.2f,%.2f)" p_enter p_exit drop_prob;
+    name = fname;
     wrap =
       (fun base ->
         Strategy.make
@@ -196,14 +219,22 @@ let burst ~p_enter ~p_exit ~drop_prob =
               if bad then not (Rng.bernoulli rng p_exit)
               else Rng.bernoulli rng p_enter
             in
-            let zap m =
+            let zap dir m =
               if bad && (not (Msg.is_silence m)) && Rng.bernoulli rng drop_prob
-              then Msg.Silence
+              then begin
+                emit_fault fname dir;
+                Msg.Silence
+              end
               else m
             in
-            let obs = { obs with Io.Server.from_user = zap obs.Io.Server.from_user } in
+            let obs =
+              { obs with
+                Io.Server.from_user = zap "inbound" obs.Io.Server.from_user }
+            in
             let act = I.step rng inst obs in
-            ((inst, bad), { act with Io.Server.to_user = zap act.Io.Server.to_user })));
+            ( (inst, bad),
+              { act with
+                Io.Server.to_user = zap "outbound" act.Io.Server.to_user } )));
   }
 
 (* Crash-restart: every [every] rounds the wrapped server's state is
@@ -214,8 +245,9 @@ let burst ~p_enter ~p_exit ~drop_prob =
 let crash_restart ~every =
   if every <= 0 then invalid_arg "Fault.crash_restart: period must be positive";
   let module I = Strategy.Instance in
+  let fname = Printf.sprintf "crash(%d)" every in
   {
-    name = Printf.sprintf "crash(%d)" every;
+    name = fname;
     wrap =
       (fun base ->
         Strategy.make
@@ -224,6 +256,7 @@ let crash_restart ~every =
           ~step:(fun rng (inst, age) obs ->
             let age =
               if age >= every then begin
+                emit_fault fname "restart";
                 I.restart inst;
                 0
               end
@@ -246,10 +279,12 @@ let intermittent ?noise ~on ~off () =
   if off = 0 then nop
   else begin
     let module I = Strategy.Instance in
+    let fname =
+      Printf.sprintf "intermittent(%d/%d%s)" on off
+        (match noise with Some _ -> ",noisy" | None -> "")
+    in
     {
-      name =
-        Printf.sprintf "intermittent(%d/%d%s)" on off
-          (match noise with Some _ -> ",noisy" | None -> "");
+      name = fname;
       wrap =
         (fun base ->
           Strategy.make
@@ -261,6 +296,8 @@ let intermittent ?noise ~on ~off () =
               if tick mod (on + off) < on then
                 ((inst, tick + 1), I.step rng inst obs)
               else begin
+                (* One event per outage, at its first down round. *)
+                if tick mod (on + off) = on then emit_fault fname "outage";
                 let out =
                   match noise with
                   | None -> Io.Server.silent
@@ -282,8 +319,9 @@ let adversary ~budget ~alphabet =
   if budget < 0 then invalid_arg "Fault.adversary: negative budget";
   if alphabet <= 0 then invalid_arg "Fault.adversary: bad alphabet";
   let module I = Strategy.Instance in
+  let fname = Printf.sprintf "adversary(%d)" budget in
   {
-    name = Printf.sprintf "adversary(%d)" budget;
+    name = fname;
     wrap =
       (fun base ->
         Strategy.make
@@ -291,6 +329,7 @@ let adversary ~budget ~alphabet =
           ~init:(fun () -> (I.create base, budget))
           ~step:(fun rng (inst, left) (obs : Io.Server.obs) ->
             if left > 0 && not (Msg.is_silence obs.Io.Server.from_user) then begin
+              emit_fault fname "starve";
               let act =
                 I.step rng inst { obs with Io.Server.from_user = Msg.Silence }
               in
@@ -298,13 +337,15 @@ let adversary ~budget ~alphabet =
             end
             else begin
               let act = I.step rng inst obs in
-              if left > 0 && not (Msg.is_silence act.Io.Server.to_user) then
+              if left > 0 && not (Msg.is_silence act.Io.Server.to_user) then begin
+                emit_fault fname "garble";
                 ( (inst, left - 1),
                   {
                     act with
                     Io.Server.to_user =
                       corrupt_msg rng ~alphabet act.Io.Server.to_user;
                   } )
+              end
               else ((inst, left), act)
             end));
   }

@@ -15,7 +15,17 @@
     {!Goalcom.Exec.run} threads through the execution — never from a
     generator captured at construction time — so a fault stack is
     deterministic under the trial seed and independent across
-    instances. *)
+    instances.
+
+    {b Tracing.}  When a {!Goalcom.Trace} sink is installed, each fault
+    activation emits a [Trace.Fault] event naming the fault and what it
+    did ([detail] is ["inbound"]/["outbound"] for per-message faults,
+    ["restart"], ["outage"], ["starve"] or ["garble"] for the
+    server-level ones).  Rounds are stamped from the engine's ambient
+    round counter ({!Goalcom.Trace.current_round}).  Emission never
+    consumes randomness, so traced and untraced runs are bit-identical.
+    The purely channel-level faults ({!delay}, {!drop}, {!duplicate})
+    reuse {!Goalcom_servers.Channel} wrappers and are not traced. *)
 
 open Goalcom
 

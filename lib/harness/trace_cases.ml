@@ -1,0 +1,67 @@
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+open Goalcom_goals
+open Goalcom_faults
+
+type case = { name : string; events : unit -> Trace.event list }
+
+(* The two reference runs behind the golden-trace regression suite.
+   Everything here must stay deterministic: fixed seeds, fixed
+   configs, and no wall-clock anywhere in the event stream.  The CLI
+   ([goalcom trace-golden DIR]) regenerates the committed files from
+   these same constructors, so test and generator cannot drift
+   apart. *)
+
+let record_run ~config ~goal ~user ~server ~seed =
+  let (_ : Outcome.t * History.t), events =
+    Goalcom_obs.Recorder.record (fun () ->
+        Exec.run_outcome ~config ~goal ~user ~server (Rng.make seed))
+  in
+  events
+
+(* E1 flavour: the universal printing user against a rotated-dialect
+   printer, so the trace shows the Levin sessions scanning the class
+   until the right dialect prints the document and sensing halts the
+   run. *)
+let e1_printing =
+  {
+    name = "e1_printing";
+    events =
+      (fun () ->
+        let alphabet = 3 in
+        let doc = [ 3; 1; 4 ] in
+        let dialects = Dialect.enumerate_rotations ~size:alphabet in
+        let goal = Printing.goal ~docs:[ doc ] ~alphabet () in
+        let user = Printing.universal_user ~alphabet dialects in
+        let server = Printing.server ~alphabet (Enum.get_exn dialects 1) in
+        let config = Exec.config ~horizon:600 () in
+        record_run ~config ~goal ~user ~server ~seed:1);
+  }
+
+(* E16 flavour: the same construction against a crash-restarting
+   printer, so the trace interleaves Fault events with the enumeration
+   recovering from lost server state. *)
+let e16_crash =
+  {
+    name = "e16_crash";
+    events =
+      (fun () ->
+        let alphabet = 4 in
+        let doc = [ 4; 2 ] in
+        let dialects = Dialect.enumerate_rotations ~size:alphabet in
+        let goal = Printing.goal ~docs:[ doc ] ~alphabet () in
+        let user = Printing.universal_user ~alphabet dialects in
+        let fault =
+          match Fault.stack_of_string ~alphabet "crash:25" with
+          | Ok f -> f
+          | Error e -> invalid_arg ("Trace_cases.e16_crash: " ^ e)
+        in
+        let server =
+          Fault.apply fault (Printing.server ~alphabet (Enum.get_exn dialects 2))
+        in
+        let config = Exec.config ~horizon:400 () in
+        record_run ~config ~goal ~user ~server ~seed:16);
+  }
+
+let all = [ e1_printing; e16_crash ]

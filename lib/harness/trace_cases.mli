@@ -1,0 +1,26 @@
+(** The reference runs behind the golden-trace regression suite.
+
+    Each case replays a fixed, fully deterministic execution (fixed
+    seed, fixed config, no wall-clock in the events) and returns its
+    recorded trace.  [test/test_trace_golden.ml] diffs these against
+    the committed [test/golden/<name>.jsonl]; the CLI subcommand
+    [goalcom trace-golden DIR] regenerates the files from the same
+    constructors, so the generator and the test cannot drift apart. *)
+
+open Goalcom
+
+type case = {
+  name : string;  (** golden file is [<name>.jsonl] *)
+  events : unit -> Trace.event list;
+}
+
+val e1_printing : case
+(** Universal printing user vs a rotated-dialect printer (E1 flavour):
+    Levin sessions scan the dialect class until the document prints. *)
+
+val e16_crash : case
+(** The same construction vs a crash-restarting printer (E16 flavour):
+    [Fault] events interleave with the enumeration recovering from lost
+    server state. *)
+
+val all : case list

@@ -8,6 +8,7 @@ type result = {
   rounds_to_success : float list;
   mean_rounds : float;
   unsafe_halts : int;
+  metrics : Goalcom_obs.Metrics.summary option;
 }
 
 let rounds_of_success (goal : Goal.t) (outcome : Outcome.t) =
@@ -23,39 +24,64 @@ let rounds_of_success (goal : Goal.t) (outcome : Outcome.t) =
     | None -> 0.
   end
 
-let run ?config ?tail_window ~trials ~seed ~goal ~user ~server () =
+let run ?config ?tail_window ?sink ?(collect_metrics = false) ?clock ~trials
+    ~seed ~goal ~user ~server () =
   if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
-  let master = Rng.make seed in
-  let successes = ref 0 in
-  let unsafe = ref 0 in
-  let rounds = ref [] in
-  for i = 0 to trials - 1 do
-    let trial_rng = Rng.split master in
-    let config =
-      let base =
-        match config with Some c -> c | None -> Exec.config ()
+  let meter =
+    if collect_metrics then Some (Goalcom_obs.Metrics.create ?clock ())
+    else None
+  in
+  (* The caller's sink and the metrics sink share one ambient
+     installation covering every trial, so a single JSONL file (or
+     counter set) spans the whole experiment. *)
+  let sink =
+    match (sink, meter) with
+    | s, None -> s
+    | None, Some m -> Some (Goalcom_obs.Metrics.sink m)
+    | Some s, Some m -> Some (Trace.tee s (Goalcom_obs.Metrics.sink m))
+  in
+  let body () =
+    let master = Rng.make seed in
+    let successes = ref 0 in
+    let unsafe = ref 0 in
+    let rounds = ref [] in
+    for i = 0 to trials - 1 do
+      let trial_rng = Rng.split master in
+      let config =
+        let base =
+          match config with Some c -> c | None -> Exec.config ()
+        in
+        Exec.{ base with world_choice = i mod Goal.num_worlds goal }
       in
-      Exec.{ base with world_choice = i mod Goal.num_worlds goal }
-    in
-    let outcome, _ =
-      Exec.run_outcome ~config ?tail_window ~goal ~user ~server trial_rng
-    in
-    if outcome.Outcome.achieved then begin
-      incr successes;
-      rounds := rounds_of_success goal outcome :: !rounds
-    end
-    else if outcome.Outcome.halted then incr unsafe
-  done;
-  let rounds_to_success = List.rev !rounds in
-  {
-    successes = !successes;
-    trials;
-    success_rate = float_of_int !successes /. float_of_int trials;
-    rounds_to_success;
-    mean_rounds =
-      (if rounds_to_success = [] then Float.nan else Stats.mean rounds_to_success);
-    unsafe_halts = !unsafe;
-  }
+      let outcome, _ =
+        Exec.run_outcome ~config ?tail_window ~goal ~user ~server trial_rng
+      in
+      if outcome.Outcome.achieved then begin
+        incr successes;
+        rounds := rounds_of_success goal outcome :: !rounds
+      end
+      else if outcome.Outcome.halted then incr unsafe
+    done;
+    let rounds_to_success = List.rev !rounds in
+    {
+      successes = !successes;
+      trials;
+      success_rate = float_of_int !successes /. float_of_int trials;
+      rounds_to_success;
+      mean_rounds =
+        (if rounds_to_success = [] then Float.nan
+         else Stats.mean rounds_to_success);
+      unsafe_halts = !unsafe;
+      metrics = None;
+    }
+  in
+  let result =
+    match sink with None -> body () | Some s -> Trace.with_sink s body
+  in
+  { result with metrics = Option.map Goalcom_obs.Metrics.summary meter }
+
+let success_rate ?config ?tail_window ~trials ~seed ~goal ~user ~server () =
+  (run ?config ?tail_window ~trials ~seed ~goal ~user ~server ()).success_rate
 
 let pp ppf r =
   Format.fprintf ppf "%d/%d succeeded (%.0f%%), mean rounds %.1f" r.successes

@@ -19,11 +19,16 @@ type result = {
       (** trials where the user halted yet the referee rejects — a
           sensing-safety violation (finite goals; always 0 when sensing
           is safe) *)
+  metrics : Goalcom_obs.Metrics.summary option;
+      (** aggregated over all trials; [Some] iff [collect_metrics] *)
 }
 
 val run :
   ?config:Exec.config ->
   ?tail_window:int ->
+  ?sink:Trace.sink ->
+  ?collect_metrics:bool ->
+  ?clock:(unit -> float) ->
   trials:int ->
   seed:int ->
   goal:Goal.t ->
@@ -34,6 +39,25 @@ val run :
 (** Trial [i] runs with an independent generator derived from
     [seed] and pairs the user with world choice [i mod num_worlds]
     (so non-deterministic worlds are cycled).
+
+    [?sink] is installed as the ambient trace sink for the whole batch,
+    so one stream carries every trial's events.  [?collect_metrics]
+    additionally aggregates a {!Goalcom_obs.Metrics.summary} into the
+    result (teeing with [?sink] if both are given); [?clock] enables
+    its per-round timing.
     @raise Invalid_argument if [trials <= 0]. *)
+
+val success_rate :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  trials:int ->
+  seed:int ->
+  goal:Goal.t ->
+  user:Strategy.user ->
+  server:Strategy.server ->
+  unit ->
+  float
+(** [(run ...).success_rate] — the one-number view used by tests and
+    quick checks. *)
 
 val pp : Format.formatter -> result -> unit

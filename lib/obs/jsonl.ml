@@ -1,0 +1,80 @@
+open Goalcom
+
+(* Hand-rolled JSON: the event vocabulary is closed and flat, so a
+   printer per constructor beats a generic tree.  One object per line,
+   the ["ev"] tag first, so the files stream through jq / grep. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+let bool b = if b then "true" else "false"
+
+let event_to_json (ev : Trace.event) =
+  match ev with
+  | Trace.Run_start { goal; user; server; horizon; drain; world_choice } ->
+      Printf.sprintf
+        "{\"ev\":\"run_start\",\"goal\":%s,\"user\":%s,\"server\":%s,\"horizon\":%d,\"drain\":%d,\"world_choice\":%d}"
+        (str goal) (str user) (str server) horizon drain world_choice
+  | Trace.Round_start { round } ->
+      Printf.sprintf "{\"ev\":\"round_start\",\"round\":%d}" round
+  | Trace.Emit { round; src; dst; msg } ->
+      Printf.sprintf
+        "{\"ev\":\"emit\",\"round\":%d,\"src\":%s,\"dst\":%s,\"msg\":%s}" round
+        (str (Trace.party_name src))
+        (str (Trace.party_name dst))
+        (str (Msg.to_string msg))
+  | Trace.Halt { round } -> Printf.sprintf "{\"ev\":\"halt\",\"round\":%d}" round
+  | Trace.Sense { round; sensor; positive; clock; patience } ->
+      Printf.sprintf
+        "{\"ev\":\"sense\",\"round\":%d,\"sensor\":%s,\"positive\":%s,\"clock\":%d,\"patience\":%d}"
+        round (str sensor) (bool positive) clock patience
+  | Trace.Switch { round; from_index; to_index; attempt } ->
+      Printf.sprintf
+        "{\"ev\":\"switch\",\"round\":%d,\"from\":%d,\"to\":%d,\"attempt\":%d}"
+        round from_index to_index attempt
+  | Trace.Resume { index; slots } ->
+      Printf.sprintf "{\"ev\":\"resume\",\"index\":%d,\"slots\":%d}" index slots
+  | Trace.Session { round; index; budget } ->
+      Printf.sprintf
+        "{\"ev\":\"session\",\"round\":%d,\"index\":%d,\"budget\":%d}" round
+        index budget
+  | Trace.Fault { round; fault; detail } ->
+      Printf.sprintf "{\"ev\":\"fault\",\"round\":%d,\"fault\":%s,\"detail\":%s}"
+        round (str fault) (str detail)
+  | Trace.Violation { round } ->
+      Printf.sprintf "{\"ev\":\"violation\",\"round\":%d}" round
+  | Trace.Run_end { rounds; halted } ->
+      Printf.sprintf "{\"ev\":\"run_end\",\"rounds\":%d,\"halted\":%s}" rounds
+        (bool halted)
+
+let to_lines events = List.map event_to_json events
+
+let sink oc ev =
+  output_string oc (event_to_json ev);
+  output_char oc '\n'
+
+let buffer_sink b ev =
+  Buffer.add_string b (event_to_json ev);
+  Buffer.add_char b '\n'
+
+let write_events oc events =
+  List.iter (sink oc) events
+
+let to_file path events =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      write_events oc events)

@@ -1,0 +1,25 @@
+(** JSONL export of traces: one JSON object per line, tagged ["ev"].
+
+    The serialization is hand-rolled (the event vocabulary is closed
+    and flat) and deterministic — field order is fixed, numbers are
+    plain decimal integers, messages are rendered with
+    {!Goalcom.Msg.to_string} and JSON-escaped — so the golden-trace
+    tests can diff files line by line. *)
+
+open Goalcom
+
+val event_to_json : Trace.event -> string
+(** A single-line JSON object, no trailing newline. *)
+
+val to_lines : Trace.event list -> string list
+
+val sink : out_channel -> Trace.sink
+(** Writes [event_to_json ev ^ "\n"] per event.  The channel is not
+    flushed or closed; scope it with [Fun.protect]. *)
+
+val buffer_sink : Buffer.t -> Trace.sink
+
+val write_events : out_channel -> Trace.event list -> unit
+
+val to_file : string -> Trace.event list -> unit
+(** Create/truncate [path] and write the events, closing on exit. *)

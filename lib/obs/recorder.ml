@@ -1,0 +1,21 @@
+open Goalcom
+
+type t = { mutable rev : Trace.event list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let sink t ev =
+  t.rev <- ev :: t.rev;
+  t.n <- t.n + 1
+
+let events t = List.rev t.rev
+let length t = t.n
+
+let clear t =
+  t.rev <- [];
+  t.n <- 0
+
+let record f =
+  let t = create () in
+  let x = Trace.with_sink (sink t) f in
+  (x, events t)

@@ -175,13 +175,6 @@ let test_exec_determinism () =
   Alcotest.(check bool) "same views" true
     (History.world_views (run ()) = History.world_views (run ()))
 
-let test_exec_success_rate () =
-  let rate =
-    Exec.success_rate ~trials:5 ~goal:echo_goal ~user:send7_and_halt
-      ~server:idle_server (Rng.make 8)
-  in
-  Alcotest.(check (float 1e-9)) "always succeeds" 1.0 rate
-
 (* History / View *)
 
 let make_history () =
@@ -357,7 +350,6 @@ let () =
           Alcotest.test_case "horizon truncates" `Quick test_exec_horizon_truncates;
           Alcotest.test_case "message timing" `Quick test_exec_message_timing;
           Alcotest.test_case "determinism" `Quick test_exec_determinism;
-          Alcotest.test_case "success rate" `Quick test_exec_success_rate;
           Alcotest.test_case "config validation" `Quick test_exec_config_validation;
         ] );
       ( "history",

@@ -72,6 +72,38 @@ let test_trial_deterministic () =
   let r2 = Trial.run ~config ~trials:10 ~seed:4 ~goal ~user:flaky ~server:idle_server () in
   Alcotest.(check int) "same successes" r1.Trial.successes r2.Trial.successes
 
+let test_trial_success_rate () =
+  let rate =
+    Trial.success_rate ~config ~trials:5 ~seed:8 ~goal ~user:winner
+      ~server:idle_server ()
+  in
+  Alcotest.(check (float 1e-9)) "always succeeds" 1.0 rate
+
+let test_trial_metrics () =
+  let r =
+    Trial.run ~config ~collect_metrics:true ~trials:3 ~seed:5 ~goal
+      ~user:winner ~server:idle_server ()
+  in
+  match r.Trial.metrics with
+  | None -> Alcotest.fail "metrics requested but absent"
+  | Some m ->
+      Alcotest.(check int) "one run per trial" 3 m.Goalcom_obs.Metrics.runs;
+      Alcotest.(check int) "halt per trial" 3 m.Goalcom_obs.Metrics.halts;
+      Alcotest.(check bool) "rounds counted" true
+        (m.Goalcom_obs.Metrics.rounds > 0);
+      Alcotest.(check bool) "user spoke" true
+        (m.Goalcom_obs.Metrics.user_msgs > 0);
+      Alcotest.(check bool) "clockless => no timing" true
+        (m.Goalcom_obs.Metrics.round_timing = None);
+      let plain =
+        Trial.run ~config ~trials:3 ~seed:5 ~goal ~user:winner
+          ~server:idle_server ()
+      in
+      Alcotest.(check bool) "no metrics by default" true
+        (plain.Trial.metrics = None);
+      Alcotest.(check int) "metrics don't perturb the run" plain.Trial.successes
+        r.Trial.successes
+
 let test_trial_validation () =
   Alcotest.check_raises "trials" (Invalid_argument "Trial.run: trials must be positive")
     (fun () ->
@@ -140,6 +172,8 @@ let () =
           Alcotest.test_case "all fail" `Quick test_trial_all_fail;
           Alcotest.test_case "flaky rate" `Quick test_trial_flaky_rate;
           Alcotest.test_case "deterministic" `Quick test_trial_deterministic;
+          Alcotest.test_case "success rate" `Quick test_trial_success_rate;
+          Alcotest.test_case "metrics" `Quick test_trial_metrics;
           Alcotest.test_case "validation" `Quick test_trial_validation;
         ] );
       ( "experiments",

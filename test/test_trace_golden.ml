@@ -1,0 +1,86 @@
+(* Golden-trace regression tests: replay the reference runs of
+   Trace_cases and diff their JSONL rendering line by line against the
+   committed files in test/golden/.  A divergence points at the first
+   differing line; if the change is intended, regenerate with
+   `dune exec bin/main.exe -- trace-golden test/golden`. *)
+
+open Goalcom
+open Goalcom_harness
+
+let golden_path name = Filename.concat "golden" (name ^ ".jsonl")
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let regen_hint =
+  "if the new trace is correct, regenerate with `dune exec bin/main.exe -- \
+   trace-golden test/golden`"
+
+let check_case (c : Trace_cases.case) () =
+  let expected = read_lines (golden_path c.name) in
+  let actual = Goalcom_obs.Jsonl.to_lines (c.events ()) in
+  let rec diff line expected actual =
+    match (expected, actual) with
+    | [], [] -> ()
+    | e :: _, [] ->
+        Alcotest.failf
+          "%s: trace ends at line %d but the golden continues with:\n  %s\n%s"
+          c.name (line - 1) e regen_hint
+    | [], a :: _ ->
+        Alcotest.failf
+          "%s: golden ends at line %d but the trace continues with:\n  %s\n%s"
+          c.name (line - 1) a regen_hint
+    | e :: es, a :: more ->
+        if String.equal e a then diff (line + 1) es more
+        else
+          Alcotest.failf
+            "%s: first divergence at line %d\n  golden: %s\n  actual: %s\n%s"
+            c.name line e a regen_hint
+  in
+  diff 1 expected actual
+
+(* The replayed traces must also satisfy the standard invariants — a
+   golden file that freezes a broken trace is worse than no golden. *)
+let check_invariants (c : Trace_cases.case) () =
+  match Trace.check Trace.standard (c.events ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" c.name msg
+
+(* Cheap well-formedness sweep over the committed files themselves:
+   every line is one braced object carrying an "ev" tag. *)
+let check_shape (c : Trace_cases.case) () =
+  let lines = read_lines (golden_path c.name) in
+  Alcotest.(check bool) "non-empty" true (lines <> []);
+  List.iteri
+    (fun i line ->
+      let ok =
+        String.length line > 8
+        && String.sub line 0 7 = "{\"ev\":\""
+        && line.[String.length line - 1] = '}'
+      in
+      if not ok then
+        Alcotest.failf "%s: line %d is not a tagged JSON object: %s" c.name
+          (i + 1) line)
+    lines
+
+let cases_of f =
+  List.map
+    (fun (c : Trace_cases.case) -> Alcotest.test_case c.name `Quick (f c))
+    Trace_cases.all
+
+let () =
+  Alcotest.run "trace-golden"
+    [
+      ("diff", cases_of check_case);
+      ("invariants", cases_of check_invariants);
+      ("shape", cases_of check_shape);
+    ]
