@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check ci bench clean
+.PHONY: all build test check ci bench bench-check clean
 
 all: build
 
@@ -13,19 +13,30 @@ test:
 # Everything the CI gate requires, in order.
 check: build test
 
-# Mirror of .github/workflows/ci.yml: build, test, trace smoke, golden
-# drift. Run before pushing.
+# Mirror of .github/workflows/ci.yml: build, test, trace smoke +
+# analytics, golden drift, bench gate. Run before pushing.
 ci: check
 	dune exec bin/main.exe -- run e1 --trace /tmp/e1.jsonl
 	test -s /tmp/e1.jsonl
 	head -1 /tmp/e1.jsonl | grep -q '^{"ev":"'
+	dune exec bin/main.exe -- trace stats /tmp/e1.jsonl
+	dune exec bin/main.exe -- trace attribution /tmp/e1.jsonl
+	dune exec bin/main.exe -- trace diff /tmp/e1.jsonl /tmp/e1.jsonl
 	dune exec bin/main.exe -- trace-golden test/golden
 	git diff --exit-code test/golden
+	BENCH_CHECK_ROUNDS=5 BENCH_CHECK_BUDGET=0.01 dune exec bench/main.exe -- --check
 
 # Regenerates every experiment table, runs the bechamel kernels, and
-# writes BENCH_faults.json with the fault-layer timings.
+# rewrites the BENCH_*.json baselines (fault-layer timings and tracing
+# overhead) that `bench-check` gates against.
 bench:
 	dune exec bench/main.exe
+
+# The perf-regression gate: quick re-measure, compare against the
+# committed BENCH_trace.json, write BENCH_check.json, exit 1 on any
+# regression.
+bench-check:
+	dune exec bench/main.exe -- --check
 
 clean:
 	dune clean

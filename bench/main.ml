@@ -442,10 +442,13 @@ let median l =
   let a = List.sort compare l in
   List.nth a (List.length a / 2)
 
-let print_trace_overhead () =
-  print_endline "\n==================================================";
-  print_endline " Tracing overhead (E1 kernel)";
-  print_endline "==================================================";
+(* Measure every sink variant paired against the untraced replica.
+   [rounds] is the number of paired measurement rounds, [budget] the
+   target wall-clock (seconds) per arm per round; `--check` shrinks
+   both for a CI-sized smoke run.  Returns the baseline ms/run and
+   [(variant, (median ratio, best baseline s/run, best variant s/run))]
+   per sink variant. *)
+let measure_trace_overhead ~rounds ~budget () =
   let config, goal, user, server = trace_e1_setup () in
   (* Replica fidelity: same seed, same history, or the baseline is not
      measuring the same work. *)
@@ -505,8 +508,7 @@ let print_trace_overhead () =
     (Unix.gettimeofday () -. t0) /. 10.
   in
   let per_run = calibrate baseline in
-  let n = max 10 (int_of_float (0.05 /. max 1e-6 per_run)) in
-  let rounds = 15 in
+  let n = max 10 (int_of_float (budget /. max 1e-6 per_run)) in
   let measure_paired f =
     let ratios = ref [] in
     let best_base = ref infinity and best_var = ref infinity in
@@ -547,7 +549,31 @@ let print_trace_overhead () =
   let base_ms =
     1e3 *. minimum (List.map (fun (_, (_, b, _)) -> b) measured)
   in
-  let pct r = 100. *. (r -. 1.) in
+  (n, base_ms, measured)
+
+let pct r = 100. *. (r -. 1.)
+
+(* The measurement flattened to the gate's metric vocabulary — the same
+   names Bench_gate.metrics_of_json extracts from BENCH_trace.json, so
+   a fresh in-memory run compares directly against the committed file. *)
+let trace_metrics ~base_ms ~nosink_pct measured =
+  let open Goalcom_obs.Bench_gate in
+  { name = "no_sink_overhead_pct"; value = nosink_pct }
+  :: { name = "untraced replica/ms_per_run"; value = base_ms }
+  :: List.concat_map
+       (fun (name, (ratio, _, v)) ->
+         [
+           { name = name ^ "/ms_per_run"; value = v *. 1e3 };
+           { name = name ^ "/overhead_pct"; value = pct ratio };
+         ])
+       measured
+
+let print_trace_overhead () =
+  print_endline "\n==================================================";
+  print_endline " Tracing overhead (E1 kernel)";
+  print_endline "==================================================";
+  let rounds = 15 in
+  let n, base_ms, measured = measure_trace_overhead ~rounds ~budget:0.05 () in
   let rows =
     ("untraced replica", [ Printf.sprintf "%.3f" base_ms; "baseline" ])
     :: List.map
@@ -598,14 +624,67 @@ let print_trace_overhead () =
                 name (v *. 1e3) (pct ratio))
             measured));
   close_out oc;
-  Printf.printf "wrote BENCH_trace.json (%d entries)\n" (List.length variants)
+  Printf.printf "wrote BENCH_trace.json (%d entries)\n" (1 + List.length measured)
+
+(* --check: the perf-regression gate.  Re-measure the tracing overhead
+   (a CI-sized quick run), compare against the committed
+   BENCH_trace.json with Bench_gate's per-metric tolerances, emit the
+   machine-readable verdict to BENCH_check.json, and exit non-zero on
+   any regression.  BENCH_CHECK_ROUNDS / BENCH_CHECK_BUDGET shrink or
+   grow the measurement. *)
+let check () =
+  let module Gate = Goalcom_obs.Bench_gate in
+  let baseline_path = "BENCH_trace.json" in
+  let baseline =
+    match Gate.load_file baseline_path with
+    | Ok m -> m
+    | Error e ->
+        Printf.eprintf "bench --check: %s\n" e;
+        exit 2
+  in
+  let env_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> default
+  in
+  let rounds = env_int "BENCH_CHECK_ROUNDS" 7 in
+  let budget =
+    match Option.bind (Sys.getenv_opt "BENCH_CHECK_BUDGET") float_of_string_opt with
+    | Some v when v > 0. -> v
+    | _ -> 0.02
+  in
+  Printf.printf "bench --check: re-measuring tracing overhead (%d rounds, %.3fs budget)...\n%!"
+    rounds budget;
+  let _, base_ms, measured = measure_trace_overhead ~rounds ~budget () in
+  let nosink_pct =
+    match measured with (_, (r, _, _)) :: _ -> pct r | [] -> 0.
+  in
+  let fresh = trace_metrics ~base_ms ~nosink_pct measured in
+  let comparisons = Gate.compare_metrics ~baseline ~fresh () in
+  Table.print (Gate.table comparisons);
+  let verdict = Gate.verdict_json comparisons in
+  let oc = open_out "BENCH_check.json" in
+  output_string oc (verdict ^ "\n");
+  close_out oc;
+  print_endline verdict;
+  match Gate.regressions comparisons with
+  | [] ->
+      Printf.printf "bench --check: PASS (%d metrics vs %s)\n"
+        (List.length comparisons) baseline_path
+  | regs ->
+      Printf.printf "bench --check: FAIL (%d of %d metrics regressed)\n"
+        (List.length regs) (List.length comparisons);
+      exit 1
 
 let () =
-  (* BENCH_ONLY=trace skips the (slow) experiment tables and bechamel
+  (* `--check` runs the regression gate and exits; otherwise
+     BENCH_ONLY=trace skips the (slow) experiment tables and bechamel
      kernels while iterating on the tracing-overhead measurement. *)
-  match Sys.getenv_opt "BENCH_ONLY" with
-  | Some "trace" -> print_trace_overhead ()
-  | _ ->
-      print_experiments ();
-      write_fault_json (print_bench ());
-      print_trace_overhead ()
+  if Array.exists (( = ) "--check") Sys.argv then check ()
+  else
+    match Sys.getenv_opt "BENCH_ONLY" with
+    | Some "trace" -> print_trace_overhead ()
+    | _ ->
+        print_experiments ();
+        write_fault_json (print_bench ());
+        print_trace_overhead ()

@@ -9,7 +9,9 @@
                                ([--trace] streams events and metrics)
      check <goal>              validate sensing safety/viability and
                                helpfulness for a goal's server class
-     trace-golden <dir>        regenerate the golden trace files *)
+     trace-golden <dir>        regenerate the golden trace files
+     trace stats|attribution|diff|export
+                               analytics over recorded JSONL traces *)
 
 open Cmdliner
 open Goalcom
@@ -75,10 +77,8 @@ let run_cmd =
         (match trace with
         | None -> render ()
         | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> Trace.with_sink (Goalcom_obs.Jsonl.sink oc) render))
+            Goalcom_obs.Jsonl.with_file path (fun sink ->
+                Trace.with_sink sink render))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment.")
     Term.(const run $ id_arg $ seed_arg $ csv_arg $ trace_arg)
@@ -424,6 +424,143 @@ let trace_golden_cmd =
        ~doc:"Regenerate the golden trace files the test suite diffs against.")
     Term.(const run $ dir_arg)
 
+(* trace — analytics over recorded JSONL trace files *)
+
+let load_trace path =
+  match Goalcom_obs.Jsonl.of_file path with
+  | Ok events -> events
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+
+module Span = Goalcom_obs.Span
+
+let trace_stats_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"JSONL trace file to summarize.")
+  in
+  let run path =
+    let events = load_trace path in
+    let module Obs = Goalcom_obs in
+    let runs = Span.of_events events in
+    let kinds = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        let k = Obs.Trace_diff.kind_name ev in
+        Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k)))
+      events;
+    Printf.printf "%s: %d events, %d runs\n" path (List.length events)
+      (List.length runs);
+    let kind_rows =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) kinds []
+      |> List.sort (fun (_, a) (_, b) -> compare (b : int) a)
+      |> List.map (fun (k, n) -> [ k; string_of_int n ])
+    in
+    Table.print (Table.make ~title:"events" ~columns:[ "kind"; "count" ] kind_rows);
+    Table.print (Span.runs_table runs)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Event counts and per-run summary of a trace file.")
+    Term.(const run $ file_arg)
+
+and trace_attribution_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"JSONL trace file to attribute.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+  in
+  let run path csv =
+    let events = load_trace path in
+    let runs = Span.of_events events in
+    if csv then print_string (Table.to_csv (Span.ledger_table (Span.ledger runs)))
+    else begin
+      Table.print (Span.runs_table runs);
+      Table.print (Span.ledger_table (Span.ledger runs))
+    end
+  in
+  Cmd.v
+    (Cmd.info "attribution"
+       ~doc:"Charge every round, message, sensing verdict and fault to the \
+             enumerated candidate in charge; report the overhead ledger.")
+    Term.(const run $ file_arg $ csv_arg)
+
+and trace_diff_cmd =
+  let left_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"LEFT" ~doc:"First trace file.")
+  in
+  let right_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"RIGHT" ~doc:"Second trace file.")
+  in
+  let run left right =
+    let module Td = Goalcom_obs.Trace_diff in
+    let llines = Goalcom_obs.Jsonl.read_lines left in
+    let rlines = Goalcom_obs.Jsonl.read_lines right in
+    match Td.lines llines rlines with
+    | None ->
+        Printf.printf "traces identical (%d events)\n" (List.length llines)
+    | Some d ->
+        print_endline
+          (Td.to_string ~left_label:(Filename.basename left)
+             ~right_label:(Filename.basename right) d);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"First divergence between two trace files (exit 1 if they \
+             differ, with an event-kind-aware explanation).")
+    Term.(const run $ left_arg $ right_arg)
+
+and trace_export_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"JSONL trace file to export.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("chrome", `Chrome); ("csv", `Csv) ]) `Chrome
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"chrome (trace-event JSON for chrome://tracing / Perfetto) \
+                   or csv (one row per attributed span).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT"
+             ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run path format out =
+    let events = load_trace path in
+    let rendered =
+      match format with
+      | `Chrome -> Goalcom_obs.Profile.chrome_of_events events
+      | `Csv -> Goalcom_obs.Profile.csv_of_events events
+    in
+    match out with
+    | None -> print_string rendered
+    | Some out_path ->
+        let oc = open_out out_path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc rendered);
+        Printf.printf "wrote %s (%d bytes)\n" out_path (String.length rendered)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Render a trace's attributed spans as a Chrome trace-event \
+             profile (round numbers as logical time) or as CSV.")
+    Term.(const run $ file_arg $ format_arg $ out_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Analytics over JSONL execution traces: stats, overhead \
+             attribution, structural diffing, profile export.")
+    [ trace_stats_cmd; trace_attribution_cmd; trace_diff_cmd; trace_export_cmd ]
+
 let () =
   let info =
     Cmd.info "goalcom" ~version:"1.0.0"
@@ -434,5 +571,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; all_cmd; demo_cmd; check_cmd; transcript_cmd;
-            trace_golden_cmd;
+            trace_golden_cmd; trace_cmd;
           ]))

@@ -24,6 +24,101 @@ let rec pp ppf = function
         ms
 
 let to_string m = Format.asprintf "%a" pp m
+
+(* Inverse of [to_string].  The grammar is unambiguous by first
+   character: '_' silence, '#' symbol, '-'/digit integer, '"' an
+   OCaml-escaped text literal (what %S prints), '(' pair, '[' seq. *)
+
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let fail pos msg = raise (Parse (Printf.sprintf "%s at offset %d" msg pos)) in
+  let peek pos = if pos < n then Some s.[pos] else None in
+  let expect pos c =
+    match peek pos with
+    | Some c' when c' = c -> pos + 1
+    | _ -> fail pos (Printf.sprintf "expected %C" c)
+  in
+  let parse_int pos =
+    let start = pos in
+    let pos = if peek pos = Some '-' then pos + 1 else pos in
+    let stop = ref pos in
+    while !stop < n && s.[!stop] >= '0' && s.[!stop] <= '9' do incr stop done;
+    if !stop = pos then fail pos "expected digits";
+    match int_of_string_opt (String.sub s start (!stop - start)) with
+    | Some v -> (v, !stop)
+    | None -> fail start "integer out of range"
+  in
+  (* OCaml string-literal escapes, as produced by String.escaped /
+     printf %S: backslash-escaped backslash, quote, n, t, r, b, and
+     backslash followed by three decimal digits. *)
+  let parse_text pos =
+    let b = Buffer.create 16 in
+    let rec go pos =
+      match peek pos with
+      | None -> fail pos "unterminated string"
+      | Some '"' -> (Buffer.contents b, pos + 1)
+      | Some '\\' -> begin
+          match peek (pos + 1) with
+          | Some '\\' -> Buffer.add_char b '\\'; go (pos + 2)
+          | Some '"' -> Buffer.add_char b '"'; go (pos + 2)
+          | Some 'n' -> Buffer.add_char b '\n'; go (pos + 2)
+          | Some 't' -> Buffer.add_char b '\t'; go (pos + 2)
+          | Some 'r' -> Buffer.add_char b '\r'; go (pos + 2)
+          | Some 'b' -> Buffer.add_char b '\b'; go (pos + 2)
+          | Some c when c >= '0' && c <= '9' ->
+              if pos + 3 >= n then fail pos "truncated decimal escape";
+              let code =
+                try int_of_string (String.sub s (pos + 1) 3)
+                with _ -> fail pos "bad decimal escape"
+              in
+              if code > 255 then fail pos "decimal escape out of range";
+              Buffer.add_char b (Char.chr code);
+              go (pos + 4)
+          | _ -> fail pos "unknown escape"
+        end
+      | Some c -> Buffer.add_char b c; go (pos + 1)
+    in
+    go pos
+  in
+  let rec parse_msg pos =
+    match peek pos with
+    | None -> fail pos "empty message"
+    | Some '_' -> (Silence, pos + 1)
+    | Some '#' ->
+        let v, pos = parse_int (pos + 1) in
+        (Sym v, pos)
+    | Some ('-' | '0' .. '9') ->
+        let v, pos = parse_int pos in
+        (Int v, pos)
+    | Some '"' ->
+        let v, pos = parse_text (pos + 1) in
+        (Text v, pos)
+    | Some '(' ->
+        let a, pos = parse_msg (pos + 1) in
+        let pos = expect pos ',' in
+        let b, pos = parse_msg pos in
+        (Pair (a, b), expect pos ')')
+    | Some '[' ->
+        if peek (pos + 1) = Some ']' then (Seq [], pos + 2)
+        else begin
+          let rec items acc pos =
+            let m, pos = parse_msg pos in
+            match peek pos with
+            | Some ';' -> items (m :: acc) (pos + 1)
+            | Some ']' -> (Seq (List.rev (m :: acc)), pos + 1)
+            | _ -> fail pos "expected ';' or ']'"
+          in
+          items [] (pos + 1)
+        end
+    | Some c -> fail pos (Printf.sprintf "unexpected %C" c)
+  in
+  match parse_msg 0 with
+  | m, pos when pos = n -> Ok m
+  | _, pos -> Error (Printf.sprintf "trailing input at offset %d in %S" pos s)
+  | exception Parse msg -> Error (Printf.sprintf "%s in %S" msg s)
+
 let sym_opt = function Sym s -> Some s | _ -> None
 let int_opt = function Int n -> Some n | _ -> None
 let text_opt = function Text s -> Some s | _ -> None

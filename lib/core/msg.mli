@@ -20,6 +20,12 @@ val is_silence : t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}: [of_string (to_string m) = Ok m] for every
+    message.  The trace reader ([Goalcom_obs.Jsonl]) uses this to turn
+    serialized traces back into event values.  Rejects trailing input
+    and malformed literals with a position-carrying error. *)
+
 val sym_opt : t -> int option
 (** [Some s] iff the message is [Sym s]. *)
 

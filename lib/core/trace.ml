@@ -154,13 +154,42 @@ let switch_follows_negative =
 let standard =
   [ rounds_increase; no_emission_after_drain; switch_follows_negative ]
 
+(* A trace file may hold many runs back to back (a trial batch, or a
+   checkpointed enumeration resumed by a fresh incarnation); each
+   Run_start opens a new segment.  Events before the first Run_start —
+   a truncated capture — form a leading segment of their own. *)
+let split_runs events =
+  let flush cur acc = match cur with [] -> acc | c -> List.rev c :: acc in
+  let rec go cur acc = function
+    | [] -> List.rev (flush cur acc)
+    | (Run_start _ as ev) :: rest -> go [ ev ] (flush cur acc) rest
+    | ev :: rest -> go (ev :: cur) acc rest
+  in
+  go [] [] events
+
 let check invariants events =
-  let rec go = function
+  (* Round numbers restart at every Run_start, so invariants quantify
+     over single runs: check each segment independently. *)
+  let check_segment k segment =
+    let rec go = function
+      | [] -> Ok ()
+      | inv :: rest -> begin
+          match inv.inv_check segment with
+          | None -> go rest
+          | Some msg ->
+              Error
+                (if k = 0 then Printf.sprintf "%s: %s" inv.inv_name msg
+                 else Printf.sprintf "%s: run %d: %s" inv.inv_name (k + 1) msg)
+        end
+    in
+    go invariants
+  in
+  let rec over k = function
     | [] -> Ok ()
-    | inv :: rest -> begin
-        match inv.inv_check events with
-        | None -> go rest
-        | Some msg -> Error (Printf.sprintf "%s: %s" inv.inv_name msg)
+    | segment :: rest -> begin
+        match check_segment k segment with
+        | Ok () -> over (k + 1) rest
+        | Error _ as e -> e
       end
   in
-  go invariants
+  over 0 (split_runs events)

@@ -116,5 +116,13 @@ val switch_follows_negative : invariant
 val standard : invariant list
 (** The three invariants above. *)
 
+val split_runs : event list -> event list list
+(** Group a (possibly multi-run) event stream into runs: each
+    [Run_start] opens a new segment; events before the first
+    [Run_start], if any, form a leading segment.  Concatenating the
+    segments restores the input. *)
+
 val check : invariant list -> event list -> (unit, string) result
-(** First violated invariant, as ["<invariant>: <detail>"]. *)
+(** First violated invariant, as ["<invariant>: <detail>"].  Checked
+    per run (see {!split_runs}): round numbers restart at each
+    [Run_start], so invariants quantify over single runs. *)

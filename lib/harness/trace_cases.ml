@@ -64,4 +64,45 @@ let e16_crash =
         record_run ~config ~goal ~user ~server ~seed:16);
   }
 
-let all = [ e1_printing; e16_crash ]
+(* E3 flavour: the Levin/finite universal user navigating a maze, with
+   a checkpoint threaded through two incarnations.  The first run is
+   cut short by a small horizon mid-enumeration; the second resumes
+   from the recorded schedule position — its trace opens with a
+   [Resume] event carrying the skipped slot count — and completes.
+   Both runs land in one file; the per-run invariant checker
+   ([Trace.split_runs]) validates each segment on its own clock. *)
+let e3_maze =
+  {
+    name = "e3_maze";
+    events =
+      (fun () ->
+        let alphabet = 4 in
+        let dialects = Dialect.enumerate_rotations ~size:alphabet in
+        let scenario =
+          Maze.scenario ~width:5 ~height:5 ~start:(0, 0) ~target:(3, 2) ()
+        in
+        let goal = Maze.goal ~scenarios:[ scenario ] ~alphabet () in
+        let server = Maze.server ~alphabet (Enum.get_exn dialects 2) in
+        let enum = Maze.user_class ~alphabet ~scenario dialects in
+        let checkpoint = Universal.new_checkpoint () in
+        let incarnation () =
+          Universal.finite ~checkpoint ~enum ~sensing:Maze.sensing ()
+        in
+        let (_ : Outcome.t * History.t), events =
+          Goalcom_obs.Recorder.record (fun () ->
+              (* First incarnation: the horizon expires mid-enumeration,
+                 leaving consumed Levin slots behind in the checkpoint. *)
+              let (_ : Outcome.t * History.t) =
+                Exec.run_outcome
+                  ~config:(Exec.config ~horizon:12 ())
+                  ~goal ~user:(incarnation ()) ~server (Rng.make 3)
+              in
+              (* Second incarnation: resumes past the consumed slots. *)
+              Exec.run_outcome
+                ~config:(Exec.config ~horizon:400 ())
+                ~goal ~user:(incarnation ()) ~server (Rng.make 3))
+        in
+        events);
+  }
+
+let all = [ e1_printing; e3_maze; e16_crash ]

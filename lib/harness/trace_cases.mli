@@ -18,6 +18,12 @@ val e1_printing : case
 (** Universal printing user vs a rotated-dialect printer (E1 flavour):
     Levin sessions scan the dialect class until the document prints. *)
 
+val e3_maze : case
+(** Levin universal user on the maze goal (E3 flavour), two
+    checkpoint-linked incarnations in one file: the first run's horizon
+    expires mid-enumeration, the second opens with a [Resume] event and
+    completes. *)
+
 val e16_crash : case
 (** The same construction vs a crash-restarting printer (E16 flavour):
     [Fault] events interleave with the enumeration recovering from lost

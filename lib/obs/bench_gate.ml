@@ -1,0 +1,164 @@
+open Goalcom_prelude
+
+(* The perf-regression gate: compare a fresh benchmark run against the
+   committed BENCH_*.json baselines, metric by metric, with per-metric
+   tolerances, and render a machine-readable verdict.  `bench --check`
+   drives this in CI; the comparison logic lives here so the test suite
+   can exercise the gate (identical metrics pass, a synthetically
+   injected 50% regression fails) without running a benchmark.
+
+   Tolerance policy: relative metrics (names ending in "_pct", e.g. the
+   tracing-overhead percentages) transfer across machines and get the
+   tight default; absolute timings (ns_per_run / ms_per_run) do not —
+   CI hardware is not the hardware the baseline was measured on — so
+   their default tolerance is deliberately loose and they mostly guard
+   against order-of-magnitude blowups.  Callers can tighten either via
+   [?tol_pct].  A small absolute slack keeps near-zero percentages from
+   tripping on ratio noise. *)
+
+type metric = { name : string; value : float }
+
+let has_suffix suf name =
+  let n = String.length name and m = String.length suf in
+  n >= m && String.sub name (n - m) m = suf
+
+type comparison = {
+  metric : string;
+  baseline : float;
+  fresh : float;
+  tol_pct : float;
+  slack : float;
+  regressed : bool;
+}
+
+let default_tol_pct name = if has_suffix "_pct" name then 35. else 300.
+let default_slack name = if has_suffix "_pct" name then 10. else 0.
+
+(* A fresh value regresses when it exceeds the baseline by more than
+   the relative tolerance AND by more than the absolute slack; lower is
+   always better for every gated metric (times, overhead percentages). *)
+let judge ~tol_pct ~slack ~baseline ~fresh =
+  fresh > baseline *. (1. +. (tol_pct /. 100.)) && fresh > baseline +. slack
+
+let compare_metrics ?(tol_pct = default_tol_pct) ?(slack = default_slack)
+    ~baseline ~fresh () =
+  List.filter_map
+    (fun { name; value = fresh_v } ->
+      match List.find_opt (fun m -> m.name = name) baseline with
+      | None -> None
+      | Some { value = base_v; _ } ->
+          let tol = tol_pct name and slack = slack name in
+          Some
+            {
+              metric = name;
+              baseline = base_v;
+              fresh = fresh_v;
+              tol_pct = tol;
+              slack;
+              regressed = judge ~tol_pct:tol ~slack ~baseline:base_v ~fresh:fresh_v;
+            })
+    fresh
+
+let regressions = List.filter (fun c -> c.regressed)
+
+(* Baseline extraction.  Both BENCH files share the shape
+   { ..scalars.., "results": [ {"name": .., <numeric fields>..}, .. ] };
+   every numeric field of a results entry becomes "<name>/<field>", and
+   top-level "*_pct" scalars come along under their own key. *)
+
+let metrics_of_json j =
+  let top =
+    match j with
+    | Json.Obj kvs ->
+        List.filter_map
+          (fun (k, v) ->
+            match Json.number_opt v with
+            | Some value when has_suffix "_pct" k -> Some { name = k; value }
+            | _ -> None)
+          kvs
+    | _ -> []
+  in
+  let results =
+    match Json.member "results" j with
+    | Some (Json.List entries) ->
+        List.concat_map
+          (fun entry ->
+            match Json.member "name" entry with
+            | Some (Json.String base) -> begin
+                match entry with
+                | Json.Obj kvs ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        if k = "name" then None
+                        else
+                          Option.map
+                            (fun value -> { name = base ^ "/" ^ k; value })
+                            (Json.number_opt v))
+                      kvs
+                | _ -> []
+              end
+            | _ -> [])
+          entries
+    | _ -> []
+  in
+  top @ results
+
+let load_file path =
+  match Json.of_file path with
+  | Error e -> Error e
+  | Ok j -> begin
+      match metrics_of_json j with
+      | [] -> Error (Printf.sprintf "%s: no gateable metrics found" path)
+      | ms -> Ok ms
+    end
+
+(* Rendering. *)
+
+let table comparisons =
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.metric;
+          Printf.sprintf "%.3f" c.baseline;
+          Printf.sprintf "%.3f" c.fresh;
+          Printf.sprintf "%.0f%%" c.tol_pct;
+          (if c.regressed then "REGRESSED" else "ok");
+        ])
+      comparisons
+  in
+  Table.make ~title:"bench --check"
+    ~columns:[ "metric"; "baseline"; "fresh"; "tol"; "status" ]
+    rows
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let verdict_json comparisons =
+  let regs = regressions comparisons in
+  let entry c =
+    Printf.sprintf
+      "    {\"metric\": \"%s\", \"baseline\": %.4f, \"fresh\": %.4f, \
+       \"tol_pct\": %.1f, \"regressed\": %b}"
+      (json_escape c.metric) c.baseline c.fresh c.tol_pct c.regressed
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"verdict\": \"%s\",\n\
+    \  \"compared\": %d,\n\
+    \  \"regressed\": %d,\n\
+    \  \"comparisons\": [\n%s\n  ]\n\
+     }"
+    (if regs = [] then "pass" else "fail")
+    (List.length comparisons) (List.length regs)
+    (String.concat ",\n" (List.map entry comparisons))

@@ -1,0 +1,17 @@
+(** Profile exports: attributed spans rendered to Chrome's trace-event
+    JSON and to CSV.
+
+    Traces carry no wall clock by design (same seed ⇒ bit-identical
+    trace), so the timeline uses {e round numbers as deterministic
+    logical time}: one round = one microsecond tick, a span's [ts] is
+    its first round and [dur] its round count.  Runs of a batch map to
+    threads (tid = 1-based run ordinal) of a single process; span
+    counters ride along in [args]; enumeration moves, faults, halts and
+    violations appear as instant marks.  Load the JSON in
+    [chrome://tracing] or Perfetto. *)
+
+val chrome_of_events : Goalcom.Trace.event list -> string
+(** The complete JSON document ([{"traceEvents":[...]}]). *)
+
+val csv_of_events : Goalcom.Trace.event list -> string
+(** Header plus one row per span, batch-wide. *)

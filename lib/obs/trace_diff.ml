@@ -1,0 +1,171 @@
+open Goalcom
+
+(* First-divergence trace diffing, event-kind-aware.  Grown out of the
+   golden-trace test's inline line differ; the test suite and the CLI
+   (`goalcom trace diff`) now share this implementation.  Comparison is
+   on the serialized lines (the byte format is the contract the golden
+   files pin down), with the structural layer explaining *what* changed
+   when both sides still parse. *)
+
+type divergence = {
+  position : int;  (** 1-based line number of the first difference *)
+  left : string option;  (** [None] = this side ended first *)
+  right : string option;
+  detail : string;  (** kind-aware explanation of the difference *)
+}
+
+let kind_name (ev : Trace.event) =
+  match ev with
+  | Trace.Run_start _ -> "run_start"
+  | Trace.Round_start _ -> "round_start"
+  | Trace.Emit _ -> "emit"
+  | Trace.Halt _ -> "halt"
+  | Trace.Sense _ -> "sense"
+  | Trace.Switch _ -> "switch"
+  | Trace.Resume _ -> "resume"
+  | Trace.Session _ -> "session"
+  | Trace.Fault _ -> "fault"
+  | Trace.Violation _ -> "violation"
+  | Trace.Run_end _ -> "run_end"
+
+(* Field-by-field differences between two events of the same kind, as
+   ["field: left vs right"] fragments. *)
+let field_diffs (a : Trace.event) (b : Trace.event) =
+  let istr = string_of_int in
+  let bstr = string_of_bool in
+  let d name fmt x y = if x = y then None else Some (name, fmt x, fmt y) in
+  let candidates =
+    match (a, b) with
+    | Trace.Run_start a, Trace.Run_start b ->
+        [
+          d "goal" Fun.id a.goal b.goal;
+          d "user" Fun.id a.user b.user;
+          d "server" Fun.id a.server b.server;
+          d "horizon" istr a.horizon b.horizon;
+          d "drain" istr a.drain b.drain;
+          d "world_choice" istr a.world_choice b.world_choice;
+        ]
+    | Trace.Round_start a, Trace.Round_start b ->
+        [ d "round" istr a.round b.round ]
+    | Trace.Emit a, Trace.Emit b ->
+        [
+          d "round" istr a.round b.round;
+          d "src" Trace.party_name a.src b.src;
+          d "dst" Trace.party_name a.dst b.dst;
+          d "msg" Msg.to_string a.msg b.msg;
+        ]
+    | Trace.Halt a, Trace.Halt b -> [ d "round" istr a.round b.round ]
+    | Trace.Sense a, Trace.Sense b ->
+        [
+          d "round" istr a.round b.round;
+          d "sensor" Fun.id a.sensor b.sensor;
+          d "positive" bstr a.positive b.positive;
+          d "clock" istr a.clock b.clock;
+          d "patience" istr a.patience b.patience;
+        ]
+    | Trace.Switch a, Trace.Switch b ->
+        [
+          d "round" istr a.round b.round;
+          d "from" istr a.from_index b.from_index;
+          d "to" istr a.to_index b.to_index;
+          d "attempt" istr a.attempt b.attempt;
+        ]
+    | Trace.Resume a, Trace.Resume b ->
+        [ d "index" istr a.index b.index; d "slots" istr a.slots b.slots ]
+    | Trace.Session a, Trace.Session b ->
+        [
+          d "round" istr a.round b.round;
+          d "index" istr a.index b.index;
+          d "budget" istr a.budget b.budget;
+        ]
+    | Trace.Fault a, Trace.Fault b ->
+        [
+          d "round" istr a.round b.round;
+          d "fault" Fun.id a.fault b.fault;
+          d "detail" Fun.id a.detail b.detail;
+        ]
+    | Trace.Violation a, Trace.Violation b ->
+        [ d "round" istr a.round b.round ]
+    | Trace.Run_end a, Trace.Run_end b ->
+        [
+          d "rounds" istr a.rounds b.rounds;
+          d "halted" bstr a.halted b.halted;
+        ]
+    | _ -> []
+  in
+  List.filter_map Fun.id candidates
+
+let describe_pair left right =
+  match (Jsonl.parse_line left, Jsonl.parse_line right) with
+  | Ok a, Ok b ->
+      let ka = kind_name a and kb = kind_name b in
+      if ka <> kb then Printf.sprintf "event kinds differ: %s vs %s" ka kb
+      else begin
+        match field_diffs a b with
+        | [] -> Printf.sprintf "%s events differ in serialization only" ka
+        | ds ->
+            Printf.sprintf "%s events differ: %s" ka
+              (String.concat ", "
+                 (List.map
+                    (fun (f, x, y) -> Printf.sprintf "%s %s vs %s" f x y)
+                    ds))
+      end
+  | Error e, _ -> Printf.sprintf "left line does not parse: %s" e
+  | _, Error e -> Printf.sprintf "right line does not parse: %s" e
+
+let describe_tail ~ended ~continues line =
+  match Jsonl.parse_line line with
+  | Ok ev ->
+      Printf.sprintf "%s ends here; %s continues with a %s event" ended
+        continues (kind_name ev)
+  | Error _ ->
+      Printf.sprintf "%s ends here; %s continues" ended continues
+
+let lines left right =
+  let rec go n left right =
+    match (left, right) with
+    | [], [] -> None
+    | l :: _, [] ->
+        Some
+          {
+            position = n;
+            left = Some l;
+            right = None;
+            detail = describe_tail ~ended:"right" ~continues:"left" l;
+          }
+    | [], r :: _ ->
+        Some
+          {
+            position = n;
+            left = None;
+            right = Some r;
+            detail = describe_tail ~ended:"left" ~continues:"right" r;
+          }
+    | l :: ls, r :: rs ->
+        if String.equal l r then go (n + 1) ls rs
+        else
+          Some
+            {
+              position = n;
+              left = Some l;
+              right = Some r;
+              detail = describe_pair l r;
+            }
+  in
+  go 1 left right
+
+let events a b = lines (Jsonl.to_lines a) (Jsonl.to_lines b)
+
+let pp ?(left_label = "left") ?(right_label = "right") ppf d =
+  let side label = function
+    | Some line -> Format.fprintf ppf "@,  %s: %s" label line
+    | None -> Format.fprintf ppf "@,  %s: <end of trace>" label
+  in
+  Format.fprintf ppf "@[<v>first divergence at line %d (%s)" d.position
+    d.detail;
+  side left_label d.left;
+  side right_label d.right;
+  Format.fprintf ppf "@]"
+
+let to_string ?left_label ?right_label d =
+  Format.asprintf "%a" (pp ?left_label ?right_label) d

@@ -1,25 +1,16 @@
 (* Golden-trace regression tests: replay the reference runs of
-   Trace_cases and diff their JSONL rendering line by line against the
-   committed files in test/golden/.  A divergence points at the first
-   differing line; if the change is intended, regenerate with
+   Trace_cases and diff their JSONL rendering against the committed
+   files in test/golden/ with Trace_diff (the same differ behind
+   `goalcom trace diff`).  A divergence points at the first differing
+   line with an event-kind-aware explanation; if the change is
+   intended, regenerate with
    `dune exec bin/main.exe -- trace-golden test/golden`. *)
 
 open Goalcom
 open Goalcom_harness
 
 let golden_path name = Filename.concat "golden" (name ^ ".jsonl")
-
-let read_lines path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+let read_lines = Goalcom_obs.Jsonl.read_lines
 
 let regen_hint =
   "if the new trace is correct, regenerate with `dune exec bin/main.exe -- \
@@ -28,25 +19,13 @@ let regen_hint =
 let check_case (c : Trace_cases.case) () =
   let expected = read_lines (golden_path c.name) in
   let actual = Goalcom_obs.Jsonl.to_lines (c.events ()) in
-  let rec diff line expected actual =
-    match (expected, actual) with
-    | [], [] -> ()
-    | e :: _, [] ->
-        Alcotest.failf
-          "%s: trace ends at line %d but the golden continues with:\n  %s\n%s"
-          c.name (line - 1) e regen_hint
-    | [], a :: _ ->
-        Alcotest.failf
-          "%s: golden ends at line %d but the trace continues with:\n  %s\n%s"
-          c.name (line - 1) a regen_hint
-    | e :: es, a :: more ->
-        if String.equal e a then diff (line + 1) es more
-        else
-          Alcotest.failf
-            "%s: first divergence at line %d\n  golden: %s\n  actual: %s\n%s"
-            c.name line e a regen_hint
-  in
-  diff 1 expected actual
+  match Goalcom_obs.Trace_diff.lines expected actual with
+  | None -> ()
+  | Some d ->
+      Alcotest.failf "%s: %s\n%s" c.name
+        (Goalcom_obs.Trace_diff.to_string ~left_label:"golden"
+           ~right_label:"actual" d)
+        regen_hint
 
 (* The replayed traces must also satisfy the standard invariants — a
    golden file that freezes a broken trace is worse than no golden. *)
