@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check ci bench bench-check clean
+.PHONY: all build test check ci bench bench-par bench-check clean
 
 all: build
 
@@ -10,12 +10,16 @@ build:
 test:
 	dune runtest
 
-# Everything the CI gate requires, in order.
+# Everything the CI gate requires, in order.  `test` includes the
+# parallel determinism suite (test_par: qcheck run_par = run equality,
+# racer winner agreement, pool internals).
 check: build test
 
 # Mirror of .github/workflows/ci.yml: build, test, trace smoke +
-# analytics, golden drift, bench gate. Run before pushing.
+# analytics, parallel smoke, golden drift, bench gate. Run before
+# pushing.
 ci: check
+	dune exec bin/main.exe -- run e17 --jobs 2
 	dune exec bin/main.exe -- run e1 --trace /tmp/e1.jsonl
 	test -s /tmp/e1.jsonl
 	head -1 /tmp/e1.jsonl | grep -q '^{"ev":"'
@@ -27,14 +31,19 @@ ci: check
 	BENCH_CHECK_ROUNDS=5 BENCH_CHECK_BUDGET=0.01 dune exec bench/main.exe -- --check
 
 # Regenerates every experiment table, runs the bechamel kernels, and
-# rewrites the BENCH_*.json baselines (fault-layer timings and tracing
-# overhead) that `bench-check` gates against.
+# rewrites the BENCH_*.json baselines (fault-layer timings, tracing
+# overhead, parallel scaling) that `bench-check` gates against.
 bench:
 	dune exec bench/main.exe
 
+# Rewrites just BENCH_par.json: the E17 workloads at jobs 1/2/4, with
+# the determinism digests re-checked.
+bench-par:
+	BENCH_ONLY=par dune exec bench/main.exe
+
 # The perf-regression gate: quick re-measure, compare against the
-# committed BENCH_trace.json, write BENCH_check.json, exit 1 on any
-# regression.
+# committed BENCH_trace.json + BENCH_par.json, write BENCH_check.json,
+# exit 1 on any regression.
 bench-check:
 	dune exec bench/main.exe -- --check
 

@@ -1,12 +1,18 @@
 (* Benchmark driver.
 
-   Two parts:
-   1. Regenerate every experiment table/figure (E1..E15) — the paper has
-      no evaluation section, so these tables ARE the evaluation; see
+   Four parts:
+   1. Regenerate every experiment table/figure — the paper has no
+      evaluation section, so these tables ARE the evaluation; see
       EXPERIMENTS.md for the claim-by-claim mapping.
    2. Bechamel micro-benchmarks: one Test.make per experiment (timing
       the experiment's workload kernel — a single representative
-      execution) plus engine micro-benchmarks. *)
+      execution) plus engine micro-benchmarks.
+   3. Tracing overhead on the E1 kernel -> BENCH_trace.json.
+   4. Parallel scaling & determinism (the E17 workloads at fixed job
+      counts) -> BENCH_par.json.
+
+   `--check` re-measures 3 and 4 quickly and gates them against the
+   committed BENCH files; `--jobs N` sets the ambient pool width. *)
 
 open Bechamel
 open Toolkit
@@ -17,6 +23,16 @@ open Goalcom_goals
 open Goalcom_harness
 
 let seed = 1
+
+let () =
+  (* --jobs N (before anything runs; bench is not a cmdliner binary). *)
+  Array.iteri
+    (fun i a ->
+      if a = "--jobs" && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n > 0 -> Goalcom_par.Pool.set_default_jobs n
+        | _ -> ())
+    Sys.argv
 
 (* Part 1: experiment tables *)
 
@@ -626,12 +642,177 @@ let print_trace_overhead () =
   close_out oc;
   Printf.printf "wrote BENCH_trace.json (%d entries)\n" (1 + List.length measured)
 
+(* Part 4: parallel scaling & determinism -> BENCH_par.json.
+
+   The E17 workloads re-measured at fixed job counts.  Two kinds of
+   numbers come out:
+   - determinism: every jobs>1 digest must equal the jobs=1 digest.
+     This is exported as par_mismatch_pct (0 or 100) and gated with
+     zero tolerance — a single mismatch fails `--check`.
+   - scaling: wall-clock per jobs count.  Absolute times do not
+     transfer across hosts; but maze/remote is latency-bound (each
+     round pays a simulated server round-trip), so its jobs-k/jobs-1
+     ratio is host-independent and IS gated: jobs4_vs_jobs1_pct holding
+     under ~51% is precisely the ">= 2x at four domains" acceptance
+     bar.  The CPU-bound workloads' ratios track the host's core count,
+     so they are recorded as informational timings only. *)
+
+let par_jobs = [ 1; 2; 4 ]
+let par_gated_workload = "maze/remote"
+
+let measure_par ?(workloads = E17_scaling.workloads) () =
+  List.map
+    (fun (name, workload) ->
+      let runs =
+        List.map
+          (fun jobs -> (jobs, E17_scaling.time (workload ~seed ~jobs)))
+          par_jobs
+      in
+      (name, runs))
+    workloads
+
+(* "name@jobs" for every parallel run whose digest differs from the
+   workload's jobs=1 digest; [] is the pass verdict. *)
+let par_mismatches runs_by_workload =
+  List.concat_map
+    (fun (name, runs) ->
+      match runs with
+      | (_, (base : E17_scaling.measurement)) :: rest ->
+          List.filter_map
+            (fun (jobs, (m : E17_scaling.measurement)) ->
+              if String.equal m.E17_scaling.digest base.E17_scaling.digest then
+                None
+              else Some (Printf.sprintf "%s@%d" name jobs))
+            rest
+      | [] -> [])
+    runs_by_workload
+
+let par_seconds runs jobs =
+  match List.assoc_opt jobs runs with
+  | Some (m : E17_scaling.measurement) -> m.E17_scaling.seconds
+  | None -> nan
+
+(* The measurement flattened to the gate's vocabulary — the same names
+   Bench_gate.metrics_of_json extracts from BENCH_par.json. *)
+let par_metrics runs_by_workload =
+  let open Goalcom_obs.Bench_gate in
+  let mismatch_pct =
+    if par_mismatches runs_by_workload = [] then 0. else 100.
+  in
+  { name = "par_mismatch_pct"; value = mismatch_pct }
+  :: List.concat_map
+       (fun (name, runs) ->
+         let t1 = par_seconds runs 1 in
+         List.concat_map
+           (fun jobs ->
+             let t = par_seconds runs jobs in
+             { name = Printf.sprintf "%s/jobs%d_ms" name jobs;
+               value = t *. 1e3 }
+             ::
+             (if jobs > 1 && name = par_gated_workload then
+                [ { name = Printf.sprintf "%s/jobs%d_vs_jobs1_pct" name jobs;
+                    value = 100. *. t /. t1 } ]
+              else []))
+           par_jobs)
+       runs_by_workload
+
+(* Tolerances for the BENCH_par gate: determinism is exact, the
+   latency-workload scaling ratio is loose (100% relative — failing
+   only when the 4-domain run stops being ~2x faster than sequential),
+   absolute ms keep the cross-host default. *)
+let par_tol name =
+  let module Gate = Goalcom_obs.Bench_gate in
+  if name = "par_mismatch_pct" then 0.
+  else if Filename.check_suffix name "_vs_jobs1_pct" then 100.
+  else Gate.default_tol_pct name
+
+let par_slack name =
+  let module Gate = Goalcom_obs.Bench_gate in
+  if name = "par_mismatch_pct" then 0. else Gate.default_slack name
+
+let print_par () =
+  print_endline "\n==================================================";
+  print_endline " Parallel scaling & determinism (E17 workloads)";
+  print_endline "==================================================";
+  let runs_by_workload = measure_par () in
+  let mismatches = par_mismatches runs_by_workload in
+  let rows =
+    List.concat_map
+      (fun (name, runs) ->
+        let t1 = par_seconds runs 1 in
+        List.map
+          (fun (jobs, (m : E17_scaling.measurement)) ->
+            [
+              name;
+              string_of_int jobs;
+              Printf.sprintf "%.1f" (m.E17_scaling.seconds *. 1e3);
+              Printf.sprintf "%.2fx" (t1 /. m.E17_scaling.seconds);
+              (if List.mem (Printf.sprintf "%s@%d" name jobs) mismatches then
+                 "NO"
+               else "yes");
+            ])
+          runs)
+      runs_by_workload
+  in
+  Table.print
+    (Table.make ~title:"parallel scaling (wall clock)"
+       ~columns:[ "workload"; "jobs"; "wall ms"; "speedup"; "= jobs 1" ]
+       rows);
+  let speedup_x4 =
+    match List.assoc_opt par_gated_workload runs_by_workload with
+    | Some runs -> par_seconds runs 1 /. par_seconds runs 4
+    | None -> nan
+  in
+  Printf.printf
+    "\n%s speedup at 4 domains: %.2fx (acceptance: >= 2x); mismatches: %s\n"
+    par_gated_workload speedup_x4
+    (if mismatches = [] then "none" else String.concat ", " mismatches);
+  let entry (name, runs) =
+    let t1 = par_seconds runs 1 in
+    let ms jobs = 1e3 *. par_seconds runs jobs in
+    let ratios =
+      if name = par_gated_workload then
+        Printf.sprintf ", \"jobs2_vs_jobs1_pct\": %.1f, \
+                        \"jobs4_vs_jobs1_pct\": %.1f"
+          (100. *. par_seconds runs 2 /. t1)
+          (100. *. par_seconds runs 4 /. t1)
+      else ""
+    in
+    Printf.sprintf
+      "    {\"name\": %S, \"jobs1_ms\": %.1f, \"jobs2_ms\": %.1f, \
+       \"jobs4_ms\": %.1f%s}"
+      name (ms 1) (ms 2) (ms 4) ratios
+  in
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"jobs\": [1, 2, 4],\n\
+    \  \"unit\": \"ms\",\n\
+    \  \"host_domains\": %d,\n\
+    \  \"speedup_x4\": %.2f,\n\
+    \  \"par_mismatch_pct\": %.1f,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    seed
+    (Domain.recommended_domain_count ())
+    speedup_x4
+    (if mismatches = [] then 0. else 100.)
+    (String.concat ",\n" (List.map entry runs_by_workload));
+  close_out oc;
+  Printf.printf "wrote BENCH_par.json (%d workloads x %d job counts)\n"
+    (List.length runs_by_workload)
+    (List.length par_jobs)
+
 (* --check: the perf-regression gate.  Re-measure the tracing overhead
-   (a CI-sized quick run), compare against the committed
-   BENCH_trace.json with Bench_gate's per-metric tolerances, emit the
-   machine-readable verdict to BENCH_check.json, and exit non-zero on
-   any regression.  BENCH_CHECK_ROUNDS / BENCH_CHECK_BUDGET shrink or
-   grow the measurement. *)
+   and the gated parallel workload (CI-sized quick runs), compare
+   against the committed BENCH_trace.json / BENCH_par.json with
+   Bench_gate's per-metric tolerances, emit the machine-readable
+   verdict to BENCH_check.json, and exit non-zero on any regression.
+   BENCH_CHECK_ROUNDS / BENCH_CHECK_BUDGET shrink or grow the tracing
+   measurement. *)
 let check () =
   let module Gate = Goalcom_obs.Bench_gate in
   let baseline_path = "BENCH_trace.json" in
@@ -660,7 +841,29 @@ let check () =
     match measured with (_, (r, _, _)) :: _ -> pct r | [] -> 0.
   in
   let fresh = trace_metrics ~base_ms ~nosink_pct measured in
-  let comparisons = Gate.compare_metrics ~baseline ~fresh () in
+  let trace_comparisons = Gate.compare_metrics ~baseline ~fresh () in
+  let par_comparisons =
+    match Gate.load_file "BENCH_par.json" with
+    | Error e ->
+        Printf.eprintf "bench --check: %s\n" e;
+        exit 2
+    | Ok par_baseline ->
+        Printf.printf
+          "bench --check: re-measuring parallel scaling (%s, jobs %s)...\n%!"
+          par_gated_workload
+          (String.concat "/" (List.map string_of_int par_jobs));
+        let runs =
+          measure_par
+            ~workloads:
+              (List.filter
+                 (fun (n, _) -> n = par_gated_workload)
+                 E17_scaling.workloads)
+            ()
+        in
+        Gate.compare_metrics ~tol_pct:par_tol ~slack:par_slack
+          ~baseline:par_baseline ~fresh:(par_metrics runs) ()
+  in
+  let comparisons = trace_comparisons @ par_comparisons in
   Table.print (Gate.table comparisons);
   let verdict = Gate.verdict_json comparisons in
   let oc = open_out "BENCH_check.json" in
@@ -669,7 +872,7 @@ let check () =
   print_endline verdict;
   match Gate.regressions comparisons with
   | [] ->
-      Printf.printf "bench --check: PASS (%d metrics vs %s)\n"
+      Printf.printf "bench --check: PASS (%d metrics vs %s + BENCH_par.json)\n"
         (List.length comparisons) baseline_path
   | regs ->
       Printf.printf "bench --check: FAIL (%d of %d metrics regressed)\n"
@@ -684,7 +887,9 @@ let () =
   else
     match Sys.getenv_opt "BENCH_ONLY" with
     | Some "trace" -> print_trace_overhead ()
+    | Some "par" -> print_par ()
     | _ ->
         print_experiments ();
         write_fault_json (print_bench ());
-        print_trace_overhead ()
+        print_trace_overhead ();
+        print_par ()

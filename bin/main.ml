@@ -3,8 +3,10 @@
    Subcommands:
      list                      enumerate the experiment registry
      run <id> [--seed] [--csv] run one experiment ([--trace FILE] writes
-                               a JSONL execution trace)
-     all [--seed]              run every experiment
+                               a JSONL execution trace; [--jobs N] sets
+                               the domain count for parallel entry points)
+     all [--seed] [--jobs N]   run every experiment (fanning the registry
+                               across N domains; results are identical)
      demo <goal> [options]     run one goal with a chosen user and report
                                ([--trace] streams events and metrics)
      check <goal>              validate sensing safety/viability and
@@ -22,6 +24,16 @@ open Goalcom_harness
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Domain count for the parallel entry points (overrides \
+                 $(b,GOALCOM_JOBS); the default is 1, fully sequential).  \
+                 Every experiment is bit-identical for every value — only \
+                 the wall-clock changes.")
+
+let apply_jobs jobs = Option.iter Goalcom_par.Pool.set_default_jobs jobs
 
 (* list *)
 
@@ -62,7 +74,8 @@ let run_cmd =
              ~doc:"Write a JSONL execution trace of every run the \
                    experiment performs to $(docv).")
   in
-  let run id seed csv trace =
+  let run id seed csv trace jobs =
+    apply_jobs jobs;
     match Experiment.find id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `goalcom list`\n" id;
@@ -81,19 +94,25 @@ let run_cmd =
                 Trace.with_sink sink render))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment.")
-    Term.(const run $ id_arg $ seed_arg $ csv_arg $ trace_arg)
+    Term.(const run $ id_arg $ seed_arg $ csv_arg $ trace_arg $ jobs_arg)
 
 (* all *)
 
 let all_cmd =
-  let run seed =
-    List.iter
-      (fun (e : Experiment.t) ->
+  let run seed jobs =
+    apply_jobs jobs;
+    (* Compute the whole registry through the pool (sequentially when
+       jobs is 1), then print in registry order. *)
+    let tables = Experiment.run_par ~seed Experiment.all in
+    List.iter2
+      (fun (e : Experiment.t) table ->
         Printf.printf "# %s — %s\n%!" e.id e.title;
-        Table.print (e.run ~seed))
-      Experiment.all
+        Table.print table)
+      Experiment.all tables
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") Term.(const run $ seed_arg)
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const run $ seed_arg $ jobs_arg)
 
 (* demo *)
 

@@ -46,30 +46,63 @@ type sink = event -> unit
 (* The ambient sink, and the round the engine is currently executing
    (kept here so emitters that cannot see the round — the fault layer
    wraps a server, whose observations carry no round number — can still
-   stamp their events).  Both are only touched when tracing is on. *)
+   stamp their events).  Both are only touched when tracing is on.
 
-let ambient : sink option ref = ref None
-let ambient_round = ref 0
+   Both live in domain-local storage: each domain owns an independent
+   sink and round, so parallel trials record into per-domain buffers
+   with no synchronisation on the emission path, and a sink installed
+   on one domain can never observe (or corrupt) another domain's run.
+   Fresh domains start with no sink — pool workers inherit nothing and
+   install their own recorder per task. *)
+
+type dls = { mutable d_sink : sink option; mutable d_round : int }
+
+let dls_key = Domain.DLS.new_key (fun () -> { d_sink = None; d_round = 0 })
+let[@inline] state () = Domain.DLS.get dls_key
 
 (* Pattern match, not [<> None]: the guard sits on every emission site
    in the engine's hot loop, and structural comparison is a C call. *)
-let[@inline] enabled () = match !ambient with None -> false | Some _ -> true
-let current () = !ambient
-let set_sink s = ambient := s
+let[@inline] enabled () =
+  match (state ()).d_sink with None -> false | Some _ -> true
 
-let emit ev = match !ambient with None -> () | Some f -> f ev
+let current () = (state ()).d_sink
 
-let set_round r = ambient_round := r
-let current_round () = !ambient_round
+(* Installing a sink only affects the calling domain, so doing it from
+   a domain that is *not* participating in an in-flight parallel batch
+   is almost certainly a bug: the caller expects to observe the runs
+   executing on the pool's domains, and will silently see nothing.
+   Refuse loudly instead. *)
+let guard_install = function
+  | None -> ()
+  | Some _ ->
+      if Goalcom_par.Pool.active_batches () > 0
+         && not (Goalcom_par.Pool.in_worker ())
+      then
+        invalid_arg
+          "Trace sinks are domain-local: refusing to install an ambient \
+           sink while a parallel batch runs in other domains (it would \
+           observe nothing); install the sink from within the pool task, \
+           or pass ?sink to the parallel entry point"
+
+let set_sink s =
+  guard_install s;
+  (state ()).d_sink <- s
+
+let emit ev = match (state ()).d_sink with None -> () | Some f -> f ev
+
+let set_round r = (state ()).d_round <- r
+let current_round () = (state ()).d_round
 
 let with_sink s f =
-  let prev = !ambient in
-  let prev_round = !ambient_round in
-  ambient := Some s;
+  guard_install (Some s);
+  let st = state () in
+  let prev = st.d_sink in
+  let prev_round = st.d_round in
+  st.d_sink <- Some s;
   Fun.protect
     ~finally:(fun () ->
-      ambient := prev;
-      ambient_round := prev_round)
+      st.d_sink <- prev;
+      st.d_round <- prev_round)
     f
 
 let tee a b ev =

@@ -11,14 +11,24 @@
     referee violations.  The metrics aggregator, JSONL exporter and
     pretty-printer live on top, in [lib/obs] ([goalcom_obs]).
 
-    {b Sink discipline.}  There is a single ambient sink, installed with
-    {!set_sink} or scoped with {!with_sink} (the model is a [Logs]
-    reporter).  Emitters guard every emission site with {!enabled}, so
-    with no sink installed {e no event value is allocated}: the disabled
-    path costs one load-and-branch per site.  Traces carry no wall-clock
-    stamps — a trace is a pure function of (strategies, goal, seed,
-    config), so same seed ⇒ bit-identical trace; timing lives in the
-    metrics layer, out of band. *)
+    {b Sink discipline.}  There is one ambient sink {e per domain},
+    installed with {!set_sink} or scoped with {!with_sink} (the model is
+    a [Logs] reporter, made domain-local).  Emitters guard every
+    emission site with {!enabled}, so with no sink installed {e no event
+    value is allocated}: the disabled path costs one domain-local load
+    and branch per site.  Traces carry no wall-clock stamps — a trace is
+    a pure function of (strategies, goal, seed, config), so same seed ⇒
+    bit-identical trace; timing lives in the metrics layer, out of band.
+
+    {b Domains.}  {!set_sink}, {!with_sink}, {!set_round} and their
+    readers act on the {e calling domain only}; fresh domains start with
+    no sink.  The parallel entry points ([Trial.run_par],
+    [Universal.finite_par]) install a buffering sink inside each pool
+    task and merge the buffers in deterministic (trial, round) order, so
+    a parallel run's merged trace equals the sequential trace.
+    Installing a sink from a domain that is {e not} participating in an
+    in-flight pool batch while one runs elsewhere raises
+    [Invalid_argument] — such a sink would silently observe nothing. *)
 
 type party = User | Server | World
 
@@ -71,11 +81,15 @@ val emit : event -> unit
 val current : unit -> sink option
 
 val set_sink : sink option -> unit
-(** Install (or clear) the ambient sink globally — CLI-style usage. *)
+(** Install (or clear) the calling domain's ambient sink — CLI-style
+    usage.  @raise Invalid_argument when installing from a
+    non-participant domain while a pool batch is in flight (see the
+    module preamble: sinks are domain-local). *)
 
 val with_sink : sink -> (unit -> 'a) -> 'a
-(** Run the thunk with the given sink installed, restoring the previous
-    sink (and current round) afterwards, exceptions included. *)
+(** Run the thunk with the given sink installed on the calling domain,
+    restoring the previous sink (and current round) afterwards,
+    exceptions included.  Same in-flight-batch guard as {!set_sink}. *)
 
 val set_round : int -> unit
 (** Maintained by {!Exec.run} while tracing so emitters that cannot see

@@ -220,6 +220,128 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
         },
         act ))
 
+(* ---- The multicore Levin racer ---------------------------------- *)
+
+type race = {
+  winner_slot : int;
+  winner_index : int;
+  winner_budget : int;
+  winner_rounds : int;
+  slots_probed : int;
+  history : History.t;
+}
+
+let finite_par ?schedule ?(max_slots = 64) ?jobs ?pool ?config ~enum ~sensing
+    ~goal ~server ~seed () =
+  (match Enum.cardinality enum with
+  | Some 0 -> invalid_arg "Universal.finite_par: empty strategy enumeration"
+  | _ -> ());
+  if max_slots <= 0 then
+    invalid_arg "Universal.finite_par: max_slots must be positive";
+  (match jobs with
+  | Some j when j <= 0 ->
+      invalid_arg "Universal.finite_par: jobs must be positive"
+  | _ -> ());
+  let sched =
+    match schedule with Some s -> s | None -> Levin.schedule ()
+  in
+  let slots = Array.of_seq (Seq.take max_slots sched) in
+  let n = Array.length slots in
+  if n = 0 then invalid_arg "Universal.finite_par: empty schedule";
+  (* Determinism: one generator per probe, split from the master in
+     slot order before any work is distributed (explicit loop —
+     Array.init evaluation order is unspecified). *)
+  let master = Goalcom_prelude.Rng.make seed in
+  let rngs = Array.make n master in
+  for i = 0 to n - 1 do
+    rngs.(i) <- Goalcom_prelude.Rng.split master
+  done;
+  (* The winner is the *minimal* schedule slot whose probe senses
+     positive — the slot the sequential schedule would have stopped at.
+     [best] only ever decreases (min-CAS), and only positive probes
+     write it, so a probe at slot [i] may be cancelled only when a
+     positive slot [< i] is already known: the true winner can never be
+     cancelled, which makes the outcome independent of domain
+     scheduling. *)
+  let best = Atomic.make max_int in
+  let module I = Strategy.Instance in
+  let probe i () =
+    if Atomic.get best < i then None
+    else begin
+      let slot = slots.(i) in
+      let inner = enum_get_cyclic enum slot.Levin.index in
+      let cancelled () = Atomic.get best < i in
+      (* Same session discipline as the sequential construction: the
+         candidate's own halt requests are suppressed (sensing decides),
+         and the probe runs for exactly the slot's budget — except that
+         a cancelled probe halts at its next step so its domain frees up
+         for uncancelled work. *)
+      let user =
+        Strategy.make
+          ~name:(Printf.sprintf "race-probe(%d@%d)" slot.Levin.index i)
+          ~init:(fun () -> I.create inner)
+          ~step:(fun rng inst (obs : Io.User.obs) ->
+            ignore obs;
+            if cancelled () then (inst, Io.User.halt_act)
+            else (inst, { (I.step rng inst obs) with Io.User.halt = false }))
+      in
+      let config =
+        let base = match config with Some c -> c | None -> Exec.config () in
+        Exec.{ base with horizon = slot.Levin.budget }
+      in
+      let history = Exec.run ~config ~goal ~user ~server rngs.(i) in
+      if cancelled () then None
+      else begin
+        (if sensing.Sensing.sense (View.of_history history) = Sensing.Positive
+         then
+           let rec lower () =
+             let cur = Atomic.get best in
+             if i < cur && not (Atomic.compare_and_set best cur i) then
+               lower ()
+           in
+           lower ());
+        Some history
+      end
+    end
+  in
+  let tasks = Array.make n (probe 0) in
+  for i = 0 to n - 1 do
+    tasks.(i) <- probe i
+  done;
+  let results =
+    match pool with
+    | Some p -> Goalcom_par.Pool.run p tasks
+    | None ->
+        let jobs =
+          match jobs with
+          | Some j -> j
+          | None -> Goalcom_par.Pool.default_jobs ()
+        in
+        Goalcom_par.Pool.with_pool ~jobs (fun p -> Goalcom_par.Pool.run p tasks)
+  in
+  let w = Atomic.get best in
+  if w = max_int then None
+  else begin
+    let slot = slots.(w) in
+    let history =
+      match results.(w) with Some h -> h | None -> assert false
+    in
+    let slots_probed =
+      Array.fold_left
+        (fun acc r -> match r with Some _ -> acc + 1 | None -> acc)
+        0 results
+    in
+    Some
+      {
+        winner_slot = w;
+        winner_index = slot.Levin.index;
+        winner_budget = slot.Levin.budget;
+        winner_rounds = History.length history;
+        slots_probed;
+        history;
+      }
+  end
+
 type 'inst finite_state = {
   f_sched : Levin.slot Seq.t;
   f_current : (Levin.slot * 'inst) option;

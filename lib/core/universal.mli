@@ -110,3 +110,60 @@ val finite :
     instance skips them, resuming the enumeration where a crashed
     predecessor stopped.
     @raise Invalid_argument if the enumeration is empty. *)
+
+(** Result of a parallel Levin race (see {!finite_par}). *)
+type race = {
+  winner_slot : int;  (** schedule position of the winning session, 0-based *)
+  winner_index : int;  (** Levin index of the winning candidate *)
+  winner_budget : int;  (** the winning slot's round budget *)
+  winner_rounds : int;  (** rounds the winning probe actually ran *)
+  slots_probed : int;
+      (** probes that ran uncancelled.  Deterministic at [jobs = 1]
+          (exactly [winner_slot + 1]); at higher widths it depends on
+          domain scheduling — later probes may finish before the winner
+          posts — and is reported for speedup accounting only. *)
+  history : History.t;  (** the winning probe's execution history *)
+}
+
+val finite_par :
+  ?schedule:Levin.slot Seq.t ->
+  ?max_slots:int ->
+  ?jobs:int ->
+  ?pool:Goalcom_par.Pool.t ->
+  ?config:Exec.config ->
+  enum:Strategy.user Goalcom_automata.Enum.t ->
+  sensing:Sensing.t ->
+  goal:Goal.t ->
+  server:Strategy.server ->
+  seed:int ->
+  unit ->
+  race option
+(** The {e literal} reading of "strategies are enumerated 'in parallel'
+    as in Levin's approach": the first [max_slots] (default 64) slots
+    of [schedule] (default {!Levin.schedule}[ ()]) race on a domain
+    pool.  Each probe instantiates candidate [slot.index] afresh and
+    executes it for [slot.budget] rounds against [server] on a fresh
+    world ([?config]'s [world_choice]; the slot budget overrides its
+    horizon), with the candidate's own halts suppressed, exactly as a
+    {!finite} session would run it; sensing then judges the probe's
+    completed view.  The first positive indication cancels the
+    still-pending probes: a cancelled probe halts at its next step,
+    freeing its domain.
+
+    The winner is the {e minimal positive schedule slot} — the slot the
+    sequential schedule stops at — and a probe can only be cancelled by
+    a positive slot strictly below it, so the winner is independent of
+    [jobs] and of domain scheduling.  (The probes differ from
+    {!finite}'s in-run sessions in that each starts from a fresh world
+    and an empty view; on goals where a session's success does not
+    depend on residue from earlier sessions — e.g. E3's maze class —
+    the racer selects the same winning candidate as the sequential
+    construction, which the test suite asserts.)
+
+    Returns [None] when no probe senses positive within [max_slots].
+    One generator per probe is pre-split from [seed] in slot order, so
+    results are reproducible for every [jobs] count.  Width selection
+    as in [Trial.run_par]: [?pool] (reused, takes precedence), else
+    [?jobs], else [Pool.default_jobs ()].
+    @raise Invalid_argument if the enumeration is empty, or [max_slots]
+    or [jobs] is not positive. *)

@@ -44,6 +44,8 @@ let all =
       claim = E15_interactive_proof.claim; run = E15_interactive_proof.run };
     { id = "e16"; kind = Table; title = E16_fault_matrix.title;
       claim = E16_fault_matrix.claim; run = E16_fault_matrix.run };
+    { id = "e17"; kind = Figure; title = E17_scaling.title;
+      claim = E17_scaling.claim; run = E17_scaling.run };
   ]
 
 let find id =
@@ -51,4 +53,10 @@ let find id =
   List.find_opt (fun e -> e.id = id) all
 
 let run_all ~seed = List.map (fun e -> e.run ~seed) all
+
+(* Experiments are independent given a seed (each derives its own
+   generators), so a set of them is itself a sweepable grid. *)
+let run_par ?jobs ?pool ~seed experiments =
+  Sweep.map ?jobs ?pool (fun e -> e.run ~seed) experiments
+
 let kind_to_string = function Table -> "table" | Figure -> "figure"

@@ -20,11 +20,24 @@ type t = {
 }
 
 val all : t list
-(** E1 through E16, in order. *)
+(** E1 through E17, in order. *)
 
 val find : string -> t option
 (** Lookup by id (case-insensitive). *)
 
 val run_all : seed:int -> Table.t list
+
+val run_par :
+  ?jobs:int ->
+  ?pool:Goalcom_par.Pool.t ->
+  seed:int ->
+  t list ->
+  Table.t list
+(** Run a set of experiments across a domain pool ({!Sweep.map});
+    tables come back in input order.  Each experiment derives its own
+    generators from [seed], so fanning them out does not change any
+    result — E17's wall-clock columns, which are measured rather than
+    derived, are the one exception, and are labelled as such in its
+    table notes. *)
 
 val kind_to_string : kind -> string

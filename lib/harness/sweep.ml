@@ -1,0 +1,15 @@
+let map ?jobs ?pool f xs =
+  match pool with
+  | Some p -> Goalcom_par.Pool.map_list p f xs
+  | None ->
+      let jobs =
+        match jobs with
+        | Some j ->
+            if j <= 0 then invalid_arg "Sweep.map: jobs must be positive";
+            j
+        | None -> Goalcom_par.Pool.default_jobs ()
+      in
+      Goalcom_par.Pool.with_pool ~jobs (fun p ->
+          Goalcom_par.Pool.map_list p f xs)
+
+let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs

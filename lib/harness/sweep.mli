@@ -1,0 +1,26 @@
+(** Parameter sweeps fanned across a domain pool.
+
+    The experiment layer's outermost loops — "for each dialect-class
+    size", "for each fault spec", "for each (goal, server) cell" — are
+    embarrassingly parallel: every point is an independent computation
+    with its own derived seed.  This module is the thin bridge from
+    those grids to [Goalcom_par.Pool]: build the point list, {!map} a
+    point runner over it, get results back {e in point order} whatever
+    the domain count.
+
+    Determinism discipline: derive each point's seed from the point
+    itself (or pre-split a master generator in point order) {e before}
+    calling {!map} — never sample inside the point function from a
+    shared generator. *)
+
+val map : ?jobs:int -> ?pool:Goalcom_par.Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** Ordered parallel map: [map f points] runs [f] on every point across
+    the pool and returns the results in input order.  Width selection
+    as everywhere: [?pool] (reused across sweeps, takes precedence),
+    else [?jobs], else [Goalcom_par.Pool.default_jobs ()].  The first
+    exception raised by a point is re-raised.
+    @raise Invalid_argument if [jobs <= 0]. *)
+
+val product : 'a list -> 'b list -> ('a * 'b) list
+(** Row-major cartesian grid: [product [x1; x2] [y1; y2]] is
+    [[(x1,y1); (x1,y2); (x2,y1); (x2,y2)]]. *)

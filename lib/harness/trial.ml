@@ -11,6 +11,10 @@ type result = {
   metrics : Goalcom_obs.Metrics.summary option;
 }
 
+(* Structural compare rather than (=): mean_rounds is nan when no trial
+   succeeded, and nan <> nan while compare nan nan = 0. *)
+let equal a b = compare a b = 0
+
 let rounds_of_success (goal : Goal.t) (outcome : Outcome.t) =
   if Goal.is_finite goal then
     match outcome.Outcome.halt_round with
@@ -24,9 +28,57 @@ let rounds_of_success (goal : Goal.t) (outcome : Outcome.t) =
     | None -> 0.
   end
 
+(* Uniform argument validation for both runners: every rejection names
+   the entry point, the parameter and the offending value. *)
+let validate ~fn ?jobs ~trials () =
+  let reject what v =
+    invalid_arg
+      (Printf.sprintf "Trial.%s: %s must be positive (got %d)" fn what v)
+  in
+  if trials <= 0 then reject "trials" trials;
+  match jobs with Some j when j <= 0 -> reject "jobs" j | _ -> ()
+
+(* The per-trial configuration both runners must agree on: trial [i]
+   exercises world choice [i mod num_worlds]. *)
+let trial_config config goal i =
+  let base = match config with Some c -> c | None -> Exec.config () in
+  Exec.{ base with world_choice = i mod Goal.num_worlds goal }
+
+(* Shared aggregation fold — run and run_par produce bit-identical
+   results because both feed outcomes to this accumulator in trial
+   order. *)
+type acc = {
+  mutable acc_successes : int;
+  mutable acc_unsafe : int;
+  mutable acc_rounds : float list; (* reversed *)
+}
+
+let acc_create () = { acc_successes = 0; acc_unsafe = 0; acc_rounds = [] }
+
+let acc_add goal acc (outcome : Outcome.t) =
+  if outcome.Outcome.achieved then begin
+    acc.acc_successes <- acc.acc_successes + 1;
+    acc.acc_rounds <- rounds_of_success goal outcome :: acc.acc_rounds
+  end
+  else if outcome.Outcome.halted then acc.acc_unsafe <- acc.acc_unsafe + 1
+
+let acc_result ~trials acc =
+  let rounds_to_success = List.rev acc.acc_rounds in
+  {
+    successes = acc.acc_successes;
+    trials;
+    success_rate = float_of_int acc.acc_successes /. float_of_int trials;
+    rounds_to_success;
+    mean_rounds =
+      (if rounds_to_success = [] then Float.nan
+       else Stats.mean rounds_to_success);
+    unsafe_halts = acc.acc_unsafe;
+    metrics = None;
+  }
+
 let run ?config ?tail_window ?sink ?(collect_metrics = false) ?clock ~trials
     ~seed ~goal ~user ~server () =
-  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
+  validate ~fn:"run" ~trials ();
   let meter =
     if collect_metrics then Some (Goalcom_obs.Metrics.create ?clock ())
     else None
@@ -42,43 +94,106 @@ let run ?config ?tail_window ?sink ?(collect_metrics = false) ?clock ~trials
   in
   let body () =
     let master = Rng.make seed in
-    let successes = ref 0 in
-    let unsafe = ref 0 in
-    let rounds = ref [] in
+    let acc = acc_create () in
     for i = 0 to trials - 1 do
       let trial_rng = Rng.split master in
-      let config =
-        let base =
-          match config with Some c -> c | None -> Exec.config ()
-        in
-        Exec.{ base with world_choice = i mod Goal.num_worlds goal }
-      in
+      let config = trial_config config goal i in
       let outcome, _ =
         Exec.run_outcome ~config ?tail_window ~goal ~user ~server trial_rng
       in
-      if outcome.Outcome.achieved then begin
-        incr successes;
-        rounds := rounds_of_success goal outcome :: !rounds
-      end
-      else if outcome.Outcome.halted then incr unsafe
+      acc_add goal acc outcome
     done;
-    let rounds_to_success = List.rev !rounds in
-    {
-      successes = !successes;
-      trials;
-      success_rate = float_of_int !successes /. float_of_int trials;
-      rounds_to_success;
-      mean_rounds =
-        (if rounds_to_success = [] then Float.nan
-         else Stats.mean rounds_to_success);
-      unsafe_halts = !unsafe;
-      metrics = None;
-    }
+    acc_result ~trials acc
   in
   let result =
     match sink with None -> body () | Some s -> Trace.with_sink s body
   in
   { result with metrics = Option.map Goalcom_obs.Metrics.summary meter }
+
+let run_par ?config ?tail_window ?sink ?(collect_metrics = false) ?clock ?jobs
+    ?pool ~trials ~seed ~goal ~user ~server () =
+  validate ~fn:"run_par" ?jobs ~trials ();
+  (* Sequential [run] lets trials emit to whatever ambient sink the
+     caller has installed; pool domains inherit no sink, so lift the
+     caller's ambient into an explicit one to keep the semantics. *)
+  let sink = match sink with Some _ -> sink | None -> Trace.current () in
+  (* Determinism: derive every trial generator from the master *before*
+     distributing work, in trial order — the exact split sequence the
+     sequential runner consumes (explicit loop: evaluation order of
+     Array.init is unspecified). *)
+  let master = Rng.make seed in
+  let rngs = Array.make trials master in
+  for i = 0 to trials - 1 do
+    rngs.(i) <- Rng.split master
+  done;
+  let want_events = Option.is_some sink in
+  let task i () =
+    let config = trial_config config goal i in
+    let recorder =
+      if want_events then Some (Goalcom_obs.Recorder.create ()) else None
+    in
+    (* Per-trial meter with the real clock: timing must be measured on
+       the executing domain, not under post-hoc replay. *)
+    let meter =
+      if collect_metrics then Some (Goalcom_obs.Metrics.create ?clock ())
+      else None
+    in
+    let trial_sink =
+      match (recorder, meter) with
+      | None, None -> None
+      | Some r, None -> Some (Goalcom_obs.Recorder.sink r)
+      | None, Some m -> Some (Goalcom_obs.Metrics.sink m)
+      | Some r, Some m ->
+          Some
+            (Trace.tee (Goalcom_obs.Recorder.sink r)
+               (Goalcom_obs.Metrics.sink m))
+    in
+    let body () =
+      Exec.run_outcome ~config ?tail_window ~goal ~user ~server rngs.(i)
+    in
+    let outcome, _ =
+      match trial_sink with None -> body () | Some s -> Trace.with_sink s body
+    in
+    (outcome, Option.map Goalcom_obs.Recorder.events recorder, meter)
+  in
+  let tasks = Array.make trials (task 0) in
+  for i = 0 to trials - 1 do
+    tasks.(i) <- task i
+  done;
+  let per_trial =
+    match pool with
+    | Some p -> Goalcom_par.Pool.run p tasks
+    | None ->
+        let jobs =
+          match jobs with
+          | Some j -> j
+          | None -> Goalcom_par.Pool.default_jobs ()
+        in
+        Goalcom_par.Pool.with_pool ~jobs (fun p -> Goalcom_par.Pool.run p tasks)
+  in
+  (* Merge in trial order: replayed events reach the caller's sink in
+     the exact sequence the sequential runner would have emitted, and
+     the per-trial meters collapse into one summary (clockless merging
+     is equality with sequential observation; counters are additive). *)
+  let master_meter =
+    if collect_metrics then Some (Goalcom_obs.Metrics.create ()) else None
+  in
+  let acc = acc_create () in
+  Array.iter
+    (fun (outcome, events, meter) ->
+      (match (sink, events) with
+      | Some s, Some evs -> List.iter s evs
+      | _ -> ());
+      (match (master_meter, meter) with
+      | Some dst, Some src -> Goalcom_obs.Metrics.merge ~into:dst src
+      | _ -> ());
+      acc_add goal acc outcome)
+    per_trial;
+  let result = acc_result ~trials acc in
+  {
+    result with
+    metrics = Option.map Goalcom_obs.Metrics.summary master_meter;
+  }
 
 let success_rate ?config ?tail_window ~trials ~seed ~goal ~user ~server () =
   (run ?config ?tail_window ~trials ~seed ~goal ~user ~server ()).success_rate

@@ -45,7 +45,49 @@ val run :
     additionally aggregates a {!Goalcom_obs.Metrics.summary} into the
     result (teeing with [?sink] if both are given); [?clock] enables
     its per-round timing.
-    @raise Invalid_argument if [trials <= 0]. *)
+    @raise Invalid_argument if [trials <= 0] (message names the entry
+    point and the offending value). *)
+
+val run_par :
+  ?config:Exec.config ->
+  ?tail_window:int ->
+  ?sink:Trace.sink ->
+  ?collect_metrics:bool ->
+  ?clock:(unit -> float) ->
+  ?jobs:int ->
+  ?pool:Goalcom_par.Pool.t ->
+  trials:int ->
+  seed:int ->
+  goal:Goal.t ->
+  user:Strategy.user ->
+  server:Strategy.server ->
+  unit ->
+  result
+(** {!run}, fanned across a domain pool — and {e bit-identical} to it
+    for every [jobs] count: trial generators are pre-split from [seed]
+    in trial order (the exact sequence {!run} consumes), outcomes are
+    aggregated in trial order, and each trial's trace events are
+    buffered on the executing domain and replayed to [?sink] in trial
+    order, so the merged stream equals the sequential one.  The only
+    sanctioned divergence is [metrics.round_timing] when [?clock] is
+    given: durations are measured on the executing domain (replay
+    timing would be garbage), so wall-clock figures differ run to run
+    exactly as two sequential runs' would; without [?clock] the metrics
+    summary is equal field-for-field.
+
+    Width is [?pool] (reused across calls, takes precedence), else
+    [?jobs], else [Pool.default_jobs] ([--jobs] / [GOALCOM_JOBS], 1 by
+    default).  If no [?sink] is given but the calling domain has an
+    ambient sink installed, that sink receives the replayed events —
+    mirroring {!run}, which runs its trials under the caller's ambient
+    sink.
+
+    @raise Invalid_argument if [trials <= 0] or [jobs <= 0]. *)
+
+val equal : result -> result -> bool
+(** Field-for-field equality (structural; treats the [nan] of an empty
+    [mean_rounds] as equal to itself).  Backs the determinism property
+    tests comparing {!run_par} against {!run}. *)
 
 val success_rate :
   ?config:Exec.config ->

@@ -153,6 +153,31 @@ let observe t (ev : Trace.event) =
 
 let sink t = observe t
 
+(* Counters are all additive, so absorbing a quiescent meter is a sum;
+   timing combines totals and extremes.  Any round still open in [src]
+   (its trace ended without Run_end) is dropped, same as [summary]
+   would drop it. *)
+let merge ~into:dst src =
+  dst.runs <- dst.runs + src.runs;
+  dst.rounds <- dst.rounds + src.rounds;
+  dst.halts <- dst.halts + src.halts;
+  dst.user_msgs <- dst.user_msgs + src.user_msgs;
+  dst.server_msgs <- dst.server_msgs + src.server_msgs;
+  dst.world_msgs <- dst.world_msgs + src.world_msgs;
+  dst.wire_symbols <- dst.wire_symbols + src.wire_symbols;
+  dst.senses <- dst.senses + src.senses;
+  dst.negatives <- dst.negatives + src.negatives;
+  dst.switches <- dst.switches + src.switches;
+  dst.resumes <- dst.resumes + src.resumes;
+  dst.sessions <- dst.sessions + src.sessions;
+  dst.faults <- dst.faults + src.faults;
+  dst.violations <- dst.violations + src.violations;
+  dst.timed <- dst.timed + src.timed;
+  dst.time_total <- dst.time_total +. src.time_total;
+  if src.time_min < dst.time_min then dst.time_min <- src.time_min;
+  if src.time_max > dst.time_max then dst.time_max <- src.time_max;
+  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets
+
 let summary t =
   {
     runs = t.runs;

@@ -65,6 +65,16 @@ val sink : t -> Trace.sink
 val summary : t -> summary
 (** Snapshot; the counters keep accumulating afterwards. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into:dst src] adds [src]'s counters and timing into [dst].
+    [src] must be quiescent (no further [observe] calls expected; any
+    still-open round is dropped, as {!summary} would).  This is how the
+    parallel trial runner combines per-domain meters: each trial feeds
+    its own meter (so timing is measured on the executing domain, not
+    under replay) and the meters are merged in trial order — clockless
+    merging is exactly equivalent to sequential shared observation,
+    because every counter is additive. *)
+
 val of_events : Trace.event list -> summary
 (** Aggregate a recorded trace (clockless, so [round_timing = None]). *)
 

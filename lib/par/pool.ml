@@ -1,0 +1,253 @@
+(* Fixed-size domain pool with a work-stealing deque scheduler.
+
+   One deque per participant (the submitter is participant 0, worker
+   domains are 1..width-1).  A batch deals contiguous index chunks
+   round-robin into the deques; each participant pops from the head of
+   its own deque and, when empty, steals from the *tail* of a victim's
+   deque, so skewed chunk costs migrate to idle domains.  The deques
+   hold at most a few chunks each, so a plain mutex-protected list is
+   both simple and cheap — contention happens per chunk, not per
+   task. *)
+
+type chunk = { lo : int; hi : int } (* task indices [lo, hi) *)
+type deque = { dq_lock : Mutex.t; mutable items : chunk list }
+
+type batch = {
+  deques : deque array;
+  exec : int -> unit; (* run task [i] and store its result *)
+  remaining : int Atomic.t; (* tasks not yet retired (run or skipped) *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  width : int;
+  lock : Mutex.t;
+  work_cond : Condition.t; (* workers sleep here between batches *)
+  done_cond : Condition.t; (* the submitter sleeps here during drain *)
+  mutable current : (int * batch) option; (* (sequence number, batch) *)
+  mutable seq : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Cross-pool count of in-flight multi-domain batches, consulted by
+   Trace.set_sink to refuse ambient-sink swaps during parallel runs. *)
+let batches_in_flight = Atomic.make 0
+let active_batches () = Atomic.get batches_in_flight
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+(* Ambient width: --jobs (via set_default_jobs) beats GOALCOM_JOBS
+   beats 1.  Parallelism is strictly opt-in. *)
+let jobs_override = ref None
+
+let set_default_jobs j =
+  if j <= 0 then invalid_arg "Pool.set_default_jobs: jobs must be positive";
+  jobs_override := Some j
+
+let default_jobs () =
+  match !jobs_override with
+  | Some j -> j
+  | None -> (
+      match Sys.getenv_opt "GOALCOM_JOBS" with
+      | None -> 1
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some j when j > 0 -> j
+          | _ -> 1))
+
+let new_deque () = { dq_lock = Mutex.create (); items = [] }
+
+let pop_own d =
+  Mutex.lock d.dq_lock;
+  let c =
+    match d.items with
+    | [] -> None
+    | c :: rest ->
+        d.items <- rest;
+        Some c
+  in
+  Mutex.unlock d.dq_lock;
+  c
+
+(* Thieves take the chunk the owner would reach last.  The lists are a
+   handful of elements long, so the O(n) tail removal is noise. *)
+let steal_from d =
+  Mutex.lock d.dq_lock;
+  let c =
+    match List.rev d.items with
+    | [] -> None
+    | last :: rev_rest ->
+        d.items <- List.rev rev_rest;
+        Some last
+  in
+  Mutex.unlock d.dq_lock;
+  c
+
+let steal b ~thief =
+  let width = Array.length b.deques in
+  let rec try_victim k =
+    if k >= width then None
+    else
+      let v = (thief + k) mod width in
+      match steal_from b.deques.(v) with
+      | Some _ as c -> c
+      | None -> try_victim (k + 1)
+  in
+  try_victim 1
+
+(* Retire every task of a chunk.  A task runs only while no failure is
+   recorded; afterwards the batch drains by skipping, so the submitter
+   can re-raise promptly without abandoning bookkeeping. *)
+let run_chunk pool b c =
+  for i = c.lo to c.hi - 1 do
+    (match Atomic.get b.failed with
+    | None -> (
+        try b.exec i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set b.failed None (Some (e, bt))))
+    | Some _ -> ());
+    if Atomic.fetch_and_add b.remaining (-1) = 1 then (
+      Mutex.lock pool.lock;
+      Condition.broadcast pool.done_cond;
+      Mutex.unlock pool.lock)
+  done
+
+let rec drain pool b ~me =
+  match pop_own b.deques.(me) with
+  | Some c ->
+      run_chunk pool b c;
+      drain pool b ~me
+  | None -> (
+      match steal b ~thief:me with
+      | Some c ->
+          run_chunk pool b c;
+          drain pool b ~me
+      | None -> ())
+
+let worker_loop pool ~me () =
+  Domain.DLS.set in_worker_key true;
+  let last_seq = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let rec await () =
+      if pool.stopping then None
+      else
+        match pool.current with
+        | Some (seq, b) when seq > !last_seq ->
+            last_seq := seq;
+            Some b
+        | _ ->
+            Condition.wait pool.work_cond pool.lock;
+            await ()
+    in
+    let job = await () in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some b ->
+        drain pool b ~me;
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs <= 0 then invalid_arg "Pool.create: jobs must be positive";
+  let pool =
+    {
+      width = jobs;
+      lock = Mutex.create ();
+      work_cond = Condition.create ();
+      done_cond = Condition.create ();
+      current = None;
+      seq = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (jobs - 1) (fun k -> Domain.spawn (worker_loop pool ~me:(k + 1)));
+  pool
+
+let jobs t = t.width
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_cond;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* About four chunks per participant: enough slack for stealing to
+   even out skew, few enough that scheduling stays per-chunk cheap. *)
+let chunks_of ~width n =
+  let per = max 1 ((n + (width * 4) - 1) / (width * 4)) in
+  let rec go lo acc = if lo >= n then List.rev acc
+    else go (lo + per) ({ lo; hi = min n (lo + per) } :: acc)
+  in
+  go 0 []
+
+let run (type a) t (tasks : (unit -> a) array) : a array =
+  let n = Array.length tasks in
+  if t.stopping then invalid_arg "Pool.run: pool is shut down";
+  if n = 0 then [||]
+  else if t.width = 1 then (
+    (* The exact sequential path: index order on the calling domain,
+       first exception propagating as-is. *)
+    let results = Array.make n None in
+    for i = 0 to n - 1 do
+      results.(i) <- Some (tasks.(i) ())
+    done;
+    Array.map Option.get results)
+  else (
+    let results = Array.make n None in
+    let b =
+      {
+        deques = Array.init t.width (fun _ -> new_deque ());
+        exec = (fun i -> results.(i) <- Some (tasks.(i) ()));
+        remaining = Atomic.make n;
+        failed = Atomic.make None;
+      }
+    in
+    List.iteri
+      (fun k c ->
+        let d = b.deques.(k mod t.width) in
+        d.items <- d.items @ [ c ])
+      (chunks_of ~width:t.width n);
+    Atomic.incr batches_in_flight;
+    Mutex.lock t.lock;
+    if Option.is_some t.current then (
+      Mutex.unlock t.lock;
+      Atomic.decr batches_in_flight;
+      invalid_arg "Pool.run: pool is busy (nested run from a task?)");
+    t.seq <- t.seq + 1;
+    t.current <- Some (t.seq, b);
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.lock;
+    (* While draining, the submitting domain is a batch participant too:
+       its tasks may install domain-local trace sinks, which the Trace
+       guard permits only for participants (see [in_worker]). *)
+    let was_worker = Domain.DLS.get in_worker_key in
+    Domain.DLS.set in_worker_key true;
+    drain t b ~me:0;
+    Domain.DLS.set in_worker_key was_worker;
+    Mutex.lock t.lock;
+    while Atomic.get b.remaining > 0 do
+      Condition.wait t.done_cond t.lock
+    done;
+    t.current <- None;
+    Mutex.unlock t.lock;
+    Atomic.decr batches_in_flight;
+    match Atomic.get b.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map Option.get results)
+
+let map_array t f xs = run t (Array.map (fun x () -> f x) xs)
+let map_list t f xs = Array.to_list (map_array t f (Array.of_list xs))

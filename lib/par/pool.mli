@@ -1,0 +1,87 @@
+(** A fixed-size domain pool with work-stealing scheduling.
+
+    This is the substrate of every parallel entry point in the library
+    ([Trial.run_par], [Experiment.run_par]/[Sweep], and the multicore
+    Levin racer [Universal.finite_par]).  It is deliberately generic —
+    the module knows nothing about goals, trials or traces — so it sits
+    at the very bottom of the dependency order and both [lib/core] and
+    [lib/harness] can build on it.
+
+    {b Model.}  A pool owns [jobs - 1] worker domains plus the
+    submitting domain, which participates in every batch.  {!run} takes
+    an array of independent tasks, splits it into contiguous chunks
+    (chunked submission: one scheduling event covers many tasks),
+    deals the chunks round-robin into per-participant deques, and lets
+    every participant pop from its own deque bottom while idle
+    participants steal from the {e other} end of a victim's deque —
+    classic work-stealing, so skewed task costs balance out.
+
+    {b Determinism.}  Results are delivered as an array indexed by task
+    position; completion order never leaks into the caller.  Combined
+    with pre-split RNGs per task, every parallel entry point built on
+    this pool is bit-identical for every [jobs] count.
+
+    {b Exceptions.}  The first task to raise wins: its exception is
+    recorded, the remaining unstarted tasks of the batch are skipped,
+    and {!run} re-raises it (with the original backtrace) in the
+    submitting domain.  The pool itself stays usable — a batch failure
+    never poisons the workers.
+
+    {b [jobs = 1].}  A width-1 pool spawns no domains at all: {!run}
+    executes the tasks in index order on the calling domain — the exact
+    sequential path, not a simulation of it.
+
+    {b Width selection.}  [GOALCOM_JOBS] (environment) and [--jobs]
+    (CLI, via {!set_default_jobs}) control the default width; the
+    default of defaults is 1, so parallelism is always opt-in. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of width [jobs] ([jobs - 1] worker domains).
+    @raise Invalid_argument if [jobs <= 0]. *)
+
+val jobs : t -> int
+(** The pool's width (worker domains + the submitting domain). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Running {!run}
+    after shutdown raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, [shutdown] — exceptions included. *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** Execute every task and return their results in task order.  Tasks
+    must be independent; they run concurrently on up to [jobs] domains
+    (all of them including the caller's).  Re-raises the first task
+    exception after the batch has drained.  Not reentrant from within
+    a task of the {e same} pool (create a nested pool instead); a
+    fresh nested pool inside a task is fine. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array p f xs] is {!run} over [fun () -> f xs.(i)]. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array}; order preserved. *)
+
+val default_jobs : unit -> int
+(** The ambient width used when an entry point is given no explicit
+    [?jobs]/[?pool]: the last {!set_default_jobs} value, else
+    [GOALCOM_JOBS] from the environment, else 1. *)
+
+val set_default_jobs : int -> unit
+(** Set the ambient width (the CLI's [--jobs] lands here).
+    @raise Invalid_argument if [jobs <= 0]. *)
+
+val active_batches : unit -> int
+(** Number of multi-domain batches currently executing, across all
+    pools.  Used by [Trace] to reject cross-domain sink installation
+    while parallel work is in flight. *)
+
+val in_worker : unit -> bool
+(** Whether the calling domain is currently a batch participant — a
+    pool worker domain, or the submitting domain while it drains a
+    {!run}.  Participant tasks may freely install domain-local trace
+    sinks; foreign domains must not install sinks mid-batch (see
+    [Trace.set_sink]). *)

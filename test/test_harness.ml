@@ -105,12 +105,25 @@ let test_trial_metrics () =
         r.Trial.successes
 
 let test_trial_validation () =
-  Alcotest.check_raises "trials" (Invalid_argument "Trial.run: trials must be positive")
+  Alcotest.check_raises "trials"
+    (Invalid_argument "Trial.run: trials must be positive (got 0)")
     (fun () ->
-      ignore (Trial.run ~config ~trials:0 ~seed:1 ~goal ~user:winner ~server:idle_server ()))
+      ignore (Trial.run ~config ~trials:0 ~seed:1 ~goal ~user:winner ~server:idle_server ()));
+  Alcotest.check_raises "run_par trials"
+    (Invalid_argument "Trial.run_par: trials must be positive (got -3)")
+    (fun () ->
+      ignore
+        (Trial.run_par ~config ~trials:(-3) ~seed:1 ~goal ~user:winner
+           ~server:idle_server ()));
+  Alcotest.check_raises "run_par jobs"
+    (Invalid_argument "Trial.run_par: jobs must be positive (got 0)")
+    (fun () ->
+      ignore
+        (Trial.run_par ~config ~jobs:0 ~trials:2 ~seed:1 ~goal ~user:winner
+           ~server:idle_server ()))
 
 let test_registry_complete () =
-  Alcotest.(check int) "sixteen experiments" 16 (List.length Experiment.all);
+  Alcotest.(check int) "seventeen experiments" 17 (List.length Experiment.all);
   List.iteri
     (fun i (e : Experiment.t) ->
       Alcotest.(check string) "ordered ids" (Printf.sprintf "e%d" (i + 1)) e.id)
@@ -126,7 +139,7 @@ let test_registry_kinds () =
   let kinds = List.map (fun (e : Experiment.t) -> e.kind) Experiment.all in
   Alcotest.(check int) "nine tables" 9
     (List.length (List.filter (fun k -> k = Experiment.Table) kinds));
-  Alcotest.(check int) "seven figures" 7
+  Alcotest.(check int) "eight figures" 8
     (List.length (List.filter (fun k -> k = Experiment.Figure) kinds));
   Alcotest.(check string) "to_string" "figure"
     (Experiment.kind_to_string Experiment.Figure)
