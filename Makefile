@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check ci bench bench-par bench-check clean
+.PHONY: all build test check ci bench bench-par bench-sense bench-check clean
 
 all: build
 
@@ -41,9 +41,15 @@ bench:
 bench-par:
 	BENCH_ONLY=par dune exec bench/main.exe
 
+# Rewrites just BENCH_sense.json: the incremental judge/sensing kernels
+# at horizons 1k/4k/16k, including the legacy-prefix quadratic baseline
+# the >= 10x speedup gate compares against.
+bench-sense:
+	BENCH_ONLY=sense dune exec bench/main.exe
+
 # The perf-regression gate: quick re-measure, compare against the
-# committed BENCH_trace.json + BENCH_par.json, write BENCH_check.json,
-# exit 1 on any regression.
+# committed BENCH_trace.json + BENCH_par.json + BENCH_sense.json, write
+# BENCH_check.json, exit 1 on any regression.
 bench-check:
 	dune exec bench/main.exe -- --check
 

@@ -7,11 +7,13 @@
    2. Bechamel micro-benchmarks: one Test.make per experiment (timing
       the experiment's workload kernel — a single representative
       execution) plus engine micro-benchmarks.
-   3. Tracing overhead on the E1 kernel -> BENCH_trace.json.
+   3. Tracing overhead on the compact control kernel -> BENCH_trace.json.
    4. Parallel scaling & determinism (the E17 workloads at fixed job
       counts) -> BENCH_par.json.
+   5. Incremental judging & sensing kernels at growing horizons
+      -> BENCH_sense.json.
 
-   `--check` re-measures 3 and 4 quickly and gates them against the
+   `--check` re-measures 3-5 quickly and gates them against the
    committed BENCH files; `--jobs N` sets the ambient pool width. *)
 
 open Bechamel
@@ -379,7 +381,7 @@ let write_fault_json rows =
   close_out oc;
   Printf.printf "\nwrote BENCH_faults.json (%d entries)\n" (List.length entries)
 
-(* Tracing overhead on the E1 kernel.
+(* Tracing overhead on the compact control kernel.
 
    The tentpole claim of lib/obs is that the no-sink path is free: every
    emission site is a load-and-branch, no event is allocated.  A binary
@@ -445,10 +447,19 @@ let replica_run ~config ~goal ~user ~server rng =
   let silence2 = (Msg.Silence, Msg.Silence) in
   loop 1 false config.Exec.drain (silence2, silence2, silence2) []
 
-let trace_e1_setup () =
-  let goal = Printing.goal ~docs:[ [ 3; 1; 4 ] ] ~alphabet () in
-  let server = Printing.server ~alphabet (dialect 2) in
-  let user = Printing.universal_user ~alphabet dialects in
+(* The overhead kernel must spend long enough inside the round loop
+   that per-round costs dominate run-to-run code-layout noise (several
+   microseconds per run either way).  The E1 printing kernel used to
+   qualify, but the incremental sensing/judging engine made it halt-
+   bound (~59 rounds, ~20us/run) and the replica comparison degenerated
+   into measuring loop-layout drift.  The compact control goal never
+   halts, so every run executes the full 2000-round horizon. *)
+let trace_kernel_setup () =
+  let ctl_alphabet = 4 in
+  let ctl_dialects = Dialect.enumerate_rotations ~size:ctl_alphabet in
+  let goal = Control.goal ~alphabet:ctl_alphabet () in
+  let server = Control.server ~alphabet:ctl_alphabet (Enum.get_exn ctl_dialects 2) in
+  let user = Control.universal_user ~alphabet:ctl_alphabet ctl_dialects in
   let config = Exec.config ~horizon:2000 () in
   (config, goal, user, server)
 
@@ -465,7 +476,7 @@ let median l =
    [(variant, (median ratio, best baseline s/run, best variant s/run))]
    per sink variant. *)
 let measure_trace_overhead ~rounds ~budget () =
-  let config, goal, user, server = trace_e1_setup () in
+  let config, goal, user, server = trace_kernel_setup () in
   (* Replica fidelity: same seed, same history, or the baseline is not
      measuring the same work. *)
   let fidelity =
@@ -586,7 +597,7 @@ let trace_metrics ~base_ms ~nosink_pct measured =
 
 let print_trace_overhead () =
   print_endline "\n==================================================";
-  print_endline " Tracing overhead (E1 kernel)";
+  print_endline " Tracing overhead (compact control kernel)";
   print_endline "==================================================";
   let rounds = 15 in
   let n, base_ms, measured = measure_trace_overhead ~rounds ~budget:0.05 () in
@@ -605,7 +616,7 @@ let print_trace_overhead () =
     (Table.make
        ~title:
          (Printf.sprintf
-            "tracing overhead, E1 kernel (median of %d rounds x %d paired runs)"
+            "tracing overhead, control kernel (median of %d rounds x %d paired runs)"
             rounds n)
        ~columns:[ "variant"; "ms/run"; "vs baseline" ]
        (List.map (fun (name, cells) -> name :: cells) rows));
@@ -618,7 +629,7 @@ let print_trace_overhead () =
   Printf.fprintf oc
     "{\n\
     \  \"seed\": %d,\n\
-    \  \"kernel\": \"e1_universality\",\n\
+    \  \"kernel\": \"control_compact_2k\",\n\
     \  \"rounds\": %d,\n\
     \  \"paired_runs_per_round\": %d,\n\
     \  \"unit\": \"ms/run\",\n\
@@ -806,6 +817,263 @@ let print_par () =
     (List.length runs_by_workload)
     (List.length par_jobs)
 
+(* Part 5: incremental judging & sensing kernels -> BENCH_sense.json.
+
+   The incremental-evaluation refactor's claim is algorithmic — judging
+   and sensing are a single O(n) pass instead of the legacy O(n^2)
+   prefix re-evaluation — so the gated numbers are RATIOS, which
+   transfer across hosts:
+   - judge16k_incr_vs_legacy_pct: incremental [Referee.violations]
+     as a percentage of the legacy prefix-predicate path
+     ([Referee.violations_prefix] on a list-predicate referee) at
+     horizon 16k.  Holding under 10% is the ">= 10x wall-clock win"
+     acceptance bar.
+   - *_scaling_16k_over_1k: wall clock at horizon 16k over horizon 1k
+     for the incremental judge, incremental sensing and tolerant
+     sensing kernels.  A linear pass gives ~16x; anything quadratic
+     gives ~256x.  Gated at <= 25x.
+   Absolute ms are recorded as informational timings with the loose
+   cross-host tolerance. *)
+
+let sense_horizons = [ 1_000; 4_000; 16_000 ]
+let sense_bound = 10
+
+(* The synthetic plant wanders inside [-bound, bound] and strays out on
+   a sparse set of rounds, so the judge kernels have violations to
+   collect and the sensors see both verdicts. *)
+let sense_plant r =
+  if r mod 97 = 0 then sense_bound + 1 + (r mod 5)
+  else (r * 7 mod ((2 * sense_bound) + 1)) - sense_bound
+
+let sense_history n =
+  let round r =
+    let plant = Msg.Int (sense_plant r) in
+    {
+      History.Round.index = r;
+      user_to_server = Msg.Sym (r land 3);
+      user_to_world = Msg.Silence;
+      server_to_user = Msg.Int (r land 7);
+      server_to_world = Msg.Silence;
+      world_to_user = plant;
+      world_to_server = Msg.Silence;
+      world_view = plant;
+      user_halted = false;
+    }
+  in
+  History.make ~initial_world_view:(Msg.Int 0) (List.init n (fun i -> round (i + 1)))
+
+let sense_in_range = function
+  | Msg.Int p -> abs p <= sense_bound
+  | _ -> false
+
+(* Legacy constructor: a predicate over most-recent-first world views.
+   [violations_prefix] re-evaluates it once per prefix — the
+   pre-refactor cost model for compact judging. *)
+let sense_referee_legacy =
+  Referee.compact "plant-in-range/legacy" (function
+    | v :: _ -> sense_in_range v
+    | [] -> true)
+
+let sense_referee_incr =
+  Referee.compact_incremental "plant-in-range/incr"
+    ~init:(fun _v0 -> ((), `Ok))
+    ~step:(fun () v -> ((), if sense_in_range v then `Ok else `Violation))
+
+let sense_sensor =
+  Sensing.of_recent ~name:"plant-in-range/recent" ~window:16 (fun e ->
+      sense_in_range e.View.from_world)
+
+let sense_tolerant = Sensing.tolerant ~window:8 ~threshold:6 sense_sensor
+
+let sense_kernels =
+  [
+    ( "judge-legacy",
+      fun hist -> ignore (Referee.violations_prefix sense_referee_legacy hist) );
+    ( "judge-incremental",
+      fun hist -> ignore (Referee.violations sense_referee_incr hist) );
+    ("sense-verdicts", fun hist -> ignore (Sensing.verdicts sense_sensor hist));
+    (* negatives_after folds the tolerant state over the whole history
+       without building the O(n) verdict list, so this times the
+       per-round sensing cost itself — the thing the ring buffer made
+       O(1) — not result-list construction. *)
+    ( "tolerant-w8",
+      fun hist -> ignore (Sensing.negatives_after sense_tolerant hist 0) );
+  ]
+
+(* [(kernel, [(horizon, best seconds per pass)])] — one warm pass, then
+   the minimum over [repeats] timed samples per (kernel, horizon).
+
+   Each sample times a BATCH of passes covering the same total round
+   count at every horizon (so a 1k sample runs 16x more passes than a
+   16k sample).  A single 1k pass is ~tens of microseconds — timer
+   granularity — and a single 16k pass may or may not absorb a GC
+   slice, which showed up as 2x run-to-run noise on the scaling ratio.
+   Batching fixes both: samples are well above timer resolution, and GC
+   work amortises in proportion to allocation — the same per round at
+   either horizon — so it cancels out of the 16k/1k ratio instead of
+   landing on whichever sample drew the collection. *)
+let sense_batch_rounds = 4 * 16_000
+
+let measure_sense ~repeats () =
+  let hists = List.map (fun h -> (h, sense_history h)) sense_horizons in
+  (* Both judge paths must agree, or the speedup compares different
+     answers; checked once at the smallest horizon. *)
+  let h0 = snd (List.hd hists) in
+  if
+    Referee.violations sense_referee_incr h0
+    <> Referee.violations_prefix sense_referee_legacy h0
+  then failwith "sense bench: judge kernels disagree";
+  List.map
+    (fun (name, kernel) ->
+      ( name,
+        List.map
+          (fun (h, hist) ->
+            (* The legacy judge is quadratic — one pass per sample is
+               already ~500ms at 16k and far above timer noise. *)
+            let passes =
+              if name = "judge-legacy" then 1
+              else max 1 (sense_batch_rounds / h)
+            in
+            kernel hist;
+            let best = ref infinity in
+            for _ = 1 to repeats do
+              Gc.full_major ();
+              let t0 = Unix.gettimeofday () in
+              for _ = 1 to passes do
+                kernel hist
+              done;
+              let dt = Unix.gettimeofday () -. t0 in
+              best := min !best (dt /. float_of_int passes)
+            done;
+            (h, !best))
+          hists ))
+    sense_kernels
+
+let sense_ms runs name h = 1e3 *. List.assoc h (List.assoc name runs)
+let sense_scaling runs name = sense_ms runs name 16_000 /. sense_ms runs name 1_000
+
+let sense_incr_vs_legacy_pct runs =
+  100. *. sense_ms runs "judge-incremental" 16_000
+  /. sense_ms runs "judge-legacy" 16_000
+
+(* The measurement flattened to the gate's vocabulary — the same names
+   Bench_gate.metrics_of_json extracts from BENCH_sense.json. *)
+let sense_metrics runs =
+  let open Goalcom_obs.Bench_gate in
+  { name = "judge16k_incr_vs_legacy_pct"; value = sense_incr_vs_legacy_pct runs }
+  :: { name = "judge_scaling_16k_over_1k";
+       value = sense_scaling runs "judge-incremental" }
+  :: { name = "sense_scaling_16k_over_1k";
+       value = sense_scaling runs "sense-verdicts" }
+  :: { name = "tolerant_scaling_16k_over_1k";
+       value = sense_scaling runs "tolerant-w8" }
+  :: List.concat_map
+       (fun (name, times) ->
+         List.map
+           (fun (h, t) ->
+             { name = Printf.sprintf "%s/h%dk_ms" name (h / 1000);
+               value = t *. 1e3 })
+           times)
+       runs
+
+(* Hard acceptance thresholds, phrased as a Bench_gate baseline with
+   zero tolerance: a fresh value above the threshold is a regression
+   regardless of what the committed file says.  [sense-verdicts] is
+   informational only — its pass allocates the per-round verdict list,
+   so at 16k it is memory-bound and its ratio tracks the host's cache
+   hierarchy more than the algorithm. *)
+let sense_gates =
+  let open Goalcom_obs.Bench_gate in
+  [
+    { name = "judge16k_incr_vs_legacy_pct"; value = 10. };
+    { name = "judge_scaling_16k_over_1k"; value = 25. };
+    { name = "tolerant_scaling_16k_over_1k"; value = 25. };
+  ]
+
+let sense_comparisons ~baseline ~runs () =
+  let module Gate = Goalcom_obs.Bench_gate in
+  let fresh = sense_metrics runs in
+  (* Committed-file comparison covers the absolute timings (loose
+     cross-host tolerance); the ratios are gated against the hard
+     thresholds instead, so filter them out of the baseline to avoid
+     judging them twice. *)
+  let ms_only =
+    List.filter (fun (m : Gate.metric) -> Filename.check_suffix m.name "_ms")
+      baseline
+  in
+  Gate.compare_metrics ~baseline:ms_only ~fresh ()
+  @ Gate.compare_metrics
+      ~tol_pct:(fun _ -> 0.)
+      ~slack:(fun _ -> 0.)
+      ~baseline:sense_gates ~fresh ()
+
+let print_sense () =
+  print_endline "\n==================================================";
+  print_endline " Incremental judging & sensing kernels";
+  print_endline "==================================================";
+  let repeats = 5 in
+  let runs = measure_sense ~repeats () in
+  let rows =
+    List.map
+      (fun (name, _) ->
+        name
+        :: List.map
+             (fun h -> Printf.sprintf "%.3f" (sense_ms runs name h))
+             sense_horizons
+        @ [ Printf.sprintf "%.1fx" (sense_scaling runs name) ])
+      runs
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf
+            "judge/sensing kernels, ms per full-history pass (best of %d)"
+            repeats)
+       ~columns:[ "kernel"; "1k ms"; "4k ms"; "16k ms"; "16k/1k" ]
+       rows);
+  let speedup =
+    sense_ms runs "judge-legacy" 16_000 /. sense_ms runs "judge-incremental" 16_000
+  in
+  Printf.printf
+    "\nincremental vs legacy prefix judge at 16k: %.0fx (acceptance: >= 10x)\n"
+    speedup;
+  Printf.printf
+    "tolerant(w=8) scaling 16k/1k: %.1fx (acceptance: <= 25x; linear ~ 16x)\n"
+    (sense_scaling runs "tolerant-w8");
+  let oc = open_out "BENCH_sense.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"horizons\": [1000, 4000, 16000],\n\
+    \  \"repeats\": %d,\n\
+    \  \"unit\": \"ms\",\n\
+    \  \"judge16k_speedup_x\": %.1f,\n\
+    \  \"judge16k_incr_vs_legacy_pct\": %.4f,\n\
+    \  \"judge_scaling_16k_over_1k\": %.2f,\n\
+    \  \"sense_scaling_16k_over_1k\": %.2f,\n\
+    \  \"tolerant_scaling_16k_over_1k\": %.2f,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    seed repeats speedup
+    (sense_incr_vs_legacy_pct runs)
+    (sense_scaling runs "judge-incremental")
+    (sense_scaling runs "sense-verdicts")
+    (sense_scaling runs "tolerant-w8")
+    (String.concat ",\n"
+       (List.map
+          (fun (name, _) ->
+            Printf.sprintf
+              "    {\"name\": %S, \"h1k_ms\": %.4f, \"h4k_ms\": %.4f, \
+               \"h16k_ms\": %.4f}"
+              name (sense_ms runs name 1_000) (sense_ms runs name 4_000)
+              (sense_ms runs name 16_000))
+          runs));
+  close_out oc;
+  Printf.printf "wrote BENCH_sense.json (%d kernels x %d horizons)\n"
+    (List.length runs) (List.length sense_horizons)
+
 (* --check: the perf-regression gate.  Re-measure the tracing overhead
    and the gated parallel workload (CI-sized quick runs), compare
    against the committed BENCH_trace.json / BENCH_par.json with
@@ -863,7 +1131,20 @@ let check () =
         Gate.compare_metrics ~tol_pct:par_tol ~slack:par_slack
           ~baseline:par_baseline ~fresh:(par_metrics runs) ()
   in
-  let comparisons = trace_comparisons @ par_comparisons in
+  let sense_cmp =
+    match Gate.load_file "BENCH_sense.json" with
+    | Error e ->
+        Printf.eprintf "bench --check: %s\n" e;
+        exit 2
+    | Ok sense_baseline ->
+        Printf.printf
+          "bench --check: re-measuring judge/sensing kernels (horizons %s)...\n%!"
+          (String.concat "/"
+             (List.map (fun h -> string_of_int (h / 1000) ^ "k") sense_horizons));
+        let runs = measure_sense ~repeats:4 () in
+        sense_comparisons ~baseline:sense_baseline ~runs ()
+  in
+  let comparisons = trace_comparisons @ par_comparisons @ sense_cmp in
   Table.print (Gate.table comparisons);
   let verdict = Gate.verdict_json comparisons in
   let oc = open_out "BENCH_check.json" in
@@ -872,7 +1153,9 @@ let check () =
   print_endline verdict;
   match Gate.regressions comparisons with
   | [] ->
-      Printf.printf "bench --check: PASS (%d metrics vs %s + BENCH_par.json)\n"
+      Printf.printf
+        "bench --check: PASS (%d metrics vs %s + BENCH_par.json + \
+         BENCH_sense.json)\n"
         (List.length comparisons) baseline_path
   | regs ->
       Printf.printf "bench --check: FAIL (%d of %d metrics regressed)\n"
@@ -888,8 +1171,10 @@ let () =
     match Sys.getenv_opt "BENCH_ONLY" with
     | Some "trace" -> print_trace_overhead ()
     | Some "par" -> print_par ()
+    | Some "sense" -> print_sense ()
     | _ ->
         print_experiments ();
         write_fault_json (print_bench ());
         print_trace_overhead ();
-        print_par ()
+        print_par ();
+        print_sense ()

@@ -22,20 +22,25 @@ module Round = struct
       (if r.user_halted then " [halted]" else "")
 end
 
-type t = { initial_world_view : Msg.t; rounds : Round.t list }
+(* [len] caches the round count: [length] is read per judgement, per
+   finite-referee violation and per tail-cutoff computation, so it must
+   not re-walk the round list. *)
+type t = { initial_world_view : Msg.t; rounds : Round.t list; len : int }
 
 let make ~initial_world_view rounds =
+  let len = ref 0 in
   List.iteri
     (fun i (r : Round.t) ->
       if r.index <> i + 1 then
         invalid_arg
-          (Printf.sprintf "History.make: round %d has index %d" (i + 1) r.index))
+          (Printf.sprintf "History.make: round %d has index %d" (i + 1) r.index);
+      incr len)
     rounds;
-  { initial_world_view; rounds }
+  { initial_world_view; rounds; len = !len }
 
 let initial_world_view t = t.initial_world_view
 let rounds t = t.rounds
-let length t = List.length t.rounds
+let length t = t.len
 
 let world_views t =
   t.initial_world_view :: List.map (fun (r : Round.t) -> r.world_view) t.rounds
@@ -49,7 +54,7 @@ let halt_round t =
     t.rounds
 
 let prefix n t =
-  { t with rounds = Listx.take n t.rounds }
+  { t with rounds = Listx.take n t.rounds; len = min (max n 0) t.len }
 
 (* Post-hoc reconstruction of the engine-level trace events from a
    recorded history: what Exec.run would have emitted for the same run

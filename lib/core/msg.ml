@@ -6,9 +6,57 @@ type t =
   | Pair of t * t
   | Seq of t list
 
-let equal = ( = )
-let compare = Stdlib.compare
-let is_silence m = m = Silence
+(* Monomorphic structural equality/ordering.  [Msg.equal] runs on every
+   [is_silence] and trace guard in the round loop, and the wedge
+   detector compares consecutive world observations each round;
+   dispatching on known constructors avoids the polymorphic-compare
+   runtime's tag walk.  [compare] keeps exactly the order
+   [Stdlib.compare] gave this type (constant constructor first, then
+   declaration order), so any existing sort stays stable. *)
+let rec equal a b =
+  match (a, b) with
+  | Silence, Silence -> true
+  | Sym a, Sym b | Int a, Int b -> Int.equal a b
+  | Text a, Text b -> String.equal a b
+  | Pair (a1, a2), Pair (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Seq a, Seq b -> equal_list a b
+  | (Silence | Sym _ | Int _ | Text _ | Pair _ | Seq _), _ -> false
+
+and equal_list a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_list xs ys
+  | ([] | _ :: _), _ -> false
+
+let tag = function
+  | Silence -> 0
+  | Sym _ -> 1
+  | Int _ -> 2
+  | Text _ -> 3
+  | Pair _ -> 4
+  | Seq _ -> 5
+
+let rec compare a b =
+  match (a, b) with
+  | Silence, Silence -> 0
+  | Sym a, Sym b | Int a, Int b -> Int.compare a b
+  | Text a, Text b -> String.compare a b
+  | Pair (a1, a2), Pair (b1, b2) ->
+      let c = compare a1 b1 in
+      if c <> 0 then c else compare a2 b2
+  | Seq a, Seq b -> compare_list a b
+  | _ -> Int.compare (tag a) (tag b)
+
+and compare_list a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs ys
+
+let is_silence = function Silence -> true | _ -> false
 
 let rec pp ppf = function
   | Silence -> Format.pp_print_string ppf "_"
@@ -23,7 +71,40 @@ let rec pp ppf = function
            pp)
         ms
 
-let to_string m = Format.asprintf "%a" pp m
+(* [add_buffer] renders the same grammar as [pp] straight into a
+   buffer: no formatter, no intermediate strings.  The two must agree
+   byte for byte — [of_string] below and the trace serialisers rely on
+   this rendering.  (%S and [String.escaped] produce identical
+   escapes.) *)
+let rec add_buffer b = function
+  | Silence -> Buffer.add_char b '_'
+  | Sym s ->
+      Buffer.add_char b '#';
+      Buffer.add_string b (string_of_int s)
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Text s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (String.escaped s);
+      Buffer.add_char b '"'
+  | Pair (x, y) ->
+      Buffer.add_char b '(';
+      add_buffer b x;
+      Buffer.add_char b ',';
+      add_buffer b y;
+      Buffer.add_char b ')'
+  | Seq ms ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i m ->
+          if i > 0 then Buffer.add_char b ';';
+          add_buffer b m)
+        ms;
+      Buffer.add_char b ']'
+
+let to_string m =
+  let b = Buffer.create 32 in
+  add_buffer b m;
+  Buffer.contents b
 
 (* Inverse of [to_string].  The grammar is unambiguous by first
    character: '_' silence, '#' symbol, '-'/digit integer, '"' an

@@ -14,11 +14,21 @@ type t =
   | Seq of t list
 
 val equal : t -> t -> bool
+(** Monomorphic structural equality (no polymorphic-compare tag walk —
+    this runs on every silence/trace guard of the round loop). *)
+
 val compare : t -> t -> int
+(** Monomorphic total order; agrees with what [Stdlib.compare] gave
+    this type. *)
+
 val is_silence : t -> bool
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val add_buffer : Buffer.t -> t -> unit
+(** Append {!to_string}'s rendering directly to a buffer — what the
+    trace serialisers use, avoiding a formatter round-trip per event. *)
 
 val of_string : string -> (t, string) result
 (** Inverse of {!to_string}: [of_string (to_string m) = Ok m] for every

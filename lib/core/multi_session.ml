@@ -79,24 +79,28 @@ let wrap_world ~session_length ~decide base =
     ~view:(fun st ->
       Msg.Pair (header st.completed st.last, World.Instance.view st.inner))
 
+(* Acceptability of a prefix depends only on its latest world view, so
+   the incremental form is stateless. *)
 let referee =
-  Referee.compact "all-but-finitely-many-sessions-pass" (fun views_rev ->
-      match views_rev with
-      | Msg.Pair (Msg.Pair (_, Msg.Text "fail"), _) :: _ -> false
-      | _ -> true)
+  let judge v =
+    match v with
+    | Msg.Pair (Msg.Pair (_, Msg.Text "fail"), _) -> `Violation
+    | _ -> `Ok
+  in
+  Referee.compact_incremental "all-but-finitely-many-sessions-pass"
+    ~init:(fun _v0 -> ((), `Ok))
+    ~step:(fun () v -> ((), judge v))
 
 let goal ~session_length (g : Goal.t) =
   if session_length <= 0 then
     invalid_arg "Multi_session.goal: session_length must be positive";
-  match g.Goal.referee with
-  | Referee.Compact _ ->
-      invalid_arg "Multi_session.goal: inner goal must be finite"
-  | Referee.Finite { decide; _ } ->
-      Goal.make
-        ~name:(Goal.name g ^ "/multi-session")
-        ~worlds:
-          (List.map (wrap_world ~session_length ~decide) g.Goal.worlds)
-        ~referee
+  if not (Referee.is_finite g.Goal.referee) then
+    invalid_arg "Multi_session.goal: inner goal must be finite";
+  let decide = Referee.decider g.Goal.referee in
+  Goal.make
+    ~name:(Goal.name g ^ "/multi-session")
+    ~worlds:(List.map (wrap_world ~session_length ~decide) g.Goal.worlds)
+    ~referee
 
 let wrap_user inner =
   let module I = Strategy.Instance in
@@ -119,26 +123,27 @@ let wrap_user inner =
 let wrap_class cls =
   Enum.map ~name:("multi-session(" ^ Enum.name cls ^ ")") wrap_user cls
 
+(* Negative only on the first round a session failure becomes visible:
+   the previous event carries a different completed-session count.  The
+   incremental state is just the previous event's world message. *)
 let sensing =
-  Sensing.make ~name:"session-just-failed" (fun view ->
-      match View.events_rev view with
-      | e1 :: rest -> begin
-          match header_of_msg e1.View.from_world with
-          | Some (c1, Fail, _) -> begin
-              (* Negative only on the first round the failure is
-                 visible: the previous event carries a different
-                 completed-session count. *)
-              match rest with
-              | e2 :: _ -> begin
-                  match header_of_msg e2.View.from_world with
-                  | Some (c2, _, _) when c2 = c1 -> Sensing.Positive
-                  | _ -> Sensing.Negative
-                end
-              | [] -> Sensing.Negative
-            end
-          | _ -> Sensing.Positive
-        end
-      | [] -> Sensing.Positive)
+  Sensing.incremental ~name:"session-just-failed"
+    ~init:(fun () -> (None, Sensing.Positive))
+    ~step:(fun prev (e : View.event) ->
+      let v =
+        match header_of_msg e.View.from_world with
+        | Some (c1, Fail, _) -> begin
+            match prev with
+            | Some prev_msg -> begin
+                match header_of_msg prev_msg with
+                | Some (c2, _, _) when c2 = c1 -> Sensing.Positive
+                | _ -> Sensing.Negative
+              end
+            | None -> Sensing.Negative
+          end
+        | _ -> Sensing.Positive
+      in
+      (Some e.View.from_world, v))
 
 let session_results history =
   (* Scan world views for completed-count transitions and record the

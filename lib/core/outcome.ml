@@ -14,21 +14,28 @@ let judge ?tail_window (goal : Goal.t) history =
   let rounds = History.length history in
   let halted = History.halted history in
   let halt_round = History.halt_round history in
-  let violation_rounds = Referee.violations goal.referee history in
-  let last_violation = Listx.last_opt violation_rounds in
-  let achieved =
-    match goal.referee with
-    | Referee.Finite _ ->
-        halted && Referee.decide_finite goal.referee history
-    | Referee.Compact _ ->
-        let window =
-          match tail_window with
-          | Some w -> max 1 w
-          | None -> max 1 (rounds / 5)
-        in
-        let cutoff = rounds - window in
+  (* One incremental fold per judgement: finite referees are decided
+     once (violations derived from the decision), compact referees
+     collect violation rounds in a single pass. *)
+  let violation_rounds, achieved =
+    if Referee.is_finite goal.referee then begin
+      let accepted = Referee.decide_finite goal.referee history in
+      ((if accepted then [] else [ rounds ]), halted && accepted)
+    end
+    else begin
+      let violation_rounds = Referee.violations goal.referee history in
+      let window =
+        match tail_window with
+        | Some w -> max 1 w
+        | None -> max 1 (rounds / 5)
+      in
+      let cutoff = rounds - window in
+      ( violation_rounds,
         rounds > 0 && not (List.exists (fun r -> r > cutoff) violation_rounds)
+      )
+    end
   in
+  let last_violation = Listx.last_opt violation_rounds in
   {
     achieved;
     halted;

@@ -1,33 +1,190 @@
-type t =
-  | Finite of { name : string; decide : Msg.t list -> bool }
-  | Compact of { name : string; acceptable : Msg.t list -> bool }
+type verdict = [ `Ok | `Violation ]
 
-let finite name decide = Finite { name; decide }
-let compact name acceptable = Compact { name; acceptable }
+let verdict_of_bool ok = if ok then `Ok else `Violation
 
-let name = function Finite { name; _ } | Compact { name; _ } -> name
-let is_finite = function Finite _ -> true | Compact _ -> false
+(* A spawnable incremental judge: [init] consumes the initial world view
+   and yields the empty-prefix verdict, [step] one round's world view.
+   The state type is existential so referees of different state shapes
+   live in one [t]. *)
+type spawn =
+  | Spawn : {
+      init : Msg.t -> 's * verdict;
+      step : 's -> Msg.t -> 's * verdict;
+    }
+      -> spawn
 
-let decide_finite t h =
-  match t with
-  | Finite { decide; _ } -> decide (History.world_views h)
-  | Compact _ -> invalid_arg "Referee.decide_finite: compact referee"
+(* The legacy list-predicate representations are kept distinct from
+   [Incr] so that whole-history judgements ([decide_finite], [decider])
+   can keep calling the user's predicate exactly once, preserving both
+   cost and any effects the predicate performs. *)
+type repr =
+  | Incr of spawn
+  | Finite_pred of (Msg.t list -> bool)  (* chronological, initial first *)
+  | Compact_pred of (Msg.t list -> bool)  (* most recent first *)
 
-let violations t h =
-  match t with
-  | Finite _ ->
-      if decide_finite t h then [] else [ History.length h ]
-  | Compact { acceptable; _ } ->
-      let _, violations =
-        List.fold_left
-          (fun (prefix_rev, violations) (r : History.Round.t) ->
-            let prefix_rev = r.world_view :: prefix_rev in
-            let violations =
-              if acceptable prefix_rev then violations
-              else r.index :: violations
+type t = { name : string; finite_ : bool; repr : repr }
+
+let name t = t.name
+let is_finite t = t.finite_
+
+let finite name decide = { name; finite_ = true; repr = Finite_pred decide }
+
+let compact name acceptable =
+  { name; finite_ = false; repr = Compact_pred acceptable }
+
+let finite_incremental name ~init ~step =
+  { name; finite_ = true; repr = Incr (Spawn { init; step }) }
+
+let compact_incremental name ~init ~step =
+  { name; finite_ = false; repr = Incr (Spawn { init; step }) }
+
+(* The common finite-referee shape — accepted once some world view
+   satisfies the predicate — needs only a seen-it bool.  [||] keeps the
+   legacy call pattern: the predicate stops being consulted after the
+   first hit, exactly like [List.exists]. *)
+let finite_exists name p =
+  finite_incremental name
+    ~init:(fun v0 ->
+      let seen = p v0 in
+      (seen, verdict_of_bool seen))
+    ~step:(fun seen v ->
+      let seen = seen || p v in
+      (seen, verdict_of_bool seen))
+
+let spawn_of_repr = function
+  | Incr s -> s
+  | Compact_pred acceptable ->
+      (* State: world views most recent first.  The initial view is
+         recorded without judging it — historically the 0-round prefix
+         was never submitted to a compact predicate. *)
+      Spawn
+        {
+          init = (fun v0 -> ([ v0 ], `Ok));
+          step =
+            (fun views v ->
+              let views = v :: views in
+              (views, verdict_of_bool (acceptable views)));
+        }
+  | Finite_pred decide ->
+      (* State: world views most recent first; each step re-decides the
+         reversed prefix.  O(n) per step — callers that only need the
+         final verdict go through [decide_finite], which special-cases
+         this representation. *)
+      Spawn
+        {
+          init = (fun v0 -> ([ v0 ], verdict_of_bool (decide [ v0 ])));
+          step =
+            (fun views v ->
+              let views = v :: views in
+              (views, verdict_of_bool (decide (List.rev views))));
+        }
+
+type judge =
+  | Judge : { s : 's; step : 's -> Msg.t -> 's * verdict } -> judge
+
+let start t v0 =
+  match spawn_of_repr t.repr with
+  | Spawn { init; step } ->
+      let s, verdict = init v0 in
+      (Judge { s; step }, verdict)
+
+let step j v =
+  match j with
+  | Judge { s; step } ->
+      let s, verdict = step s v in
+      (Judge { s; step }, verdict)
+
+(* One fold over the rounds: prime with the initial world view, absorb
+   one world view per round, keep the last verdict. *)
+let final_verdict t history =
+  let j, verdict = start t (History.initial_world_view history) in
+  let _, verdict =
+    List.fold_left
+      (fun (j, _) (r : History.Round.t) -> step j r.world_view)
+      (j, verdict) (History.rounds history)
+  in
+  verdict
+
+let decide_finite t history =
+  if not t.finite_ then invalid_arg "Referee.decide_finite: compact referee";
+  match t.repr with
+  | Finite_pred decide -> decide (History.world_views history)
+  | _ -> final_verdict t history = `Ok
+
+let decider t =
+  if not t.finite_ then invalid_arg "Referee.decider: compact referee";
+  match t.repr with
+  | Finite_pred decide -> decide
+  | repr -> (
+      fun views ->
+        match spawn_of_repr repr with
+        | Spawn { init; step } ->
+            let v0, rest =
+              match views with
+              | [] -> invalid_arg "Referee.decider: empty world-view list"
+              | v0 :: rest -> (v0, rest)
             in
-            (prefix_rev, violations))
-          ([ History.initial_world_view h ], [])
-          (History.rounds h)
-      in
-      List.rev violations
+            let s, verdict = init v0 in
+            let _, verdict =
+              List.fold_left (fun (s, _) v -> step s v) (s, verdict) rest
+            in
+            verdict = `Ok)
+
+let violations t history =
+  if t.finite_ then
+    if decide_finite t history then [] else [ History.length history ]
+  else begin
+    (* Single O(n) fold: the init verdict (empty prefix) is discarded,
+       each round's verdict judges the prefix ending there. *)
+    let j, _ = start t (History.initial_world_view history) in
+    let _, acc =
+      List.fold_left
+        (fun (j, acc) (r : History.Round.t) ->
+          let j, verdict = step j r.world_view in
+          (j, if verdict = `Violation then r.index :: acc else acc))
+        (j, []) (History.rounds history)
+    in
+    List.rev acc
+  end
+
+(* Quadratic reference: judge every prefix from scratch.  For the
+   compact-predicate representation this reconstructs the historical
+   engine exactly (one predicate call per prefix, over a freshly built
+   most-recent-first list); for incremental referees it replays a fresh
+   judge per prefix.  Kept as the equivalence oracle of the qcheck
+   suite and as the baseline the bench's compact-judge kernel measures
+   the fold against. *)
+let violations_prefix t history =
+  if t.finite_ then violations t history
+  else begin
+    let rounds = Array.of_list (History.rounds history) in
+    let n = Array.length rounds in
+    match t.repr with
+    | Compact_pred acceptable ->
+        let acc = ref [] in
+        for i = n - 1 downto 0 do
+          let views = ref [ History.initial_world_view history ] in
+          for k = 0 to i do
+            views := rounds.(k).History.Round.world_view :: !views
+          done;
+          if not (acceptable !views) then
+            acc := rounds.(i).History.Round.index :: !acc
+        done;
+        !acc
+    | repr -> (
+        match spawn_of_repr repr with
+        | Spawn { init; step } ->
+            let acc = ref [] in
+            for i = n - 1 downto 0 do
+              let s = ref (fst (init (History.initial_world_view history))) in
+              let verdict = ref (`Ok : verdict) in
+              for k = 0 to i do
+                let s', v = step !s rounds.(k).History.Round.world_view in
+                s := s';
+                verdict := v
+              done;
+              if !verdict = `Violation then
+                acc := rounds.(i).History.Round.index :: !acc
+            done;
+            !acc)
+  end

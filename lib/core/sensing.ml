@@ -2,30 +2,159 @@ open Goalcom_prelude
 
 type verdict = Positive | Negative
 
-type t = { name : string; sense : View.t -> verdict }
+(* A live sensing instance: per-round state plus the verdict on the
+   prefix absorbed so far.  The state type is existential so sensors
+   with different state shapes share one type; [last] is lazy so that
+   spawning a sensor with effects in its empty-view verdict (e.g. an
+   rng-drawing corruption wrapper) performs them only when the verdict
+   is actually read. *)
+type state =
+  | State : {
+      s : 's;
+      last : verdict Lazy.t;
+      step : 's -> View.event -> 's * verdict;
+    }
+      -> state
 
-let make ~name sense = { name; sense }
+type t = {
+  name : string;
+  sense : View.t -> verdict;  (** whole-view verdict *)
+  spawn : unit -> state;  (** fresh incremental instance *)
+}
+
+let start t = t.spawn ()
+
+let observe st e =
+  match st with
+  | State { s; step; last = _ } ->
+      let s, v = step s e in
+      State { s; last = Lazy.from_val v; step }
+
+let verdict (State { last; _ }) = Lazy.force last
+
+(* Compatibility constructor: the incremental instance accumulates the
+   view and calls the original [sense] once per observed event — the
+   same per-round call pattern (and rng-draw sequence, for effectful
+   sensors) the engine always had. *)
+let make ~name sense =
+  {
+    name;
+    sense;
+    spawn =
+      (fun () ->
+        State
+          {
+            s = View.empty;
+            last = lazy (sense View.empty);
+            step =
+              (fun view e ->
+                let view = View.extend view e in
+                (view, sense view));
+          });
+  }
+
+let incremental ~name ~init ~step =
+  let sense view =
+    let s0, v0 = init () in
+    let _, v =
+      List.fold_left (fun (s, _) e -> step s e) (s0, v0) (View.events view)
+    in
+    v
+  in
+  {
+    name;
+    sense;
+    spawn =
+      (fun () ->
+        let s, v = init () in
+        State { s; last = Lazy.from_val v; step });
+  }
+
+(* Most goal sensors only inspect the latest event: O(1) per round and
+   per whole-view call. *)
+let of_latest ~name ~empty p =
+  let empty_v = if empty then Positive else Negative in
+  let judge e = if p e then Positive else Negative in
+  {
+    name;
+    sense =
+      (fun view ->
+        match View.latest view with None -> empty_v | Some e -> judge e);
+    spawn =
+      (fun () ->
+        State
+          {
+            s = ();
+            last = Lazy.from_val empty_v;
+            step = (fun () e -> ((), judge e));
+          });
+  }
+
+(* Positive iff some event within the last [window] satisfies [p]:
+   state is (events seen, index of the most recent hit). *)
+let of_recent ~name ~window p =
+  if window <= 0 then invalid_arg "Sensing.of_recent: window must be positive";
+  let verdict_of seen last_hit =
+    match last_hit with
+    | Some h when h > seen - window -> Positive
+    | _ -> Negative
+  in
+  {
+    name;
+    sense =
+      (fun view ->
+        if List.exists p (Listx.take window (View.events_rev view)) then
+          Positive
+        else Negative);
+    spawn =
+      (fun () ->
+        State
+          {
+            s = (0, None);
+            last = Lazy.from_val Negative;
+            step =
+              (fun (seen, last_hit) e ->
+                let seen = seen + 1 in
+                let last_hit = if p e then Some seen else last_hit in
+                ((seen, last_hit), verdict_of seen last_hit));
+          });
+  }
 
 let constant v =
-  { name = (match v with Positive -> "always-positive" | Negative -> "always-negative");
-    sense = (fun _ -> v) }
+  let name =
+    match v with Positive -> "always-positive" | Negative -> "always-negative"
+  in
+  {
+    name;
+    sense = (fun _ -> v);
+    spawn =
+      (fun () ->
+        State { s = (); last = Lazy.from_val v; step = (fun () _ -> ((), v)) });
+  }
 
 let of_predicate ~name p =
-  { name; sense = (fun view -> if p view then Positive else Negative) }
+  make ~name (fun view -> if p view then Positive else Negative)
 
 let verdicts t history =
-  List.map
-    (fun view ->
-      let round =
-        match View.latest view with Some e -> e.View.round | None -> 0
-      in
-      (round, t.sense view))
-    (View.prefixes history)
+  let _, acc =
+    View.fold_events history
+      ~init:(start t, [])
+      ~f:(fun (st, acc) e ->
+        let st = observe st e in
+        (st, (e.View.round, verdict st) :: acc))
+  in
+  List.rev acc
 
 let negatives_after t history round =
-  Listx.count
-    (fun (r, v) -> r > round && v = Negative)
-    (verdicts t history)
+  let _, n =
+    View.fold_events history ~init:(start t, 0) ~f:(fun (st, n) e ->
+        let st = observe st e in
+        let n =
+          if e.View.round > round && verdict st = Negative then n + 1 else n
+        in
+        (st, n))
+  in
+  n
 
 (* The verdict at round r is the raw verdict on the view as it stood at
    round r; the tolerant verdict looks at the raw verdicts over the last
@@ -36,82 +165,132 @@ let negatives_after t history round =
    transient fault — one bad round inside a healthy stretch — no longer
    evicts the correct strategy.  Do NOT use this with finite-goal
    halting: making Negative harder makes Positive easier, which is the
-   unsafe direction when positives trigger halting. *)
+   unsafe direction when positives trigger halting.
+
+   The incremental instance keeps the last [window] raw verdicts in a
+   ring buffer alongside a live instance of the base sensor, so each
+   round costs one base observation plus O(1) ring maintenance; the
+   whole-view [sense] closure keeps the historical re-sensing
+   implementation (it is the only way to evaluate an arbitrary view in
+   one shot, and the fault tests exercise it directly). *)
 let tolerant ~window ~threshold t =
   if window <= 0 then invalid_arg "Sensing.tolerant: window must be positive";
   if threshold <= 0 || threshold > window then
     invalid_arg "Sensing.tolerant: threshold must be in 1..window";
   let name = Printf.sprintf "%s/tolerant(%d-of-%d)" t.name threshold window in
-  {
-    name;
-    sense =
-      (fun view ->
-        let depth = min window (View.length view) in
-        if depth = 0 then Positive
+  let mask_event ~round ~negs =
+    (* A raw negative masked by a healthy recent window is the
+       interesting tolerant-sensing event: record it when tracing (every
+       unmasked verdict is already visible to the universal user's own
+       [Sense] emission). *)
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Sense
+           {
+             round;
+             sensor = name ^ "/mask";
+             positive = true;
+             clock = negs;
+             patience = threshold;
+           })
+  in
+  let sense view =
+    let depth = min window (View.length view) in
+    if depth = 0 then Positive
+    else begin
+      let raw0 = t.sense view in
+      let rec negs k acc =
+        if k >= depth || acc >= threshold then acc
         else begin
-          let raw0 = t.sense view in
-          let rec negs k acc =
-            if k >= depth || acc >= threshold then acc
-            else begin
-              let v = t.sense (View.drop_latest k view) in
-              negs (k + 1) (if v = Negative then acc + 1 else acc)
-            end
-          in
-          let n = negs 1 (if raw0 = Negative then 1 else 0) in
-          if n >= threshold then Negative
-          else begin
-            (* A raw negative masked by a healthy recent window is the
-               interesting tolerant-sensing event: record it when
-               tracing (every unmasked verdict is already visible to
-               the universal user's own [Sense] emission). *)
-            if raw0 = Negative && Trace.enabled () then
-              Trace.emit
-                (Trace.Sense
-                   {
-                     round =
-                       (match View.latest view with
-                       | Some e -> e.View.round
-                       | None -> 0);
-                     sensor = name ^ "/mask";
-                     positive = true;
-                     clock = n;
-                     patience = threshold;
-                   });
-            Positive
-          end
-        end);
-  }
+          let v = t.sense (View.drop_latest k view) in
+          negs (k + 1) (if v = Negative then acc + 1 else acc)
+        end
+      in
+      let n = negs 1 (if raw0 = Negative then 1 else 0) in
+      if n >= threshold then Negative
+      else begin
+        if raw0 = Negative then
+          mask_event
+            ~round:
+              (match View.latest view with
+              | Some e -> e.View.round
+              | None -> 0)
+            ~negs:n;
+        Positive
+      end
+    end
+  in
+  let spawn () =
+    (* Ring of the last [window] raw verdicts; [negs] counts the
+       Negatives currently in the ring, so the masked/unmasked decision
+       is O(1) regardless of how long the execution has run. *)
+    let ring = Array.make window Positive in
+    let inner = ref (start t) in
+    let filled = ref 0 in
+    let pos = ref 0 in
+    let negs = ref 0 in
+    let step () e =
+      inner := observe !inner e;
+      let raw0 = verdict !inner in
+      if !filled = window then begin
+        if ring.(!pos) = Negative then decr negs
+      end
+      else incr filled;
+      ring.(!pos) <- raw0;
+      if raw0 = Negative then incr negs;
+      pos := (!pos + 1) mod window;
+      if !negs >= threshold then ((), Negative)
+      else begin
+        if raw0 = Negative then mask_event ~round:e.View.round ~negs:!negs;
+        ((), Positive)
+      end
+    in
+    State { s = (); last = Lazy.from_val Positive; step }
+  in
+  { name; sense; spawn }
 
 let corrupt_unsafe ~flip_to_positive rng t =
-  {
-    name = Printf.sprintf "%s/unsafe(%.2f)" t.name flip_to_positive;
-    sense =
-      (fun view ->
-        match t.sense view with
-        | Positive -> Positive
-        | Negative ->
-            if Rng.bernoulli rng flip_to_positive then Positive else Negative);
-  }
+  make
+    ~name:(Printf.sprintf "%s/unsafe(%.2f)" t.name flip_to_positive)
+    (fun view ->
+      match t.sense view with
+      | Positive -> Positive
+      | Negative ->
+          if Rng.bernoulli rng flip_to_positive then Positive else Negative)
 
 let corrupt_unviable t =
-  { name = t.name ^ "/unviable"; sense = (fun _ -> Negative) }
+  let name = t.name ^ "/unviable" in
+  {
+    name;
+    sense = (fun _ -> Negative);
+    spawn =
+      (fun () ->
+        State
+          {
+            s = ();
+            last = Lazy.from_val Negative;
+            step = (fun () _ -> ((), Negative));
+          });
+  }
 
 (* A user that runs [inner] but halts as soon as sensing turns positive.
-   The view is threaded exactly as in {!View.of_history}: the event for
-   round r pairs the round-r sends with the messages received when
-   acting at round r (i.e. emitted at round r-1); sensing therefore sees
-   the rounds completed so far. *)
+   Sensing state is fed exactly the events {!View.of_history} would
+   build: the event for round r pairs the round-r sends with the
+   messages received when acting at round r (i.e. emitted at round r-1);
+   sensing therefore sees the rounds completed so far.  One observation
+   per round — the engine never re-steps a halted user, so the verdict
+   of the live instance is always current. *)
 let halt_on_positive sensing inner =
   let module I = Strategy.Instance in
   Strategy.make
     ~name:(Printf.sprintf "halt-on-%s(%s)" sensing.name (Strategy.name inner))
-    ~init:(fun () -> (I.create inner, View.empty, None))
-    ~step:(fun rng (inst, view, pending) (obs : Io.User.obs) ->
-      let view =
+    ~init:(fun () -> (I.create inner, start sensing, None))
+    ~step:(fun rng (inst, st, pending) (obs : Io.User.obs) ->
+      let st =
         match pending with
-        | None -> view
+        | None -> st
         | Some (prev_obs, (prev_act : Io.User.act)) ->
-            View.extend view
+            observe st
               {
                 View.round = prev_obs.Io.User.round;
                 from_server = prev_obs.Io.User.from_server;
@@ -121,11 +300,11 @@ let halt_on_positive sensing inner =
                 halted = false;
               }
       in
-      match sensing.sense view with
-      | Positive -> ((inst, view, None), Io.User.halt_act)
+      match verdict st with
+      | Positive -> ((inst, st, None), Io.User.halt_act)
       | Negative ->
           let act = { (I.step rng inst obs) with Io.User.halt = false } in
-          ((inst, view, Some (obs, act)), act))
+          ((inst, st, Some (obs, act)), act))
 
 type report = {
   property : string;
@@ -187,11 +366,7 @@ let check_safety_compact ?config ?tail_window ?(trials = 3) ~goal ~users
             in
             if not outcome.Outcome.achieved then begin
               let cutoff = tail_cutoff ?tail_window history in
-              let late_negatives =
-                Listx.count
-                  (fun (r, v) -> r > cutoff && v = Negative)
-                  (verdicts t history)
-              in
+              let late_negatives = negatives_after t history cutoff in
               if late_negatives = 0 then
                 counterexamples :=
                   Printf.sprintf
@@ -223,11 +398,7 @@ let check_viability_compact ?config ?tail_window ?(trials = 3) ~goal ~user_for
           Exec.run_outcome ~config ?tail_window ~goal ~user ~server trial_rng
         in
         let cutoff = tail_cutoff ?tail_window history in
-        let late_negatives =
-          Listx.count
-            (fun (r, v) -> r > cutoff && v = Negative)
-            (verdicts t history)
-        in
+        let late_negatives = negatives_after t history cutoff in
         if not outcome.Outcome.achieved then
           counterexamples :=
             Printf.sprintf "server=%s trial=%d: designated user %s failed the goal"

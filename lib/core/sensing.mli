@@ -19,32 +19,90 @@
     - {e Viability}: with every server in the class, some user strategy
       obtains a positive indication.
 
+    {b Incremental sensing.}  Every sensor carries two faces: [sense],
+    the historical whole-view predicate, and a spawnable incremental
+    instance ({!start}/{!observe}/{!verdict}) that absorbs one
+    {!View.event} per round and answers the current verdict in O(1).
+    The two agree on every prefix: [verdict] after observing the events
+    of a view equals [sense] of that view.  The round loop (universal
+    users, {!halt_on_positive}, {!verdicts}) rides the incremental face;
+    [sense] remains for one-shot judgements of an arbitrary view.
+
     The [check_*] validators below are Monte-Carlo approximations of
-    these universally/existentially quantified statements over
-    horizon-bounded executions; each returns a structured report with
-    counterexamples, and they are what the test-suite and the
-    experiment harness run.  Each validator cycles its trials through
-    the goal's non-deterministic worlds (raising the trial count to the
-    number of worlds if necessary), so the world choice is quantified
-    over as well. *)
+    the quantified safety/viability statements over horizon-bounded
+    executions; each returns a structured report with counterexamples,
+    and they are what the test-suite and the experiment harness run.
+    Each validator cycles its trials through the goal's
+    non-deterministic worlds (raising the trial count to the number of
+    worlds if necessary), so the world choice is quantified over as
+    well. *)
 
 type verdict = Positive | Negative
 
-type t = { name : string; sense : View.t -> verdict }
+type state
+(** A live incremental sensing instance.  Thread it linearly: feed each
+    round's event with {!observe} and read the current verdict with
+    {!verdict}.  Instances may carry interior mutable buffers, so do not
+    fork an old [state] value after observing past it. *)
+
+type t = {
+  name : string;
+  sense : View.t -> verdict;  (** whole-view verdict *)
+  spawn : unit -> state;  (** fresh incremental instance *)
+}
+
+val start : t -> state
+(** Fresh instance; its verdict is the empty-view verdict. *)
+
+val observe : state -> View.event -> state
+(** Absorb one round's event.  O(1) for the native constructors below;
+    for {!make}-based sensors it costs one [sense] call (on the view
+    extended so far), the historical per-round price. *)
+
+val verdict : state -> verdict
+(** Verdict on the prefix observed so far — O(1), no re-evaluation. *)
 
 val make : name:string -> (View.t -> verdict) -> t
+(** Compatibility constructor from a whole-view function.  The spawned
+    instance accumulates the view and calls [sense] once per observed
+    event — same call pattern (and rng-draw sequence, for effectful
+    sensors) as the historical engine. *)
+
+val incremental :
+  name:string ->
+  init:(unit -> 's * verdict) ->
+  step:('s -> View.event -> 's * verdict) ->
+  t
+(** Native incremental sensor: [init] yields the state and empty-view
+    verdict, [step] absorbs one event.  The derived [sense] replays the
+    view's events through [step]. *)
+
+val of_latest : name:string -> empty:bool -> (View.event -> bool) -> t
+(** Sensor that judges only the latest event ([true] maps to
+    [Positive]); [empty] is the verdict (as a bool) on the empty view.
+    O(1) per round and per [sense] call. *)
+
+val of_recent : name:string -> window:int -> (View.event -> bool) -> t
+(** [Positive] iff some event among the last [window] satisfies the
+    predicate; [Negative] on the empty view.  The incremental instance
+    tracks the index of the most recent hit, so each round is O(1).
+    @raise Invalid_argument unless [window >= 1]. *)
 
 val constant : verdict -> t
 
 val of_predicate : name:string -> (View.t -> bool) -> t
-(** [true] maps to [Positive]. *)
+(** [true] maps to [Positive].  Whole-view: the spawned instance costs
+    one predicate call per round (see {!make}); prefer {!of_latest} /
+    {!of_recent} / {!incremental} when the predicate has an O(1)
+    incremental form. *)
 
 val verdicts : t -> History.t -> (int * verdict) list
-(** The indication at every round of a history (round, verdict),
-    computed incrementally over the view prefixes. *)
+(** The indication at every round of a history (round, verdict) — a
+    single incremental pass over the history's events. *)
 
 val negatives_after : t -> History.t -> int -> int
-(** Number of negative indications strictly after the given round. *)
+(** Number of negative indications strictly after the given round; one
+    incremental pass. *)
 
 val tolerant : window:int -> threshold:int -> t -> t
 (** Fault-tolerant wrapper for {e compact-goal switching}: the wrapped
@@ -55,12 +113,18 @@ val tolerant : window:int -> threshold:int -> t -> t
     correct strategy, while persistent failure still produces negatives
     infinitely often, so compact safety is preserved.  Not for use with
     finite-goal halting (there, flipping Negative to Positive is the
-    unsafe direction).  Each call re-evaluates the base sensing on up to
-    [window] prefixes ({!View.drop_latest}), so keep the window small.
-    When tracing is on, each raw negative that the window masks to
-    [Positive] emits a {!Trace.Sense} event whose sensor name carries a
-    ["/mask"] suffix ([clock] = raw negatives in the window, [patience]
-    = [threshold]).
+    unsafe direction).
+
+    The incremental instance keeps a ring buffer of the last [window]
+    raw verdicts plus a running negative count, so each round costs one
+    base-sensor observation and O(1) bookkeeping — the per-round price
+    no longer grows with the view.  The whole-view [sense] closure
+    retains the historical implementation (re-sensing up to [window]
+    prefixes via {!View.drop_latest}), so one-shot calls on arbitrary
+    views behave exactly as before.  When tracing is on, each raw
+    negative that the window masks to [Positive] emits a {!Trace.Sense}
+    event whose sensor name carries a ["/mask"] suffix ([clock] = raw
+    negatives in the window, [patience] = [threshold]).
     @raise Invalid_argument unless [1 <= threshold <= window]. *)
 
 val corrupt_unsafe :

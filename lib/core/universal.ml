@@ -35,27 +35,59 @@ let enum_get_cyclic enum i =
       | None -> invalid_arg "Universal: enumeration ran out of strategies"
     end
 
-(* Thread the user's view exactly as {!View.of_history} does: the event
-   for round r pairs the round-r sends with the observations the user
-   acted on in round r.  Sensing is evaluated on the completed rounds. *)
-let extend_view view (pending : (Io.User.obs * Io.User.act) option) =
-  match pending with
-  | None -> view
-  | Some (obs, act) ->
-      View.extend view
-        {
-          View.round = obs.Io.User.round;
-          from_server = obs.Io.User.from_server;
-          from_world = obs.Io.User.from_world;
-          to_server = act.Io.User.to_server;
-          to_world = act.Io.User.to_world;
-          halted = false;
-        }
+(* Memoised {!enum_get_cyclic}: a growable array keyed by the effective
+   (cardinality-reduced) index, so wrap-around passes and retries stop
+   re-running the enumeration's constructor chain every switch.  One
+   memo per strategy *instance* (created in [init]), never shared —
+   strategy values are shared across domains by [Trial.run_par], so a
+   cache living in the closure would race. *)
+type 'a memo = { m_enum : 'a Enum.t; mutable m_cache : 'a option array }
 
-type 'inst compact_state = {
+let memo_create enum = { m_enum = enum; m_cache = [||] }
+
+let memo_get m i =
+  let key =
+    match Enum.cardinality m.m_enum with
+    | Some 0 -> invalid_arg "Universal: empty strategy enumeration"
+    | Some c -> i mod c
+    | None -> i
+  in
+  let n = Array.length m.m_cache in
+  if key >= n then begin
+    let grown = Array.make (max 8 (max (key + 1) (2 * n))) None in
+    Array.blit m.m_cache 0 grown 0 n;
+    m.m_cache <- grown
+  end;
+  match m.m_cache.(key) with
+  | Some s -> s
+  | None ->
+      let s =
+        match Enum.get m.m_enum key with
+        | Some s -> s
+        | None -> invalid_arg "Universal: enumeration ran out of strategies"
+      in
+      m.m_cache.(key) <- Some s;
+      s
+
+(* The view event a pending (obs, act) round contributes — exactly what
+   {!View.of_history} would build: the event for round r pairs the
+   round-r sends with the observations the user acted on in round r.
+   Sensing absorbs the completed rounds one event at a time. *)
+let pending_event ((obs : Io.User.obs), (act : Io.User.act)) =
+  {
+    View.round = obs.Io.User.round;
+    from_server = obs.Io.User.from_server;
+    from_world = obs.Io.User.from_world;
+    to_server = act.Io.User.to_server;
+    to_world = act.Io.User.to_world;
+    halted = false;
+  }
+
+type ('strat, 'inst) compact_state = {
+  c_memo : 'strat memo;
   c_index : int;
   c_inst : 'inst;
-  c_view : View.t;
+  c_sense : Sensing.state;  (* has absorbed every completed round *)
   c_pending : (Io.User.obs * Io.User.act) option;
   c_rounds_in : int;  (* rounds the current strategy has run *)
   c_attempt : int;  (* retries already spent on the current index *)
@@ -107,6 +139,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
     ~name:(Printf.sprintf "universal-compact(%s;%s)" (Enum.name enum) sensing.Sensing.name)
     ~init:(fun () ->
       Option.iter reset_stats stats;
+      let memo = memo_create enum in
       let start =
         match checkpoint with Some c -> c.saved_index | None -> 0
       in
@@ -114,9 +147,10 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
       if start > 0 && Trace.enabled () then
         Trace.emit (Trace.Resume { index = start; slots = 0 });
       {
+        c_memo = memo;
         c_index = start;
-        c_inst = I.create (enum_get_cyclic enum start);
-        c_view = View.empty;
+        c_inst = I.create (memo_get memo start);
+        c_sense = Sensing.start sensing;
         c_pending = None;
         c_rounds_in = 0;
         c_attempt = 0;
@@ -124,10 +158,14 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
         c_stall = 0;
       })
     ~step:(fun rng state (obs : Io.User.obs) ->
-      let view = extend_view state.c_view state.c_pending in
+      let sense_state =
+        match state.c_pending with
+        | None -> state.c_sense
+        | Some p -> Sensing.observe state.c_sense (pending_event p)
+      in
       let verdict =
         if state.c_pending = None then Sensing.Positive (* nothing to judge yet *)
-        else sensing.Sensing.sense view
+        else Sensing.verdict sense_state
       in
       if Trace.enabled () then
         Trace.emit
@@ -173,7 +211,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
                    });
             ( {
                 state with
-                c_inst = I.create (enum_get_cyclic enum state.c_index);
+                c_inst = I.create (memo_get state.c_memo state.c_index);
                 c_rounds_in = 0;
                 c_attempt = state.c_attempt + 1;
               },
@@ -200,7 +238,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
             ( {
                 state with
                 c_index = index;
-                c_inst = I.create (enum_get_cyclic enum index);
+                c_inst = I.create (memo_get state.c_memo index);
                 c_rounds_in = 0;
                 c_attempt = 0;
               },
@@ -212,7 +250,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
       let act = { (I.step rng state.c_inst obs) with Io.User.halt = false } in
       ( {
           state with
-          c_view = view;
+          c_sense = sense_state;
           c_pending = Some (obs, act);
           c_rounds_in = state.c_rounds_in + 1;
           c_last_world = Some obs.Io.User.from_world;
@@ -265,11 +303,17 @@ let finite_par ?schedule ?(max_slots = 64) ?jobs ?pool ?config ~enum ~sensing
      scheduling. *)
   let best = Atomic.make max_int in
   let module I = Strategy.Instance in
+  (* Candidates are resolved sequentially before any task is spawned:
+     [Enum.get] is pure, so this changes no behaviour, and it keeps the
+     domains from re-walking the enumeration (or sharing a memo). *)
+  let candidates =
+    Array.map (fun slot -> enum_get_cyclic enum slot.Levin.index) slots
+  in
   let probe i () =
     if Atomic.get best < i then None
     else begin
       let slot = slots.(i) in
-      let inner = enum_get_cyclic enum slot.Levin.index in
+      let inner = candidates.(i) in
       let cancelled () = Atomic.get best < i in
       (* Same session discipline as the sequential construction: the
          candidate's own halt requests are suppressed (sensing decides),
@@ -342,11 +386,12 @@ let finite_par ?schedule ?(max_slots = 64) ?jobs ?pool ?config ~enum ~sensing
       }
   end
 
-type 'inst finite_state = {
+type ('strat, 'inst) finite_state = {
+  f_memo : 'strat memo;
   f_sched : Levin.slot Seq.t;
   f_current : (Levin.slot * 'inst) option;
   f_used : int;  (* rounds consumed in the current session *)
-  f_view : View.t;
+  f_sense : Sensing.state;  (* has absorbed every completed round *)
   f_pending : (Io.User.obs * Io.User.act) option;
 }
 
@@ -383,17 +428,22 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
         | None -> sched
       in
       {
+        f_memo = memo_create enum;
         f_sched = sched;
         f_current = None;
         f_used = 0;
-        f_view = View.empty;
+        f_sense = Sensing.start sensing;
         f_pending = None;
       })
     ~step:(fun rng state (obs : Io.User.obs) ->
-      let view = extend_view state.f_view state.f_pending in
+      let sense_state =
+        match state.f_pending with
+        | None -> state.f_sense
+        | Some p -> Sensing.observe state.f_sense (pending_event p)
+      in
       let verdict =
         if state.f_pending = None then Sensing.Negative (* nothing achieved yet *)
-        else sensing.Sensing.sense view
+        else Sensing.verdict sense_state
       in
       if Trace.enabled () then
         Trace.emit
@@ -409,7 +459,7 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
                  | None -> 0);
              });
       if verdict = Sensing.Positive then
-        ({ state with f_view = view; f_pending = None }, Io.User.halt_act)
+        ({ state with f_sense = sense_state; f_pending = None }, Io.User.halt_act)
       else begin
         let state =
           let session_over =
@@ -447,7 +497,7 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
                   state with
                   f_sched = rest;
                   f_current =
-                    Some (slot, I.create (enum_get_cyclic enum slot.Levin.index));
+                    Some (slot, I.create (memo_get state.f_memo slot.Levin.index));
                   f_used = 0;
                 }
           end
@@ -460,7 +510,7 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
         let act = { (I.step rng inst obs) with Io.User.halt = false } in
         ( {
             state with
-            f_view = view;
+            f_sense = sense_state;
             f_pending = Some (obs, act);
             f_used = state.f_used + 1;
           },

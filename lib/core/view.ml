@@ -31,7 +31,7 @@ let drop_latest k t =
    emitted in round r-1.  The view event for round r therefore pairs the
    user's round-r sends with the round-(r-1) incoming messages, matching
    exactly what the user's strategy observed when it acted. *)
-let of_history h =
+let fold_events h ~init ~f =
   let rec go prev_s2u prev_w2u acc = function
     | [] -> acc
     | (r : History.Round.t) :: rest ->
@@ -45,25 +45,16 @@ let of_history h =
             halted = r.user_halted;
           }
         in
-        go r.server_to_user r.world_to_user (extend acc e) rest
+        go r.server_to_user r.world_to_user (f acc e) rest
   in
-  go Msg.Silence Msg.Silence empty (History.rounds h)
+  go Msg.Silence Msg.Silence init (History.rounds h)
+
+let of_history h = fold_events h ~init:empty ~f:extend
 
 let prefixes h =
-  let rec go prev_s2u prev_w2u acc view = function
-    | [] -> List.rev acc
-    | (r : History.Round.t) :: rest ->
-        let e =
-          {
-            round = r.index;
-            from_server = prev_s2u;
-            from_world = prev_w2u;
-            to_server = r.user_to_server;
-            to_world = r.user_to_world;
-            halted = r.user_halted;
-          }
-        in
+  let _, acc =
+    fold_events h ~init:(empty, []) ~f:(fun (view, acc) e ->
         let view = extend view e in
-        go r.server_to_user r.world_to_user (view :: acc) view rest
+        (view, view :: acc))
   in
-  go Msg.Silence Msg.Silence [] empty (History.rounds h)
+  List.rev acc

@@ -41,6 +41,12 @@ val drop_latest : int -> t -> t
 val of_history : History.t -> t
 (** Project a full history onto what the user saw. *)
 
+val fold_events : History.t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Fold over the user-visible events of a history in chronological
+    order, without materialising any view: the stream of events
+    {!of_history} would build, one per round.  This is the single pass
+    incremental sensing rides on. *)
+
 val prefixes : History.t -> t list
 (** Views after round 1, 2, ..., in order — each sharing structure with
     the next, so materialising all prefixes is O(rounds). *)

@@ -52,11 +52,16 @@ let world ?(params = default_params) () =
       (plant, Io.World.say_user (Msg.Int plant)))
     ~view:(fun plant -> Msg.Int plant)
 
+(* Acceptability of a prefix depends only on its latest world view, so
+   the incremental judge is stateless. *)
 let referee_of params =
-  Referee.compact "plant-in-range" (fun views_rev ->
-      match views_rev with
-      | Msg.Int plant :: _ -> abs plant <= params.bound
-      | _ -> false)
+  Referee.compact_incremental "plant-in-range"
+    ~init:(fun _v0 -> ((), `Ok))
+    ~step:(fun () v ->
+      ( (),
+        match v with
+        | Msg.Int plant -> Referee.verdict_of_bool (abs plant <= params.bound)
+        | _ -> `Violation ))
 
 let goal ?(params = default_params) ~alphabet () =
   check_alphabet alphabet;
@@ -83,10 +88,10 @@ let user_class ~alphabet dialects =
     dialects
 
 let sensing ?(params = default_params) () =
-  Sensing.of_predicate ~name:"plant-in-range" (fun view ->
-      match View.latest view with
-      | Some { View.from_world = Msg.Int plant; _ } -> abs plant <= params.bound
-      | Some _ | None -> true)
+  Sensing.of_latest ~name:"plant-in-range" ~empty:true (fun e ->
+      match e.View.from_world with
+      | Msg.Int plant -> abs plant <= params.bound
+      | _ -> true)
 
 let universal_user ?(grace = 4) ?stats ?params ~alphabet dialects =
   Universal.compact ~grace ?stats

@@ -115,9 +115,7 @@ let solved_view = function
   | Msg.Pair (Msg.Text "solved", _) -> true
   | _ -> false
 
-let referee =
-  Referee.finite "world-received-model-count" (fun views ->
-      List.exists solved_view views)
+let referee = Referee.finite_exists "world-received-model-count" solved_view
 
 let goal ?(params = default_params) ~alphabet () =
   check_alphabet alphabet;
@@ -224,10 +222,8 @@ let user_class ?(params = default_params) ~alphabet dialects =
     dialects
 
 let sensing =
-  Sensing.of_predicate ~name:"count-confirmed" (fun view ->
-      match View.latest view with
-      | Some e -> solved_view e.View.from_world
-      | None -> false)
+  Sensing.of_latest ~name:"count-confirmed" ~empty:false (fun e ->
+      solved_view e.View.from_world)
 
 let universal_user ?schedule ?stats ?(params = default_params) ~alphabet
     dialects =

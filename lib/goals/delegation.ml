@@ -112,8 +112,7 @@ let solved_view = function
   | _ -> false
 
 let referee =
-  Referee.finite "world-received-satisfying-assignment" (fun views ->
-      List.exists solved_view views)
+  Referee.finite_exists "world-received-satisfying-assignment" solved_view
 
 let goal ?(params = default_params) ~alphabet () =
   check_alphabet alphabet;
@@ -181,24 +180,40 @@ let user_class ~alphabet dialects =
     (fun d -> informed_user ~alphabet d)
     dialects
 
-let latest_formula view =
-  List.find_map
-    (fun e -> formula_of_world_msg e.View.from_world)
-    (View.events_rev view)
-
+(* Positive iff the formula is known and some event relayed a satisfying
+   assignment to the world.  The delegation world broadcasts one fixed
+   formula for the whole run, so the first formula seen IS the latest
+   one; the incremental state is that formula (once decoded), a flag for
+   a satisfying relay, and — until the formula arrives — a buffer of the
+   to_world messages sent so far, retro-checked the moment the formula
+   is decoded (an assignment relayed before the task was readable still
+   counts, as it does for the whole-view predicate). *)
 let sensing =
-  Sensing.of_predicate ~name:"verified-answer-relayed" (fun view ->
-      match latest_formula view with
-      | None -> false
-      | Some cnf ->
-          List.exists
-            (fun e ->
-              match
-                Codec.assignment_opt ~num_vars:cnf.Cnf.num_vars e.View.to_world
-              with
-              | Some a -> Cnf.eval cnf a
-              | None -> false)
-            (View.events_rev view))
+  let satisfies cnf m =
+    match Codec.assignment_opt ~num_vars:cnf.Cnf.num_vars m with
+    | Some a -> Cnf.eval cnf a
+    | None -> false
+  in
+  Sensing.incremental ~name:"verified-answer-relayed"
+    ~init:(fun () -> ((None, [], false), Sensing.Negative))
+    ~step:(fun (formula, pre, sat) (e : View.event) ->
+      let formula, pre, sat =
+        match formula with
+        | Some cnf -> (formula, pre, sat || satisfies cnf e.View.to_world)
+        | None -> begin
+            match formula_of_world_msg e.View.from_world with
+            | Some cnf ->
+                let sat = List.exists (satisfies cnf) (e.View.to_world :: pre) in
+                (Some cnf, [], sat)
+            | None -> (None, e.View.to_world :: pre, sat)
+          end
+      in
+      let v =
+        match formula with
+        | Some _ when sat -> Sensing.Positive
+        | _ -> Sensing.Negative
+      in
+      ((formula, pre, sat), v))
 
 let bad_answers history =
   let formula =

@@ -54,8 +54,7 @@ let arrived view =
   | Some (pos, target) -> pos = target
   | None -> false
 
-let referee =
-  Referee.finite "target-was-reached" (fun views -> List.exists arrived views)
+let referee = Referee.finite_exists "target-was-reached" arrived
 
 let goal ~scenarios ~alphabet () =
   check_alphabet alphabet;
@@ -111,10 +110,8 @@ let user_class ~alphabet ~scenario:s dialects =
 let sensing_window = 12
 
 let sensing =
-  Sensing.of_predicate ~name:"target-reached" (fun view ->
-      List.exists
-        (fun e -> arrived e.View.from_world)
-        (Goalcom_prelude.Listx.take sensing_window (View.events_rev view)))
+  Sensing.of_recent ~name:"target-reached" ~window:sensing_window (fun e ->
+      arrived e.View.from_world)
 
 let universal_user ?schedule ?stats ~alphabet ~scenario:s dialects =
   Universal.finite ?schedule ?stats

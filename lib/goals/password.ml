@@ -29,8 +29,7 @@ let world () =
         Io.World.say_user (if unlocked then unlocked_msg else locked_msg) ))
     ~view:(fun unlocked -> if unlocked then unlocked_msg else locked_msg)
 
-let referee =
-  Referee.finite "lock-opened" (fun views -> List.mem unlocked_msg views)
+let referee = Referee.finite_exists "lock-opened" (Msg.equal unlocked_msg)
 
 let goal () = Goal.make ~name:"password" ~worlds:[ world () ] ~referee
 
@@ -62,10 +61,8 @@ let sweeper ~space =
 (* The world's broadcast is monotone ("unlocked" stays), so the latest
    event carries the verdict. *)
 let sensing =
-  Sensing.of_predicate ~name:"world-unlocked" (fun view ->
-      match View.latest view with
-      | Some e -> e.View.from_world = unlocked_msg
-      | None -> false)
+  Sensing.of_latest ~name:"world-unlocked" ~empty:false (fun e ->
+      Msg.equal e.View.from_world unlocked_msg)
 
 let universal_user ?schedule ?stats ~space () =
   Universal.finite ?schedule ?stats ~enum:(user_class ~space) ~sensing ()

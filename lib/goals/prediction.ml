@@ -115,9 +115,13 @@ let world ?(params = default_params) () =
         } ))
     ~view:(fun st -> Msg.Int (if st.mistake_now then 0 else 1))
 
+(* A prefix is unacceptable exactly when its latest world view scores a
+   mistake, so the incremental judge is stateless. *)
 let referee =
-  Referee.compact "no-scored-mistake" (fun views_rev ->
-      match views_rev with Msg.Int 0 :: _ -> false | _ -> true)
+  Referee.compact_incremental "no-scored-mistake"
+    ~init:(fun _v0 -> ((), `Ok))
+    ~step:(fun () v ->
+      ((), match v with Msg.Int 0 -> `Violation | _ -> `Ok))
 
 let goal ?(params = default_params) ~alphabet () =
   check_alphabet alphabet;
@@ -224,16 +228,12 @@ let user_class ?(params = default_params) ~alphabet dialects =
     (Enum.of_list ~name:"learner" [ learner_user ~params () ])
 
 let sensing =
-  Sensing.of_predicate ~name:"no-mistake-scored" (fun view ->
-      match View.latest view with
-      | Some e -> begin
-          match broadcast_parts e.View.from_world with
-          | Some (_, feedback) -> begin
-              match feedback_parts feedback with
-              | Some (0, _, _) -> false
-              | _ -> true
-            end
-          | None -> true
+  Sensing.of_latest ~name:"no-mistake-scored" ~empty:true (fun e ->
+      match broadcast_parts e.View.from_world with
+      | Some (_, feedback) -> begin
+          match feedback_parts feedback with
+          | Some (0, _, _) -> false
+          | _ -> true
         end
       | None -> true)
 

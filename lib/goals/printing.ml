@@ -67,9 +67,7 @@ let page_matched view =
   | Some (doc, page) -> doc <> [] && doc = page
   | None -> false
 
-let referee =
-  Referee.finite "document-was-printed" (fun views ->
-      List.exists page_matched views)
+let referee = Referee.finite_exists "document-was-printed" page_matched
 
 let goal ?(docs = default_docs) ~alphabet () =
   check_alphabet alphabet;
@@ -132,10 +130,8 @@ let user_class ~alphabet dialects =
 let sensing_window = 16
 
 let sensing =
-  Sensing.of_predicate ~name:"page-matched-doc" (fun view ->
-      List.exists
-        (fun e -> page_matched e.View.from_world)
-        (Goalcom_prelude.Listx.take sensing_window (View.events_rev view)))
+  Sensing.of_recent ~name:"page-matched-doc" ~window:sensing_window (fun e ->
+      page_matched e.View.from_world)
 
 let universal_user ?schedule ?checkpoint ?stats ~alphabet dialects =
   Universal.finite ?schedule ?checkpoint ?stats

@@ -72,9 +72,7 @@ let delivered_view = function
   | Msg.Pair (_, Msg.Text "delivered") -> true
   | _ -> false
 
-let referee =
-  Referee.finite "payload-delivered" (fun views ->
-      List.exists delivered_view views)
+let referee = Referee.finite_exists "payload-delivered" delivered_view
 
 let default_payloads = [ [ 10; 20; 30 ]; [ 1; 2; 3; 4; 5; 6 ]; [ 42 ] ]
 
@@ -133,16 +131,12 @@ let user_class ~alphabet dialects =
 (* The world's broadcast is monotone ("delivered" stays), so the latest
    event carries the verdict. *)
 let goal_sensing =
-  Sensing.of_predicate ~name:"payload-delivered" (fun view ->
-      match View.latest view with
-      | Some e -> delivered_view e.View.from_world
-      | None -> false)
+  Sensing.of_latest ~name:"payload-delivered" ~empty:false (fun e ->
+      delivered_view e.View.from_world)
 
 let error_sensing =
-  Sensing.of_predicate ~name:"no-framing-error" (fun view ->
-      match View.latest view with
-      | Some e -> e.View.from_server <> err_msg
-      | None -> true)
+  Sensing.of_latest ~name:"no-framing-error" ~empty:true (fun e ->
+      not (Msg.equal e.View.from_server err_msg))
 
 let universal_user ?schedule ?stats ~alphabet dialects =
   Universal.finite ?schedule ?stats
