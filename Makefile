@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check ci bench bench-par bench-sense bench-check clean
+.PHONY: all build test check ci bench bench-par bench-sense bench-session bench-check clean
 
 all: build
 
@@ -16,10 +16,12 @@ test:
 check: build test
 
 # Mirror of .github/workflows/ci.yml: build, test, trace smoke +
-# analytics, parallel smoke, golden drift, bench gate. Run before
-# pushing.
+# analytics, parallel smoke, chaos smoke, golden drift, bench gate.
+# Run before pushing.
 ci: check
 	dune exec bin/main.exe -- run e17 --jobs 2
+	dune exec bin/main.exe -- chaos run --sessions 120 --jobs 2 --repeat 2 --check
+	GOALCOM_E18_SESSIONS=60 dune exec bin/main.exe -- run e18 --jobs 2
 	dune exec bin/main.exe -- run e1 --trace /tmp/e1.jsonl
 	test -s /tmp/e1.jsonl
 	head -1 /tmp/e1.jsonl | grep -q '^{"ev":"'
@@ -47,9 +49,17 @@ bench-par:
 bench-sense:
 	BENCH_ONLY=sense dune exec bench/main.exe
 
+# Rewrites just BENCH_session.json: the supervised session engine over
+# the storm and overload conditions at jobs 1/4, with the cross-jobs
+# determinism digests re-checked.  BENCH_SESSION_SESSIONS scales the
+# population (default 10000) — only commit a default-scale file, since
+# the gate re-runs at the same scale and pins the counts exactly.
+bench-session:
+	BENCH_ONLY=session dune exec bench/main.exe
+
 # The perf-regression gate: quick re-measure, compare against the
-# committed BENCH_trace.json + BENCH_par.json + BENCH_sense.json, write
-# BENCH_check.json, exit 1 on any regression.
+# committed BENCH_trace.json + BENCH_par.json + BENCH_sense.json +
+# BENCH_session.json, write BENCH_check.json, exit 1 on any regression.
 bench-check:
 	dune exec bench/main.exe -- --check
 

@@ -12,8 +12,10 @@
       counts) -> BENCH_par.json.
    5. Incremental judging & sensing kernels at growing horizons
       -> BENCH_sense.json.
+   6. Supervised session engine under chaos conditions
+      -> BENCH_session.json.
 
-   `--check` re-measures 3-5 quickly and gates them against the
+   `--check` re-measures 3-6 quickly and gates them against the
    committed BENCH files; `--jobs N` sets the ambient pool width. *)
 
 open Bechamel
@@ -1074,6 +1076,215 @@ let print_sense () =
   Printf.printf "wrote BENCH_sense.json (%d kernels x %d horizons)\n"
     (List.length runs) (List.length sense_horizons)
 
+(* Part 6: supervised session engine -> BENCH_session.json.
+
+   The session engine's contract is behavioural before it is fast:
+   under a fixed seed and chaos schedule, every count it reports —
+   completions, sheds, restarts, breaker trips, rounds percentiles —
+   is a deterministic function of the configuration, identical on
+   every host and at every jobs count.  So the gate pins those counts
+   with ZERO tolerance against the committed file, plus
+   session_mismatch_pct (every jobs>1 digest vs the jobs=1 digest,
+   exported as 0 or 100) exactly as Part 4 does for parallel trials.
+   Wall clock per condition is recorded at each jobs count with the
+   loose cross-host tolerance.
+
+   Two conditions exercise the two failure planes over the full E18
+   session mix:
+   - storm: scheduled kills + crash storms + burst loss, everything
+     admitted (effectively unbounded queue), the round budget acting
+     as the wedge detector.  Stresses supervision: restarts, backoff,
+     breakers.
+   - overload: no chaos, tight queue.  Stresses admission: most of
+     the population is shed at a full queue and the rest drain
+     through the [max_live] slots.
+
+   BENCH_SESSION_SESSIONS overrides the population for local
+   iteration; `--check` re-runs at the same scale, so gate only
+   against a file produced at the default. *)
+
+module Session_engine = Goalcom_session.Engine
+
+let session_sessions =
+  match
+    Option.bind (Sys.getenv_opt "BENCH_SESSION_SESSIONS") int_of_string_opt
+  with
+  | Some v when v > 0 -> v
+  | _ -> 10_000
+
+let session_jobs = [ 1; 4 ]
+
+let session_conditions =
+  [
+    { E18_chaos_matrix.cname = "storm";
+      chaos_spec = "kill@2,4%5=0;crash:25@1..800%3=1;burst:0.25@1..150%7=2";
+      econfig =
+        Session_engine.config ~quantum:32 ~max_live:256
+          ~queue_capacity:1_000_000 ~round_budget:2_000 ~max_ticks:200_000 ()
+    };
+    { E18_chaos_matrix.cname = "overload";
+      chaos_spec = "";
+      econfig =
+        Session_engine.config ~quantum:32 ~max_live:256 ~queue_capacity:2_048
+          ~max_ticks:200_000 ()
+    };
+  ]
+
+(* [(cname, [(jobs, (report, seconds))])] *)
+let measure_session () =
+  List.map
+    (fun (c : E18_chaos_matrix.condition) ->
+      ( c.E18_chaos_matrix.cname,
+        List.map
+          (fun jobs ->
+            let t0 = Unix.gettimeofday () in
+            let report =
+              E18_chaos_matrix.run_condition ~jobs ~sessions:session_sessions
+                ~seed c
+            in
+            (jobs, (report, Unix.gettimeofday () -. t0)))
+          session_jobs ))
+    session_conditions
+
+(* Conditions whose jobs>1 digest diverges from jobs=1; [] passes. *)
+let session_mismatches runs =
+  List.filter_map
+    (fun (cname, by_jobs) ->
+      match by_jobs with
+      | (_, ((base : Session_engine.report), _)) :: rest ->
+          if
+            List.for_all
+              (fun (_, ((r : Session_engine.report), _)) ->
+                String.equal r.Session_engine.digest
+                  base.Session_engine.digest)
+              rest
+          then None
+          else Some cname
+      | [] -> None)
+    runs
+
+(* The behavioural counts of one report.  [failed] rather than
+   [completed] because the gate's judge is one-sided (a fresh value
+   exceeding baseline is the regression): more failures must fail,
+   more completions must not. *)
+let session_counts (r : Session_engine.report) =
+  let open Session_engine in
+  [
+    ("failed", float_of_int (session_sessions - r.completed));
+    ("shed", float_of_int r.shed);
+    ("restarts", float_of_int r.restarts);
+    ("trips", float_of_int r.trips);
+    ("gave_up", float_of_int r.gave_up);
+    ("unfinished", float_of_int r.unfinished);
+    ("total_rounds", float_of_int r.total_rounds);
+    ("p50_rounds", r.p50_rounds);
+    ("p99_rounds", r.p99_rounds);
+  ]
+
+(* Flattened to the gate's vocabulary — the same names
+   Bench_gate.metrics_of_json extracts from BENCH_session.json. *)
+let session_metrics runs =
+  let open Goalcom_obs.Bench_gate in
+  let mismatch_pct = if session_mismatches runs = [] then 0. else 100. in
+  { name = "session_mismatch_pct"; value = mismatch_pct }
+  :: List.concat_map
+       (fun (cname, by_jobs) ->
+         let (r : Session_engine.report), _ = List.assoc 1 by_jobs in
+         List.map
+           (fun (field, v) ->
+             { name = Printf.sprintf "%s/%s" cname field; value = v })
+           (session_counts r)
+         @ List.map
+             (fun (jobs, (_, t)) ->
+               { name = Printf.sprintf "%s/jobs%d_ms" cname jobs;
+                 value = t *. 1e3 })
+             by_jobs)
+       runs
+
+(* Determinism makes every count exact, so only the wall-clock
+   timings get the cross-host default tolerance. *)
+let session_tol name =
+  let module Gate = Goalcom_obs.Bench_gate in
+  if Filename.check_suffix name "_ms" then Gate.default_tol_pct name else 0.
+
+let session_slack name =
+  let module Gate = Goalcom_obs.Bench_gate in
+  if Filename.check_suffix name "_ms" then Gate.default_slack name else 0.
+
+let print_session () =
+  print_endline "\n==================================================";
+  print_endline " Supervised session engine (chaos conditions)";
+  print_endline "==================================================";
+  let runs = measure_session () in
+  let mismatches = session_mismatches runs in
+  let rows =
+    List.concat_map
+      (fun (cname, by_jobs) ->
+        List.map
+          (fun (jobs, ((r : Session_engine.report), t)) ->
+            let open Session_engine in
+            [
+              cname;
+              string_of_int jobs;
+              Printf.sprintf "%.0f" (t *. 1e3);
+              string_of_int r.completed;
+              string_of_int r.shed;
+              string_of_int r.restarts;
+              string_of_int r.trips;
+              string_of_int r.gave_up;
+              Printf.sprintf "%.0f" r.p50_rounds;
+              Printf.sprintf "%.0f" r.p99_rounds;
+              String.sub r.digest 0 12;
+            ])
+          by_jobs)
+      runs
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf "session engine, %d sessions per condition"
+            session_sessions)
+       ~columns:
+         [ "condition"; "jobs"; "wall ms"; "done"; "shed"; "restarts";
+           "trips"; "give-ups"; "p50 rds"; "p99 rds"; "digest" ]
+       rows);
+  Printf.printf "\ndigest mismatches across jobs counts: %s\n"
+    (if mismatches = [] then "none" else String.concat ", " mismatches);
+  let num v =
+    if Float.is_integer v then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.2f" v
+  in
+  let entry (cname, by_jobs) =
+    let r, _ = List.assoc 1 by_jobs in
+    let fields =
+      List.map (fun (f, v) -> Printf.sprintf "\"%s\": %s" f (num v))
+        (session_counts r)
+      @ List.map
+          (fun (jobs, (_, t)) ->
+            Printf.sprintf "\"jobs%d_ms\": %.1f" jobs (t *. 1e3))
+          by_jobs
+    in
+    Printf.sprintf "    {\"name\": %S, %s}" cname (String.concat ", " fields)
+  in
+  let oc = open_out "BENCH_session.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"sessions\": %d,\n\
+    \  \"jobs\": [1, 4],\n\
+    \  \"unit\": \"ms\",\n\
+    \  \"session_mismatch_pct\": %.1f,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    seed session_sessions
+    (if mismatches = [] then 0. else 100.)
+    (String.concat ",\n" (List.map entry runs));
+  close_out oc;
+  Printf.printf "wrote BENCH_session.json (%d conditions x %d job counts)\n"
+    (List.length runs) (List.length session_jobs)
+
 (* --check: the perf-regression gate.  Re-measure the tracing overhead
    and the gated parallel workload (CI-sized quick runs), compare
    against the committed BENCH_trace.json / BENCH_par.json with
@@ -1144,7 +1355,26 @@ let check () =
         let runs = measure_sense ~repeats:4 () in
         sense_comparisons ~baseline:sense_baseline ~runs ()
   in
-  let comparisons = trace_comparisons @ par_comparisons @ sense_cmp in
+  let session_cmp =
+    match Gate.load_file "BENCH_session.json" with
+    | Error e ->
+        Printf.eprintf "bench --check: %s\n" e;
+        exit 2
+    | Ok session_baseline ->
+        Printf.printf
+          "bench --check: re-running the session engine (%d sessions x %d \
+           conditions, jobs %s)...\n\
+           %!"
+          session_sessions
+          (List.length session_conditions)
+          (String.concat "/" (List.map string_of_int session_jobs));
+        let runs = measure_session () in
+        Gate.compare_metrics ~tol_pct:session_tol ~slack:session_slack
+          ~baseline:session_baseline ~fresh:(session_metrics runs) ()
+  in
+  let comparisons =
+    trace_comparisons @ par_comparisons @ sense_cmp @ session_cmp
+  in
   Table.print (Gate.table comparisons);
   let verdict = Gate.verdict_json comparisons in
   let oc = open_out "BENCH_check.json" in
@@ -1155,7 +1385,7 @@ let check () =
   | [] ->
       Printf.printf
         "bench --check: PASS (%d metrics vs %s + BENCH_par.json + \
-         BENCH_sense.json)\n"
+         BENCH_sense.json + BENCH_session.json)\n"
         (List.length comparisons) baseline_path
   | regs ->
       Printf.printf "bench --check: FAIL (%d of %d metrics regressed)\n"
@@ -1172,9 +1402,11 @@ let () =
     | Some "trace" -> print_trace_overhead ()
     | Some "par" -> print_par ()
     | Some "sense" -> print_sense ()
+    | Some "session" -> print_session ()
     | _ ->
         print_experiments ();
         write_fault_json (print_bench ());
         print_trace_overhead ();
         print_par ();
-        print_sense ()
+        print_sense ();
+        print_session ()

@@ -11,6 +11,12 @@
                                ([--trace] streams events and metrics)
      check <goal>              validate sensing safety/viability and
                                helpfulness for a goal's server class
+     serve [options]           multiplex a session population through the
+                               supervised engine (admission, restarts,
+                               breakers) with no chaos
+     chaos run|matrix          deterministic chaos harness: fault/kill
+                               schedules over the engine, determinism
+                               checks, the E18 matrix
      trace-golden <dir>        regenerate the golden trace files
      trace stats|attribution|diff|export
                                analytics over recorded JSONL traces *)
@@ -420,6 +426,216 @@ let transcript_cmd =
        ~doc:"Run an informed user on a goal and print the round-by-round history.")
     Term.(const run $ goal_arg $ dialect_arg $ rounds_arg $ seed_arg)
 
+(* serve / chaos — the supervised concurrent session engine *)
+
+module Session = Goalcom_session
+
+let print_report (r : Session.Engine.report) =
+  let open Session.Engine in
+  let n = Array.length r.outcomes in
+  let pct k = 100.0 *. float_of_int k /. float_of_int (max 1 n) in
+  Printf.printf "sessions       %d\n" n;
+  Printf.printf "ticks          %d\n" r.ticks;
+  Printf.printf "completed      %d (%.1f%%)\n" r.completed (pct r.completed);
+  Printf.printf "shed           %d (%.1f%%)\n" r.shed (pct r.shed);
+  Printf.printf "gave up        %d\n" r.gave_up;
+  Printf.printf "deadlines      %d\n" r.deadlines;
+  Printf.printf "unfinished     %d\n" r.unfinished;
+  Printf.printf "restarts       %d\n" r.restarts;
+  Printf.printf "breaker trips  %d\n" r.trips;
+  Printf.printf "total rounds   %d\n" r.total_rounds;
+  Printf.printf "p50 rounds     %.0f\n" r.p50_rounds;
+  Printf.printf "p99 rounds     %.0f\n" r.p99_rounds;
+  Printf.printf "digest         %s\n" r.digest
+
+let sessions_arg ~default =
+  Arg.(value & opt int default
+       & info [ "sessions" ] ~docv:"N"
+           ~doc:"Number of sessions in the population (the standard E18 \
+                 mix: printing / corridor-maze / open-maze universal \
+                 users, round-robin).")
+
+let max_live_arg =
+  Arg.(value & opt int 256
+       & info [ "max-live" ] ~docv:"N"
+           ~doc:"Concurrently running sessions (admission slots).")
+
+let queue_arg =
+  Arg.(value & opt int 1_000_000
+       & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission queue capacity; arrivals beyond slots + queue \
+                 are shed.")
+
+let budget_arg =
+  Arg.(value & opt int 0
+       & info [ "round-budget" ] ~docv:"R"
+           ~doc:"Rounds per incarnation before the supervisor wedge-kills \
+                 it (0 disables).")
+
+let serve_cmd =
+  let quantum_arg =
+    Arg.(value & opt int 32
+         & info [ "quantum" ] ~docv:"R"
+             ~doc:"Rounds each running session advances per scheduler tick.")
+  in
+  let arrivals_arg =
+    Arg.(value & opt int 0
+         & info [ "arrivals" ] ~docv:"N"
+             ~doc:"Sessions arriving per tick (0: the whole population \
+                   arrives at tick 1).")
+  in
+  let deadline_arg =
+    Arg.(value & opt int 0
+         & info [ "deadline" ] ~docv:"T"
+             ~doc:"Ticks from arrival before an unfinished session is \
+                   abandoned (0 disables).")
+  in
+  let run sessions max_live queue quantum arrivals deadline budget seed jobs =
+    apply_jobs jobs;
+    let config =
+      Session.Engine.config ~quantum ~max_live ~queue_capacity:queue
+        ~arrivals_per_tick:arrivals ~round_budget:budget ~deadline ()
+    in
+    let specs = E18_chaos_matrix.specs ~sessions in
+    print_report (Session.Engine.run ~config ~specs ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a session population through the supervised concurrent \
+             engine (no chaos): admission control, restart supervision, \
+             per-class circuit breakers.")
+    Term.(const run $ sessions_arg ~default:256 $ max_live_arg $ queue_arg
+          $ quantum_arg $ arrivals_arg $ deadline_arg $ budget_arg $ seed_arg
+          $ jobs_arg)
+
+let chaos_run_cmd =
+  let schedule_arg =
+    Arg.(value & opt string "kill@2,4%5=0;crash:25@1..800%3=1"
+         & info [ "schedule" ] ~docv:"SPEC"
+             ~doc:"Chaos schedule: ';'-joined directives kill\\@T1,T2, \
+                   crash:K\\@LO..HI, burst:P\\@LO..HI, blackout\\@LO..HI, \
+                   fault:STACK, each optionally targeted %M=R (sessions \
+                   with id mod M = R).")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"K"
+             ~doc:"Run the schedule $(docv) times and assert digest \
+                   determinism across repeats (exit 1 on divergence).")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Record the merged trace, validate the standard trace \
+                   invariants, and (with --repeat) assert the merged \
+                   trace itself is identical across repeats.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the merged JSONL trace (per-session buffers in \
+                   session-id order) to $(docv).")
+  in
+  let run sessions schedule max_live queue budget repeat check trace seed jobs
+      =
+    apply_jobs jobs;
+    let chaos =
+      match Session.Chaos.of_string ~alphabet:6 schedule with
+      | Ok c -> c
+      | Error e -> Printf.eprintf "%s\n" e; exit 1
+    in
+    let config =
+      Session.Engine.config ~max_live ~queue_capacity:queue
+        ~round_budget:budget ()
+    in
+    let specs = E18_chaos_matrix.specs ~sessions in
+    let once () =
+      if check then begin
+        let buf = ref [] in
+        let r =
+          Trace.with_sink
+            (fun ev -> buf := ev :: !buf)
+            (fun () -> Session.Engine.run ~chaos ~config ~specs ~seed ())
+        in
+        (r, Some (List.rev !buf))
+      end
+      else (Session.Engine.run ~chaos ~config ~specs ~seed (), None)
+    in
+    let first, events = once () in
+    print_report first;
+    (match events with
+    | None -> ()
+    | Some evs -> (
+        (match trace with
+        | None -> ()
+        | Some path ->
+            Goalcom_obs.Jsonl.with_file path (fun sink ->
+                List.iter sink evs));
+        match Trace.check Trace.standard evs with
+        | Ok () ->
+            Printf.printf "trace ok       %d events, standard invariants hold\n"
+              (List.length evs)
+        | Error msg ->
+            Printf.eprintf "trace invariant violated: %s\n" msg;
+            exit 1));
+    if events = None then
+      Option.iter
+        (fun path ->
+          Goalcom_obs.Jsonl.with_file path (fun sink ->
+              Trace.with_sink sink (fun () ->
+                  ignore (Session.Engine.run ~chaos ~config ~specs ~seed ()))))
+        trace;
+    for k = 2 to repeat do
+      let r, evs = once () in
+      if r.Session.Engine.digest <> first.Session.Engine.digest then begin
+        Printf.eprintf "repeat %d: digest diverged (%s vs %s)\n" k
+          r.Session.Engine.digest first.Session.Engine.digest;
+        exit 1
+      end;
+      if check && evs <> events then begin
+        Printf.eprintf "repeat %d: merged trace diverged\n" k;
+        exit 1
+      end;
+      Printf.printf "repeat %d       digest identical%s\n" k
+        (if check then ", merged trace identical" else "")
+    done
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run the session population under a chaos schedule and report \
+             completion, shedding, restarts and breaker activity.")
+    Term.(const run $ sessions_arg ~default:500 $ schedule_arg $ max_live_arg
+          $ queue_arg $ budget_arg $ repeat_arg $ check_arg $ trace_arg
+          $ seed_arg $ jobs_arg)
+
+let chaos_matrix_cmd =
+  let run sessions seed jobs =
+    apply_jobs jobs;
+    Option.iter
+      (fun n -> Unix.putenv "GOALCOM_E18_SESSIONS" (string_of_int n))
+      sessions;
+    Table.print (E18_chaos_matrix.run ~seed)
+  in
+  let sessions_opt =
+    Arg.(value & opt (some int) None
+         & info [ "sessions" ] ~docv:"N"
+             ~doc:"Sessions per condition (default 2000, i.e. a \
+                   10k-session matrix; equivalent to setting \
+                   $(b,GOALCOM_E18_SESSIONS)).")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Run the full E18 chaos matrix (same output as `goalcom run \
+             e18`).")
+    Term.(const run $ sessions_opt $ seed_arg $ jobs_arg)
+
+let chaos_cmd =
+  Cmd.group
+    (Cmd.info "chaos"
+       ~doc:"Deterministic chaos harness over the supervised session \
+             engine: fault schedules, kill schedules, determinism checks.")
+    [ chaos_run_cmd; chaos_matrix_cmd ]
+
 (* trace-golden *)
 
 let trace_golden_cmd =
@@ -590,5 +806,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; all_cmd; demo_cmd; check_cmd; transcript_cmd;
-            trace_golden_cmd; trace_cmd;
+            serve_cmd; chaos_cmd; trace_golden_cmd; trace_cmd;
           ]))

@@ -9,11 +9,39 @@ let config ?(horizon = 1000) ?(drain = 2) ?(world_choice = 0) () =
 
 let default_config = config ()
 
-let run ?sink ?(config = default_config) ~goal ~user ~server rng =
-  let body () =
-    (* Resolved once: strategies cannot (re)install sinks mid-run. *)
-    let tracing = Trace.enabled () in
-    if tracing then
+module Stepper = struct
+  (* One run, unrolled: the recursive loop of [run] turned into a
+     mutable state machine so a scheduler can interleave thousands of
+     live runs round by round.  Invariants mirror the loop exactly —
+     [round] is the next round to execute, [prev_acts] the messages in
+     flight (emitted last round, delivered this round) — so stepping to
+     completion is bit-identical to the recursive loop, events and
+     randomness included. *)
+
+  type acts = (Msg.t * Msg.t) * (Msg.t * Msg.t) * (Msg.t * Msg.t)
+
+  type t = {
+    cfg : config;
+    user_rng : Rng.t;
+    server_rng : Rng.t;
+    world_rng : Rng.t;
+    user_inst : (Io.User.obs, Io.User.act) Strategy.Instance.t;
+    server_inst : (Io.Server.obs, Io.Server.act) Strategy.Instance.t;
+    world_inst : World.Instance.t;
+    initial_world_view : Msg.t;
+    mutable round : int;
+    mutable halted : bool;
+    mutable drain_left : int;
+    mutable prev_acts : acts;
+    mutable rounds_rev : History.Round.t list;
+    mutable result : History.t option;
+  }
+
+  let create ?(config = default_config) ~goal ~user ~server rng =
+    (* Run_start precedes the RNG splits, exactly as in the monolithic
+       loop, so a traced stepper and a traced [run] agree byte for
+       byte. *)
+    if Trace.enabled () then
       Trace.emit
         (Trace.Run_start
            {
@@ -29,74 +57,141 @@ let run ?sink ?(config = default_config) ~goal ~user ~server rng =
     let world_rng = Rng.split rng in
     let user_inst = Strategy.Instance.create user in
     let server_inst = Strategy.Instance.create server in
-    let world_inst = World.Instance.create (Goal.world ~choice:config.world_choice goal) in
-    let initial_world_view = World.Instance.view world_inst in
-    let emit_msg round src dst msg =
-      if not (Msg.is_silence msg) then
-        Trace.emit (Trace.Emit { round; src; dst; msg })
-    in
-    (* Messages in flight: emitted last round, delivered this round. *)
-    let rec loop round halted drain_left prev_acts rounds_rev =
-      let (u2s, u2w), (s2u, s2w), (w2u, w2s) = prev_acts in
-      if round > config.horizon || (halted && drain_left <= 0) then begin
-        let history = History.make ~initial_world_view (List.rev rounds_rev) in
-        if tracing then
-          Trace.emit
-            (Trace.Run_end { rounds = History.length history; halted });
-        history
-      end
-      else begin
-        if tracing then begin
-          Trace.set_round round;
-          Trace.emit (Trace.Round_start { round })
-        end;
-        let user_act : Io.User.act =
-          if halted then Io.User.halt_act
-          else
-            Strategy.Instance.step user_rng user_inst
-              { Io.User.from_server = s2u; from_world = w2u; round }
-        in
-        let server_act : Io.Server.act =
-          Strategy.Instance.step server_rng server_inst
-            { Io.Server.from_user = u2s; from_world = w2s }
-        in
-        let world_act : Io.World.act =
-          World.Instance.step world_rng world_inst
-            { Io.World.from_user = u2w; from_server = s2w }
-        in
-        let halted' = halted || user_act.halt in
-        if tracing then begin
-          emit_msg round Trace.User Trace.Server user_act.to_server;
-          emit_msg round Trace.User Trace.World user_act.to_world;
-          emit_msg round Trace.Server Trace.User server_act.to_user;
-          emit_msg round Trace.Server Trace.World server_act.to_world;
-          emit_msg round Trace.World Trace.User world_act.to_user;
-          emit_msg round Trace.World Trace.Server world_act.to_server;
-          if halted' && not halted then Trace.emit (Trace.Halt { round })
-        end;
-        let round_record =
-          {
-            History.Round.index = round;
-            user_to_server = user_act.to_server;
-            user_to_world = user_act.to_world;
-            server_to_user = server_act.to_user;
-            server_to_world = server_act.to_world;
-            world_to_user = world_act.to_user;
-            world_to_server = world_act.to_server;
-            world_view = World.Instance.view world_inst;
-            user_halted = halted';
-          }
-        in
-        let drain_left' = if halted then drain_left - 1 else config.drain in
-        loop (round + 1) halted' drain_left'
-          ( (user_act.to_server, user_act.to_world),
-            (server_act.to_user, server_act.to_world),
-            (world_act.to_user, world_act.to_server) )
-          (round_record :: rounds_rev)
-      end
+    let world_inst =
+      World.Instance.create (Goal.world ~choice:config.world_choice goal)
     in
     let silence2 = (Msg.Silence, Msg.Silence) in
-    loop 1 false config.drain (silence2, silence2, silence2) []
+    {
+      cfg = config;
+      user_rng;
+      server_rng;
+      world_rng;
+      user_inst;
+      server_inst;
+      world_inst;
+      initial_world_view = World.Instance.view world_inst;
+      round = 1;
+      halted = false;
+      drain_left = config.drain;
+      prev_acts = (silence2, silence2, silence2);
+      rounds_rev = [];
+      result = None;
+    }
+
+  let finished t = Option.is_some t.result
+  let round t = t.round
+  let halted t = t.halted
+  let rounds_executed t = t.round - 1
+
+  (* The termination condition already holds: the next [step] will not
+     execute a round, only finalize.  Lets a scheduler finish a run
+     inside the current quantum instead of paying a whole extra tick
+     for the finalizing step. *)
+  let finishing t =
+    match t.result with
+    | Some _ -> true
+    | None -> t.round > t.cfg.horizon || (t.halted && t.drain_left <= 0)
+
+  let emit_msg round src dst msg =
+    if not (Msg.is_silence msg) then
+      Trace.emit (Trace.Emit { round; src; dst; msg })
+
+  let finish t =
+    let history =
+      History.make ~initial_world_view:t.initial_world_view
+        (List.rev t.rounds_rev)
+    in
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Run_end { rounds = History.length history; halted = t.halted });
+    t.result <- Some history;
+    history
+
+  (* Tracing is re-resolved per step (not latched at creation like the
+     closed loop used to): a stepper may be created on one domain and
+     stepped on another, or stepped under a per-session buffering sink
+     installed by the engine around each quantum.  Within a single
+     [run] call the sink is stable, so the behaviour is unchanged. *)
+  let step t =
+    match t.result with
+    | Some _ -> false
+    | None ->
+        if t.round > t.cfg.horizon || (t.halted && t.drain_left <= 0) then begin
+          ignore (finish t);
+          false
+        end
+        else begin
+          let tracing = Trace.enabled () in
+          let round = t.round in
+          let (u2s, u2w), (s2u, s2w), (w2u, w2s) = t.prev_acts in
+          if tracing then begin
+            Trace.set_round round;
+            Trace.emit (Trace.Round_start { round })
+          end;
+          let user_act : Io.User.act =
+            if t.halted then Io.User.halt_act
+            else
+              Strategy.Instance.step t.user_rng t.user_inst
+                { Io.User.from_server = s2u; from_world = w2u; round }
+          in
+          let server_act : Io.Server.act =
+            Strategy.Instance.step t.server_rng t.server_inst
+              { Io.Server.from_user = u2s; from_world = w2s }
+          in
+          let world_act : Io.World.act =
+            World.Instance.step t.world_rng t.world_inst
+              { Io.World.from_user = u2w; from_server = s2w }
+          in
+          let halted' = t.halted || user_act.halt in
+          if tracing then begin
+            emit_msg round Trace.User Trace.Server user_act.to_server;
+            emit_msg round Trace.User Trace.World user_act.to_world;
+            emit_msg round Trace.Server Trace.User server_act.to_user;
+            emit_msg round Trace.Server Trace.World server_act.to_world;
+            emit_msg round Trace.World Trace.User world_act.to_user;
+            emit_msg round Trace.World Trace.Server world_act.to_server;
+            if halted' && not t.halted then Trace.emit (Trace.Halt { round })
+          end;
+          let round_record =
+            {
+              History.Round.index = round;
+              user_to_server = user_act.to_server;
+              user_to_world = user_act.to_world;
+              server_to_user = server_act.to_user;
+              server_to_world = server_act.to_world;
+              world_to_user = world_act.to_user;
+              world_to_server = world_act.to_server;
+              world_view = World.Instance.view t.world_inst;
+              user_halted = halted';
+            }
+          in
+          t.drain_left <- (if t.halted then t.drain_left - 1 else t.cfg.drain);
+          t.halted <- halted';
+          t.round <- round + 1;
+          t.prev_acts <-
+            ( (user_act.to_server, user_act.to_world),
+              (server_act.to_user, server_act.to_world),
+              (world_act.to_user, world_act.to_server) );
+          t.rounds_rev <- round_record :: t.rounds_rev;
+          true
+        end
+
+  let history t =
+    match t.result with
+    | Some h -> h
+    | None ->
+        invalid_arg "Exec.Stepper.history: run still live (step until false)"
+
+  let run_to_end t =
+    while step t do
+      ()
+    done;
+    history t
+end
+
+let run ?sink ?(config = default_config) ~goal ~user ~server rng =
+  let body () =
+    Stepper.run_to_end (Stepper.create ~config ~goal ~user ~server rng)
   in
   match sink with None -> body () | Some s -> Trace.with_sink s body
 

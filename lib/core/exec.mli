@@ -25,6 +25,62 @@ type config = {
 val config : ?horizon:int -> ?drain:int -> ?world_choice:int -> unit -> config
 (** Defaults: [horizon = 1000], [drain = 2], [world_choice = 0]. *)
 
+(** A single run as a resumable state machine.
+
+    {!run} executes a run start to finish; a stepper exposes the same
+    loop one round at a time, so a scheduler ([lib/session]) can
+    interleave thousands of live runs.  Stepping a fresh stepper to
+    completion is {e bit-identical} to {!run} — same trace events, same
+    RNG consumption, same history — which the golden-trace suite pins.
+
+    Tracing: {!create} emits [Run_start] under the ambient sink in
+    force at creation; each {!step} re-resolves the ambient sink, so an
+    engine may install a per-session buffering sink around every
+    quantum (and around creation) and the events land in the right
+    buffer even when consecutive quanta run on different domains. *)
+module Stepper : sig
+  type t
+
+  val create :
+    ?config:config ->
+    goal:Goal.t ->
+    user:Strategy.user ->
+    server:Strategy.server ->
+    Goalcom_prelude.Rng.t ->
+    t
+  (** Split the RNG, instantiate the parties, emit [Run_start].  The
+      run has executed zero rounds; no other events are emitted until
+      the first {!step}. *)
+
+  val step : t -> bool
+  (** Execute one round (or, if the termination condition already
+      holds, finalize: build the history and emit [Run_end]).  Returns
+      [true] while the run remains live, [false] once finished.
+      Calling [step] on a finished stepper is a no-op returning
+      [false]. *)
+
+  val finished : t -> bool
+
+  val finishing : t -> bool
+  (** The termination condition holds: the next {!step} only
+      finalizes (no round executes).  True once finished. *)
+
+  val halted : t -> bool
+  (** The user has requested halt (draining may still be running). *)
+
+  val round : t -> int
+  (** Next round to execute (rounds start at 1). *)
+
+  val rounds_executed : t -> int
+
+  val history : t -> History.t
+  (** The finished run's history.  @raise Invalid_argument while the
+      run is still live. *)
+
+  val run_to_end : t -> History.t
+  (** Step until finished and return the history. *)
+end
+
 val run :
   ?sink:Trace.sink ->
   ?config:config ->

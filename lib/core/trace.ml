@@ -40,6 +40,7 @@ type event =
   | Fault of { round : int; fault : string; detail : string }
   | Violation of { round : int }
   | Run_end of { rounds : int; halted : bool }
+  | Supervise of { tick : int; session : int; action : string; detail : string }
 
 type sink = event -> unit
 

@@ -67,6 +67,13 @@ type event =
   | Violation of { round : int }
       (** referee violation, judged post-run by {!Exec.run_outcome} *)
   | Run_end of { rounds : int; halted : bool }
+  | Supervise of { tick : int; session : int; action : string; detail : string }
+      (** a supervision decision of the session engine ([lib/session]):
+          [action] is one of ["admit"], ["shed"], ["start"], ["restart"],
+          ["kill"], ["fail"], ["wedge"], ["give-up"], ["deadline"],
+          ["trip"], ["half-open"], ["close"] or ["done"]; [tick] is the
+          engine's scheduler tick (not an execution round — supervision
+          happens between runs) *)
 
 type sink = event -> unit
 

@@ -355,6 +355,25 @@ let adversary ~budget ~alphabet =
 let spec_error spec reason =
   Error (Printf.sprintf "bad fault spec %S: %s" spec reason)
 
+(* One usage string per fault name: the vocabulary of both the
+   unknown-name error (which lists all of them) and the per-name arity
+   errors (which quote just the offender's). *)
+let usages =
+  [
+    ("nop", "nop");
+    ("delay", "delay:K");
+    ("drop", "drop:P");
+    ("dup", "dup");
+    ("corrupt", "corrupt:P");
+    ("reorder", "reorder:K");
+    ("burst", "burst:PENTER,PEXIT,PDROP");
+    ("crash", "crash:K");
+    ("intermittent", "intermittent:ON,OFF");
+    ("adversary", "adversary:B");
+  ]
+
+let valid_names () = String.concat " " (List.map snd usages)
+
 let of_string ~alphabet spec =
   let fail = spec_error spec in
   let head, args =
@@ -367,55 +386,98 @@ let of_string ~alphabet spec =
   in
   let int_arg s = int_of_string_opt (String.trim s) in
   let float_arg s = float_of_string_opt (String.trim s) in
+  (* The name resolved but its argument list does not fit: quote the
+     expected shape (and how many arguments actually arrived). *)
+  let arity want =
+    let got =
+      match args with
+      | [] -> "none"
+      | _ -> string_of_int (List.length args)
+    in
+    fail (Printf.sprintf "%S wants the form %s (got %s argument%s)" head want
+            got (if args <> [] && List.length args = 1 then "" else "s"))
+  in
   try
-    match (head, args) with
-    | "nop", [] -> Ok nop
-    | "delay", [ k ] -> begin
-        match int_arg k with
-        | Some k -> Ok (delay ~rounds:k)
-        | None -> fail "delay:K wants an integer"
+    match head with
+    | "nop" -> ( match args with [] -> Ok nop | _ -> arity "nop")
+    | "delay" -> begin
+        match args with
+        | [ k ] -> begin
+            match int_arg k with
+            | Some k -> Ok (delay ~rounds:k)
+            | None -> fail "delay:K wants an integer"
+          end
+        | _ -> arity "delay:K"
       end
-    | "drop", [ p ] -> begin
-        match float_arg p with
-        | Some p -> Ok (drop ~prob:p)
-        | None -> fail "drop:P wants a float"
+    | "drop" -> begin
+        match args with
+        | [ p ] -> begin
+            match float_arg p with
+            | Some p -> Ok (drop ~prob:p)
+            | None -> fail "drop:P wants a float"
+          end
+        | _ -> arity "drop:P"
       end
-    | "dup", [] -> Ok duplicate
-    | "corrupt", [ p ] -> begin
-        match float_arg p with
-        | Some p -> Ok (corrupt ~alphabet ~prob:p)
-        | None -> fail "corrupt:P wants a float"
+    | "dup" -> ( match args with [] -> Ok duplicate | _ -> arity "dup")
+    | "corrupt" -> begin
+        match args with
+        | [ p ] -> begin
+            match float_arg p with
+            | Some p -> Ok (corrupt ~alphabet ~prob:p)
+            | None -> fail "corrupt:P wants a float"
+          end
+        | _ -> arity "corrupt:P"
       end
-    | "reorder", [ k ] -> begin
-        match int_arg k with
-        | Some k -> Ok (reorder ~skew:k)
-        | None -> fail "reorder:K wants an integer"
+    | "reorder" -> begin
+        match args with
+        | [ k ] -> begin
+            match int_arg k with
+            | Some k -> Ok (reorder ~skew:k)
+            | None -> fail "reorder:K wants an integer"
+          end
+        | _ -> arity "reorder:K"
       end
-    | "burst", [ a; b; c ] -> begin
-        match (float_arg a, float_arg b, float_arg c) with
-        | Some p_enter, Some p_exit, Some drop_prob ->
-            Ok (burst ~p_enter ~p_exit ~drop_prob)
-        | _ -> fail "burst:PENTER,PEXIT,PDROP wants three floats"
+    | "burst" -> begin
+        match args with
+        | [ a; b; c ] -> begin
+            match (float_arg a, float_arg b, float_arg c) with
+            | Some p_enter, Some p_exit, Some drop_prob ->
+                Ok (burst ~p_enter ~p_exit ~drop_prob)
+            | _ -> fail "burst:PENTER,PEXIT,PDROP wants three floats"
+          end
+        | _ -> arity "burst:PENTER,PEXIT,PDROP"
       end
-    | "crash", [ k ] -> begin
-        match int_arg k with
-        | Some k -> Ok (crash_restart ~every:k)
-        | None -> fail "crash:K wants an integer"
+    | "crash" -> begin
+        match args with
+        | [ k ] -> begin
+            match int_arg k with
+            | Some k -> Ok (crash_restart ~every:k)
+            | None -> fail "crash:K wants an integer"
+          end
+        | _ -> arity "crash:K"
       end
-    | "intermittent", [ on; off ] -> begin
-        match (int_arg on, int_arg off) with
-        | Some on, Some off -> Ok (intermittent ~on ~off ())
-        | _ -> fail "intermittent:ON,OFF wants two integers"
+    | "intermittent" -> begin
+        match args with
+        | [ on; off ] -> begin
+            match (int_arg on, int_arg off) with
+            | Some on, Some off -> Ok (intermittent ~on ~off ())
+            | _ -> fail "intermittent:ON,OFF wants two integers"
+          end
+        | _ -> arity "intermittent:ON,OFF"
       end
-    | "adversary", [ b ] -> begin
-        match int_arg b with
-        | Some b -> Ok (adversary ~budget:b ~alphabet)
-        | None -> fail "adversary:B wants an integer"
+    | "adversary" -> begin
+        match args with
+        | [ b ] -> begin
+            match int_arg b with
+            | Some b -> Ok (adversary ~budget:b ~alphabet)
+            | None -> fail "adversary:B wants an integer"
+          end
+        | _ -> arity "adversary:B"
       end
     | _ ->
         fail
-          "known faults: nop delay:K drop:P dup corrupt:P reorder:K \
-           burst:PE,PX,PD crash:K intermittent:ON,OFF adversary:B"
+          (Printf.sprintf "unknown fault %S; known faults: %s" head
+             (valid_names ()))
   with Invalid_argument reason -> fail reason
 
 let stack_of_string ~alphabet spec =

@@ -46,6 +46,8 @@ let all =
       claim = E16_fault_matrix.claim; run = E16_fault_matrix.run };
     { id = "e17"; kind = Figure; title = E17_scaling.title;
       claim = E17_scaling.claim; run = E17_scaling.run };
+    { id = "e18"; kind = Table; title = E18_chaos_matrix.title;
+      claim = E18_chaos_matrix.claim; run = E18_chaos_matrix.run };
   ]
 
 let find id =

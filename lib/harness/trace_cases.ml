@@ -105,4 +105,53 @@ let e3_maze =
         events);
   }
 
-let all = [ e1_printing; e3_maze; e16_crash ]
+(* E18 flavour: a supervised chaos run, two sessions through a
+   one-slot, zero-queue engine.  Session 0 is admitted, killed by the
+   chaos schedule at tick 2, restarted from its checkpoint (its second
+   incarnation's trace opens with a [Resume] event) and completes;
+   session 1 finds slot and queue full and is shed on arrival.  The
+   merged trace is the per-session buffers in id order, so the file
+   pins the engine's replay contract as well as the event stream. *)
+let e18_chaos =
+  {
+    name = "e18_chaos";
+    events =
+      (fun () ->
+        let module Session = Goalcom_session in
+        let alphabet = 4 in
+        let dialects = Dialect.enumerate_rotations ~size:alphabet in
+        let scenario =
+          Maze.scenario ~width:5 ~height:5 ~start:(0, 0) ~target:(3, 2) ()
+        in
+        let goal = Maze.goal ~scenarios:[ scenario ] ~alphabet () in
+        let spec i : Session.Engine.spec =
+          {
+            sname = Printf.sprintf "s%d" i;
+            server_class = "maze";
+            goal;
+            make_user =
+              (fun ~checkpoint ->
+                Universal.finite ~checkpoint
+                  ~enum:(Maze.user_class ~alphabet ~scenario dialects)
+                  ~sensing:Maze.sensing ());
+            server = Maze.server ~alphabet (Enum.get_exn dialects 2);
+            exec_config = Exec.config ~horizon:400 ();
+          }
+        in
+        let chaos =
+          match Session.Chaos.of_string ~alphabet "kill@2%2=0" with
+          | Ok c -> c
+          | Error e -> invalid_arg ("Trace_cases.e18_chaos: " ^ e)
+        in
+        let config =
+          Session.Engine.config ~quantum:16 ~max_live:1 ~queue_capacity:0 ()
+        in
+        let (_ : Session.Engine.report), events =
+          Goalcom_obs.Recorder.record (fun () ->
+              Session.Engine.run ~chaos ~config ~jobs:1
+                ~specs:(Array.init 2 spec) ~seed:18 ())
+        in
+        events);
+  }
+
+let all = [ e1_printing; e3_maze; e16_crash; e18_chaos ]

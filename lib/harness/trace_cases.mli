@@ -29,4 +29,11 @@ val e16_crash : case
     [Fault] events interleave with the enumeration recovering from lost
     server state. *)
 
+val e18_chaos : case
+(** A supervised chaos run (E18 flavour): two sessions through a
+    one-slot, zero-queue engine — session 0 is killed at tick 2,
+    resumes from its checkpoint and completes; session 1 is shed on
+    arrival.  Pins [Supervise] events and the engine's merged-trace
+    replay order alongside the run events. *)
+
 val all : case list

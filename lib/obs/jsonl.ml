@@ -165,6 +165,16 @@ let add_event b (ev : Trace.event) =
       Buffer.add_string b ",\"halted\":";
       add_bool b halted;
       Buffer.add_char b '}'
+  | Trace.Supervise { tick; session; action; detail } ->
+      Buffer.add_string b "{\"ev\":\"supervise\",\"tick\":";
+      add_int b tick;
+      Buffer.add_string b ",\"session\":";
+      add_int b session;
+      Buffer.add_string b ",\"action\":";
+      add_str b action;
+      Buffer.add_string b ",\"detail\":";
+      add_str b detail;
+      Buffer.add_char b '}'
 
 let event_to_json ev =
   let b = Buffer.create 128 in
@@ -307,6 +317,12 @@ let event_of_json j : (Trace.event, string) result =
       let* rounds = int_field "rounds" j in
       let* halted = bool_field "halted" j in
       Ok (Trace.Run_end { rounds; halted })
+  | "supervise" ->
+      let* tick = int_field "tick" j in
+      let* session = int_field "session" j in
+      let* action = str_field "action" j in
+      let* detail = str_field "detail" j in
+      Ok (Trace.Supervise { tick; session; action; detail })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let parse_line line =

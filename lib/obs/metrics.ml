@@ -150,6 +150,9 @@ let observe t (ev : Trace.event) =
       | None -> ()
       | Some clock -> close_round t (clock ())
     end
+  (* Engine-level supervision events are aggregated by lib/session's
+     own reporting, not by the per-run meter. *)
+  | Trace.Supervise _ -> ()
 
 let sink t = observe t
 

@@ -34,6 +34,9 @@ let pp_event ppf (ev : Trace.event) =
   | Trace.Run_end { rounds; halted } ->
       Format.fprintf ppf "== end after %d rounds%s" rounds
         (if halted then " (halted)" else "")
+  | Trace.Supervise { tick; session; action; detail } ->
+      Format.fprintf ppf "## t%d session %d %s%s" tick session action
+        (if detail = "" then "" else " [" ^ detail ^ "]")
 
 let sink ppf ev = Format.fprintf ppf "%a@." pp_event ev
 

@@ -215,6 +215,9 @@ let observe f (ev : Trace.event) =
       flush_pending f;
       f.f_run_end_rounds <- Some rounds;
       f.f_halted <- f.f_halted || halted
+  (* Supervision decisions sit between runs; they carry no strategy
+     attribution, so span accounting ignores them. *)
+  | Trace.Supervise _ -> ()
 
 let finish f =
   flush_pending f;

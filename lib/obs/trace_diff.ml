@@ -27,6 +27,7 @@ let kind_name (ev : Trace.event) =
   | Trace.Fault _ -> "fault"
   | Trace.Violation _ -> "violation"
   | Trace.Run_end _ -> "run_end"
+  | Trace.Supervise _ -> "supervise"
 
 (* Field-by-field differences between two events of the same kind, as
    ["field: left vs right"] fragments. *)
@@ -90,6 +91,13 @@ let field_diffs (a : Trace.event) (b : Trace.event) =
         [
           d "rounds" istr a.rounds b.rounds;
           d "halted" bstr a.halted b.halted;
+        ]
+    | Trace.Supervise a, Trace.Supervise b ->
+        [
+          d "tick" istr a.tick b.tick;
+          d "session" istr a.session b.session;
+          d "action" Fun.id a.action b.action;
+          d "detail" Fun.id a.detail b.detail;
         ]
     | _ -> []
   in

@@ -27,6 +27,7 @@ type t = {
   mutable current : (int * batch) option; (* (sequence number, batch) *)
   mutable seq : int;
   mutable stopping : bool;
+  mutable spawned : bool; (* workers are spawned on first dispatch *)
   mutable domains : unit Domain.t list;
 }
 
@@ -153,23 +154,34 @@ let worker_loop pool ~me () =
   in
   loop ()
 
+(* Spawning a domain costs milliseconds (minor heap + GC setup), which
+   dwarfs a small batch, so [create] spawns nothing: workers appear on
+   the first batch that actually overruns the sequential fallback.  A
+   pool whose batches all resolve on the submitter never pays for a
+   single domain. *)
 let create ~jobs =
   if jobs <= 0 then invalid_arg "Pool.create: jobs must be positive";
-  let pool =
-    {
-      width = jobs;
-      lock = Mutex.create ();
-      work_cond = Condition.create ();
-      done_cond = Condition.create ();
-      current = None;
-      seq = 0;
-      stopping = false;
-      domains = [];
-    }
-  in
-  pool.domains <-
-    List.init (jobs - 1) (fun k -> Domain.spawn (worker_loop pool ~me:(k + 1)));
-  pool
+  {
+    width = jobs;
+    lock = Mutex.create ();
+    work_cond = Condition.create ();
+    done_cond = Condition.create ();
+    current = None;
+    seq = 0;
+    stopping = false;
+    spawned = false;
+    domains = [];
+  }
+
+let ensure_workers pool =
+  Mutex.lock pool.lock;
+  if (not pool.spawned) && not pool.stopping then begin
+    pool.spawned <- true;
+    pool.domains <-
+      List.init (pool.width - 1) (fun k ->
+          Domain.spawn (worker_loop pool ~me:(k + 1)))
+  end;
+  Mutex.unlock pool.lock
 
 let jobs t = t.width
 
@@ -185,14 +197,34 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Deal [lo, n) into chunks of [per] tasks each. *)
+let chunks_range ~per ~lo n =
+  let rec go l acc =
+    if l >= n then List.rev acc
+    else go (l + per) ({ lo = l; hi = min n (l + per) } :: acc)
+  in
+  go lo []
+
 (* About four chunks per participant: enough slack for stealing to
    even out skew, few enough that scheduling stays per-chunk cheap. *)
-let chunks_of ~width n =
-  let per = max 1 ((n + (width * 4) - 1) / (width * 4)) in
-  let rec go lo acc = if lo >= n then List.rev acc
-    else go (lo + per) ({ lo; hi = min n (lo + per) } :: acc)
-  in
-  go 0 []
+let default_per ~width count = max 1 ((count + (width * 4) - 1) / (width * 4))
+
+(* Small-task fallback.  Waking the pool costs a condvar broadcast plus
+   per-chunk deque traffic — tens of microseconds that dwarf a
+   sub-millisecond batch (BENCH_par.json once showed e1/trials at
+   3.1 ms sequential vs 27.8 ms at jobs=4).  So the submitter first
+   probes the batch sequentially, and keeps going while the measured
+   average cost predicts the {e whole} batch lands under the cutoff;
+   only when the prediction overruns does it deal the remainder to the
+   deques, with chunks auto-sized so each amortizes its scheduling. *)
+let seq_cutoff_s =
+  lazy
+    (match Sys.getenv_opt "GOALCOM_PAR_SEQ_CUTOFF_US" with
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some us when us >= 0. -> us /. 1_000_000.
+        | _ -> 0.004)
+    | None -> 0.004)
 
 let run (type a) t (tasks : (unit -> a) array) : a array =
   let n = Array.length tasks in
@@ -206,48 +238,88 @@ let run (type a) t (tasks : (unit -> a) array) : a array =
       results.(i) <- Some (tasks.(i) ())
     done;
     Array.map Option.get results)
-  else (
-    let results = Array.make n None in
-    let b =
-      {
-        deques = Array.init t.width (fun _ -> new_deque ());
-        exec = (fun i -> results.(i) <- Some (tasks.(i) ()));
-        remaining = Atomic.make n;
-        failed = Atomic.make None;
-      }
-    in
-    List.iteri
-      (fun k c ->
-        let d = b.deques.(k mod t.width) in
-        d.items <- d.items @ [ c ])
-      (chunks_of ~width:t.width n);
-    Atomic.incr batches_in_flight;
+  else begin
     Mutex.lock t.lock;
-    if Option.is_some t.current then (
-      Mutex.unlock t.lock;
-      Atomic.decr batches_in_flight;
-      invalid_arg "Pool.run: pool is busy (nested run from a task?)");
-    t.seq <- t.seq + 1;
-    t.current <- Some (t.seq, b);
-    Condition.broadcast t.work_cond;
+    let busy = Option.is_some t.current in
     Mutex.unlock t.lock;
-    (* While draining, the submitting domain is a batch participant too:
-       its tasks may install domain-local trace sinks, which the Trace
-       guard permits only for participants (see [in_worker]). *)
+    if busy then invalid_arg "Pool.run: pool is busy (nested run from a task?)";
+    let results = Array.make n None in
+    (* The probe prefix runs on the submitting domain but is already
+       part of the batch: accounting must be live {e before} the first
+       task so participant sink installs are allowed and foreign ones
+       refused (see [in_worker] and Trace.set_sink). *)
+    Atomic.incr batches_in_flight;
     let was_worker = Domain.DLS.get in_worker_key in
     Domain.DLS.set in_worker_key true;
-    drain t b ~me:0;
-    Domain.DLS.set in_worker_key was_worker;
-    Mutex.lock t.lock;
-    while Atomic.get b.remaining > 0 do
-      Condition.wait t.done_cond t.lock
-    done;
-    t.current <- None;
-    Mutex.unlock t.lock;
-    Atomic.decr batches_in_flight;
-    match Atomic.get b.failed with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> Array.map Option.get results)
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set in_worker_key was_worker;
+        Atomic.decr batches_in_flight)
+      (fun () ->
+        let cutoff = Lazy.force seq_cutoff_s in
+        let t0 = Unix.gettimeofday () in
+        let probed = ref 0 in
+        let keep_seq = ref (cutoff > 0.) in
+        while !keep_seq && !probed < n do
+          results.(!probed) <- Some (tasks.(!probed) ());
+          incr probed;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          if elapsed *. float_of_int n /. float_of_int !probed > cutoff then
+            keep_seq := false
+        done;
+        if !probed >= n then Array.map Option.get results
+        else begin
+          let lo = !probed in
+          let left = n - lo in
+          let per =
+            let floor_per = default_per ~width:t.width left in
+            if lo = 0 then floor_per
+            else
+              (* Size chunks so each holds about half a cutoff of work:
+                 big enough to amortize scheduling, small enough that
+                 stealing still balances skew. *)
+              let avg = (Unix.gettimeofday () -. t0) /. float_of_int lo in
+              if avg <= 0. then floor_per
+              else
+                let target = int_of_float (ceil (cutoff /. 2. /. avg)) in
+                max floor_per (min left (max 1 target))
+          in
+          let b =
+            {
+              deques = Array.init t.width (fun _ -> new_deque ());
+              exec = (fun i -> results.(i) <- Some (tasks.(i) ()));
+              remaining = Atomic.make left;
+              failed = Atomic.make None;
+            }
+          in
+          List.iteri
+            (fun k c ->
+              let d = b.deques.(k mod t.width) in
+              d.items <- d.items @ [ c ])
+            (chunks_range ~per ~lo n);
+          ensure_workers t;
+          Mutex.lock t.lock;
+          if Option.is_some t.current then (
+            Mutex.unlock t.lock;
+            invalid_arg "Pool.run: pool is busy (nested run from a task?)");
+          t.seq <- t.seq + 1;
+          t.current <- Some (t.seq, b);
+          Condition.broadcast t.work_cond;
+          Mutex.unlock t.lock;
+          (* While draining, the submitting domain is a batch
+             participant too (accounting was set up before the probe). *)
+          drain t b ~me:0;
+          Mutex.lock t.lock;
+          while Atomic.get b.remaining > 0 do
+            Condition.wait t.done_cond t.lock
+          done;
+          t.current <- None;
+          Mutex.unlock t.lock;
+          match Atomic.get b.failed with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> Array.map Option.get results
+        end)
+  end
 
 let map_array t f xs = run t (Array.map (fun x () -> f x) xs)
 let map_list t f xs = Array.to_list (map_array t f (Array.of_list xs))

@@ -31,6 +31,17 @@
     executes the tasks in index order on the calling domain — the exact
     sequential path, not a simulation of it.
 
+    {b Small batches.}  Waking the pool costs more than a
+    sub-millisecond batch is worth, so {!run} first executes a prefix
+    of the batch on the submitting domain, timing it; while the
+    measured average predicts the whole batch completes within a
+    cutoff (4 ms by default, [GOALCOM_PAR_SEQ_CUTOFF_US] overrides;
+    [0] disables the probe) the batch never leaves the caller, and
+    otherwise the remainder is dealt to the workers in chunks sized to
+    amortize their scheduling cost.  Either way results are identical:
+    the prefix runs in index order with batch accounting already live,
+    so sink-install rules and determinism are unchanged.
+
     {b Width selection.}  [GOALCOM_JOBS] (environment) and [--jobs]
     (CLI, via {!set_default_jobs}) control the default width; the
     default of defaults is 1, so parallelism is always opt-in. *)
@@ -38,7 +49,9 @@
 type t
 
 val create : jobs:int -> t
-(** Spawn a pool of width [jobs] ([jobs - 1] worker domains).
+(** A pool of width [jobs].  The [jobs - 1] worker domains are spawned
+    lazily, by the first batch that overruns the sequential fallback —
+    a pool whose batches all stay small never spawns a domain.
     @raise Invalid_argument if [jobs <= 0]. *)
 
 val jobs : t -> int

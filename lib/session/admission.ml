@@ -1,0 +1,54 @@
+(* Admission control: a bounded live set over a bounded FIFO queue.
+   Overflow is shed immediately — under a storm the engine degrades by
+   refusing work, not by growing unbounded state.  The queue holds bare
+   session ids; all decisions are made by the engine in id order, so
+   queue contents are deterministic.
+
+   The primitives are deliberately split (claim / enqueue / pop) rather
+   than fused into one submit: the engine interleaves a breaker check
+   between "is there a slot?" and "take the slot", and skips queued
+   sessions that died (deadline) while waiting. *)
+
+type t = {
+  max_live : int;
+  queue_capacity : int;
+  queue : int Queue.t;
+  mutable live : int;
+  mutable shed : int;
+}
+
+let make ~max_live ~queue_capacity =
+  if max_live < 1 then invalid_arg "Admission.make: max_live must be >= 1";
+  if queue_capacity < 0 then
+    invalid_arg "Admission.make: queue_capacity must be >= 0";
+  { max_live; queue_capacity; queue = Queue.create (); live = 0; shed = 0 }
+
+let live t = t.live
+let queued t = Queue.length t.queue
+let shed_count t = t.shed
+let has_capacity t = t.live < t.max_live
+
+let claim t =
+  if t.live >= t.max_live then invalid_arg "Admission.claim: live set full";
+  t.live <- t.live + 1
+
+let enqueue t id =
+  if Queue.length t.queue < t.queue_capacity then begin
+    Queue.push id t.queue;
+    true
+  end
+  else begin
+    t.shed <- t.shed + 1;
+    false
+  end
+
+let peek_queued t = Queue.peek_opt t.queue
+
+let pop_queued t =
+  match Queue.pop t.queue with
+  | id -> id
+  | exception Queue.Empty -> invalid_arg "Admission.pop_queued: queue empty"
+
+let release t =
+  if t.live <= 0 then invalid_arg "Admission.release: live set empty";
+  t.live <- t.live - 1

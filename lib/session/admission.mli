@@ -1,0 +1,40 @@
+(** Admission control: bounded live set, bounded queue, load shedding.
+
+    At most [max_live] sessions run at once; arrivals beyond that wait
+    in a FIFO queue of at most [queue_capacity]; arrivals beyond
+    {e that} are shed — refused outright, a terminal outcome.  The
+    primitives are split so the engine can interleave its breaker gate:
+    check {!has_capacity}, consult the class breaker, then {!claim} the
+    slot (or {!enqueue} / shed).  Driven in session-id order, the
+    structure's evolution is deterministic. *)
+
+type t
+
+val make : max_live:int -> queue_capacity:int -> t
+(** @raise Invalid_argument if [max_live < 1] or
+    [queue_capacity < 0]. *)
+
+val has_capacity : t -> bool
+
+val claim : t -> unit
+(** Take a live slot.  @raise Invalid_argument when full — callers
+    check {!has_capacity} first. *)
+
+val enqueue : t -> int -> bool
+(** Join the queue; [false] means no room — the session is counted
+    shed. *)
+
+val peek_queued : t -> int option
+(** Head of the queue, not removed (the engine checks breaker gates
+    and session liveness before popping). *)
+
+val pop_queued : t -> int
+(** Remove and return the queue head; does {e not} claim a slot.
+    @raise Invalid_argument on an empty queue. *)
+
+val release : t -> unit
+(** A slot-holding session ended (any outcome); frees its slot. *)
+
+val live : t -> int
+val queued : t -> int
+val shed_count : t -> int

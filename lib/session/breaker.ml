@@ -1,0 +1,95 @@
+(* A circuit breaker per server class.
+
+   Closed counts consecutive failures; at the threshold it trips Open
+   and the engine stops admitting or restarting sessions of the class.
+   After a cooldown the first start request is let through as a probe
+   (Half_open); the probe's verdict either closes the breaker or trips
+   it again for another cooldown.  All transitions happen in the
+   engine's sequential supervision phase, so breaker state is a pure
+   function of the (deterministic) failure sequence. *)
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type change = Tripped | Probing | Reclosed
+
+type t = {
+  threshold : int; (* consecutive failures that trip; 0 disables *)
+  cooldown : int; (* ticks Open before the next probe *)
+  mutable st : state;
+  mutable consecutive : int;
+  mutable opened_at : int;
+  mutable probe_live : bool; (* a Half_open probe is in flight *)
+  mutable trips : int;
+}
+
+let make ?(threshold = 5) ?(cooldown = 8) () =
+  if threshold < 0 then invalid_arg "Breaker.make: threshold must be >= 0";
+  if cooldown < 1 then invalid_arg "Breaker.make: cooldown must be >= 1";
+  {
+    threshold;
+    cooldown;
+    st = Closed;
+    consecutive = 0;
+    opened_at = 0;
+    probe_live = false;
+    trips = 0;
+  }
+
+let state t = t.st
+let trips t = t.trips
+
+let allow t ~tick =
+  match t.st with
+  | Closed -> (true, None)
+  | Open ->
+      if tick - t.opened_at >= t.cooldown then begin
+        t.st <- Half_open;
+        t.probe_live <- true;
+        (true, Some Probing)
+      end
+      else (false, None)
+  | Half_open ->
+      if t.probe_live then (false, None)
+      else begin
+        t.probe_live <- true;
+        (true, None)
+      end
+
+let record_success t =
+  match t.st with
+  | Half_open ->
+      t.st <- Closed;
+      t.consecutive <- 0;
+      t.probe_live <- false;
+      Some Reclosed
+  | Closed ->
+      t.consecutive <- 0;
+      None
+  | Open -> None
+
+let record_failure t ~tick =
+  match t.st with
+  | Half_open ->
+      (* The probe failed: back to Open for another cooldown. *)
+      t.st <- Open;
+      t.opened_at <- tick;
+      t.probe_live <- false;
+      t.trips <- t.trips + 1;
+      Some Tripped
+  | Closed ->
+      t.consecutive <- t.consecutive + 1;
+      if t.threshold > 0 && t.consecutive >= t.threshold then begin
+        t.st <- Open;
+        t.opened_at <- tick;
+        t.trips <- t.trips + 1;
+        Some Tripped
+      end
+      else None
+  | Open ->
+      (* Stragglers of the tripping storm: already open, nothing new. *)
+      None

@@ -1,0 +1,40 @@
+(** Per-server-class circuit breakers.
+
+    A breaker watches the failure verdicts of every session talking to
+    one server class.  [threshold] consecutive failures trip it
+    {e Open}: no session of the class is admitted or restarted until
+    [cooldown] ticks pass, at which point one request is let through as
+    a {e Half_open} probe — its success re-closes the breaker, its
+    failure re-trips it.  Success anywhere resets the consecutive
+    count.  The breaker is driven exclusively from the engine's
+    sequential supervision phase, so its state is deterministic. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+(** ["closed"], ["open"], ["half-open"]. *)
+
+(** Observable transitions, for the engine's [Supervise] events:
+    [Tripped] (→ Open), [Probing] (→ Half_open), [Reclosed]
+    (→ Closed). *)
+type change = Tripped | Probing | Reclosed
+
+type t
+
+val make : ?threshold:int -> ?cooldown:int -> unit -> t
+(** Defaults: [threshold = 5] consecutive failures, [cooldown = 8]
+    ticks.  [threshold = 0] disables tripping entirely.
+    @raise Invalid_argument on negative threshold or cooldown < 1. *)
+
+val state : t -> state
+
+val trips : t -> int
+(** Times the breaker tripped Open (including failed probes). *)
+
+val allow : t -> tick:int -> bool * change option
+(** May a session of this class start (or restart) at [tick]?  An Open
+    breaker whose cooldown has elapsed moves to Half_open and admits
+    the caller as the probe. *)
+
+val record_success : t -> change option
+val record_failure : t -> tick:int -> change option

@@ -1,0 +1,59 @@
+(** Deterministic chaos schedules for the session engine.
+
+    A schedule is a `;`-separated list of directives, each optionally
+    restricted to a subset of sessions with a [%M=R] suffix (sessions
+    whose id satisfies [id mod M = R]).  Directive forms:
+
+    - [kill@T1,T2,..] — end the targeted sessions' current incarnation
+      at scheduler ticks T1, T2 (the supervisor's restart policy then
+      decides what happens next);
+    - [crash:K@LO..HI] — reset the server's state every K rounds while
+      the incarnation round is inside [LO..HI] (a windowed
+      [Fault.crash_restart]);
+    - [burst:P@LO..HI] — drop non-silent messages in either direction
+      with probability P inside the window;
+    - [blackout@LO..HI] — total server outage inside the window
+      (state frozen, inbound lost, silence out);
+    - [fault:STACK] — a static whole-run stack in the [lib/faults]
+      grammar ([+]-joined), e.g. [fault:corrupt:0.05+delay:1].
+
+    Storms count rounds {e per incarnation} (a restarted session sees
+    the window again) and draw all randomness from the per-step
+    execution RNG; kills are indexed by the scheduler tick.  A chaos
+    run is therefore bit-exact replayable from (seed, schedule). *)
+
+type target = { modulus : int; remainder : int }
+
+val everyone : target
+val targets : target -> int -> bool
+
+type directive =
+  | Kill of { ticks : int list; target : target }
+  | Storm of { fault : Goalcom_faults.Fault.t; target : target }
+
+type t
+
+val none : t
+(** The empty schedule. *)
+
+val of_string : alphabet:int -> string -> (t, string) result
+(** Parse a schedule.  [alphabet] is passed through to the
+    [fault:STACK] directive's [Fault.stack_of_string].  Errors name
+    the offending directive and the valid grammar. *)
+
+val to_string : t -> string
+(** The spec the schedule was parsed from ([""] for {!none}). *)
+
+val directives : t -> directive list
+
+val kills_at : t -> tick:int -> id:int -> bool
+
+val stack_for : t -> id:int -> Goalcom_faults.Fault.t
+(** The composed storm stack targeting session [id], in spec order
+    ({!Goalcom_faults.Fault.nop} when nothing targets it). *)
+
+(** {1 Storm combinators} (also usable directly, without the parser) *)
+
+val crash_storm : every:int -> lo:int -> hi:int -> Goalcom_faults.Fault.t
+val burst_window : prob:float -> lo:int -> hi:int -> Goalcom_faults.Fault.t
+val blackout : lo:int -> hi:int -> Goalcom_faults.Fault.t

@@ -1,0 +1,463 @@
+open Goalcom_prelude
+open Goalcom
+module Fault = Goalcom_faults.Fault
+
+(* The supervised concurrent session engine.
+
+   Thousands of live sessions multiplex over an event-driven scheduler:
+   each scheduler *tick* steps every running session's Exec.Stepper by
+   a quantum of rounds (in parallel over the domain pool), then makes
+   all supervision decisions — admissions, restarts, wedge kills,
+   breaker transitions — sequentially in session-id order.  Because
+   the parallel part only advances state machines that nothing else
+   touches, and every decision that consumes randomness or mutates
+   shared state happens in the sequential phase in a fixed order, the
+   whole run is bit-identical across jobs counts.
+
+   Tracing: every session owns a buffer; its incarnations' run events
+   are captured by installing a buffering sink around stepper creation
+   and around each quantum, and the engine appends its own Supervise
+   events directly.  The merged trace — buffers concatenated in
+   session-id order — is replayed into the ambient sink at the end, so
+   Trace.split_runs on one session's slice segments its incarnations
+   exactly as it does for the crash-resume harness. *)
+
+type spec = {
+  sname : string;
+  server_class : string;
+  goal : Goal.t;
+  make_user : checkpoint:Universal.checkpoint -> Strategy.user;
+  server : Strategy.server;
+  exec_config : Exec.config;
+}
+
+type config = {
+  quantum : int;
+  max_live : int;
+  queue_capacity : int;
+  arrivals_per_tick : int;
+  round_budget : int;
+  deadline : int;
+  max_ticks : int;
+  policy : Policy.t;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+}
+
+let config ?(quantum = 32) ?(max_live = 64) ?(queue_capacity = 4096)
+    ?(arrivals_per_tick = 0) ?(round_budget = 0) ?(deadline = 0)
+    ?(max_ticks = 10_000) ?(policy = Policy.default) ?(breaker_threshold = 5)
+    ?(breaker_cooldown = 8) () =
+  if quantum < 1 then invalid_arg "Engine.config: quantum must be >= 1";
+  if max_ticks < 1 then invalid_arg "Engine.config: max_ticks must be >= 1";
+  if round_budget < 0 || deadline < 0 || arrivals_per_tick < 0 then
+    invalid_arg "Engine.config: negative budget/deadline/arrivals";
+  {
+    quantum;
+    max_live;
+    queue_capacity;
+    arrivals_per_tick;
+    round_budget;
+    deadline;
+    max_ticks;
+    policy;
+    breaker_threshold;
+    breaker_cooldown;
+  }
+
+let default_config = config ()
+
+type outcome =
+  | Done of { rounds : int; incarnations : int; state : string }
+  | Shed
+  | Gave_up of { incarnations : int }
+  | Deadline_exceeded of { incarnations : int }
+  | Unfinished
+
+let outcome_line id = function
+  | Done { rounds; incarnations; state } ->
+      Printf.sprintf "%d done rounds=%d inc=%d state=%s" id rounds incarnations
+        state
+  | Shed -> Printf.sprintf "%d shed" id
+  | Gave_up { incarnations } -> Printf.sprintf "%d gave-up inc=%d" id incarnations
+  | Deadline_exceeded { incarnations } ->
+      Printf.sprintf "%d deadline inc=%d" id incarnations
+  | Unfinished -> Printf.sprintf "%d unfinished" id
+
+type report = {
+  outcomes : outcome array;
+  ticks : int;
+  completed : int;
+  shed : int;
+  gave_up : int;
+  deadlines : int;
+  unfinished : int;
+  restarts : int;
+  trips : int;
+  total_rounds : int;
+  p50_rounds : float;
+  p99_rounds : float;
+  digest : string;
+}
+
+(* --- internal session state ------------------------------------------ *)
+
+type phase =
+  | Pending (* not yet arrived *)
+  | Waiting (* in the admission queue *)
+  | Running of Exec.Stepper.t
+  | Backoff of { due : int }
+  | Terminal of outcome
+
+type session = {
+  id : int;
+  spec : spec;
+  rng : Rng.t; (* feeds every incarnation's stepper *)
+  sup_rng : Rng.t; (* feeds backoff jitter *)
+  checkpoint : Universal.checkpoint;
+  fault : Fault.t; (* this session's chaos storm stack *)
+  buf : Trace.event list ref; (* per-session trace, reversed *)
+  mutable phase : phase;
+  mutable incarnations : int;
+  mutable failures : int;
+  mutable inc_rounds : int; (* rounds in the current incarnation *)
+  mutable rounds_total : int; (* across incarnations *)
+  mutable admitted_tick : int;
+}
+
+let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ~specs ~seed ()
+    =
+  let n = Array.length specs in
+  let jobs =
+    match jobs with Some j -> j | None -> Goalcom_par.Pool.default_jobs ()
+  in
+  let tracing = Trace.enabled () in
+  let root = Rng.make seed in
+  let sessions =
+    Array.init n (fun id ->
+        let sup_rng = Rng.split root in
+        let rng = Rng.split root in
+        {
+          id;
+          spec = specs.(id);
+          rng;
+          sup_rng;
+          checkpoint = Universal.new_checkpoint ();
+          fault = Chaos.stack_for chaos ~id;
+          buf = ref [];
+          phase = Pending;
+          incarnations = 0;
+          failures = 0;
+          inc_rounds = 0;
+          rounds_total = 0;
+          admitted_tick = 0;
+        })
+  in
+  let adm =
+    Admission.make ~max_live:config.max_live
+      ~queue_capacity:config.queue_capacity
+  in
+  let breakers : (string, Breaker.t) Hashtbl.t = Hashtbl.create 7 in
+  let breaker_of s =
+    match Hashtbl.find_opt breakers s.spec.server_class with
+    | Some b -> b
+    | None ->
+        let b =
+          Breaker.make ~threshold:config.breaker_threshold
+            ~cooldown:config.breaker_cooldown ()
+        in
+        Hashtbl.add breakers s.spec.server_class b;
+        b
+  in
+  let restarts = ref 0 in
+  let sup s ~tick action detail =
+    if tracing then
+      s.buf :=
+        Trace.Supervise { tick; session = s.id; action; detail } :: !(s.buf)
+  in
+  let with_session_sink s f =
+    if tracing then Trace.with_sink (fun ev -> s.buf := ev :: !(s.buf)) f
+    else f ()
+  in
+  let emit_breaker_change s ~tick = function
+    | None -> ()
+    | Some Breaker.Tripped -> sup s ~tick "trip" s.spec.server_class
+    | Some Breaker.Probing -> sup s ~tick "half-open" s.spec.server_class
+    | Some Breaker.Reclosed -> sup s ~tick "close" s.spec.server_class
+  in
+  let start_incarnation s ~tick ~restarted =
+    s.incarnations <- s.incarnations + 1;
+    s.inc_rounds <- 0;
+    if restarted then incr restarts;
+    sup s ~tick
+      (if restarted then "restart" else "start")
+      (Printf.sprintf "incarnation %d" s.incarnations);
+    with_session_sink s (fun () ->
+        let user = s.spec.make_user ~checkpoint:s.checkpoint in
+        let server = Fault.apply s.fault s.spec.server in
+        let stepper =
+          Exec.Stepper.create ~config:s.spec.exec_config ~goal:s.spec.goal
+            ~user ~server s.rng
+        in
+        s.phase <- Running stepper)
+  in
+  (* Gate a (re)start through the class breaker; true = started. *)
+  let try_begin s ~tick ~restarted =
+    let ok, change = Breaker.allow (breaker_of s) ~tick in
+    emit_breaker_change s ~tick change;
+    if ok then start_incarnation s ~tick ~restarted;
+    ok
+  in
+  (* A failed incarnation (wedge, kill, or unachieved run): feed the
+     breaker, then either give up or schedule a backoff restart. *)
+  let fail_incarnation s ~tick =
+    s.failures <- s.failures + 1;
+    emit_breaker_change s ~tick (Breaker.record_failure (breaker_of s) ~tick);
+    if Policy.gives_up config.policy ~failures:s.failures then begin
+      sup s ~tick "give-up" (Printf.sprintf "after %d failures" s.failures);
+      s.phase <- Terminal (Gave_up { incarnations = s.incarnations });
+      Admission.release adm
+    end
+    else begin
+      let wait = Policy.backoff config.policy s.sup_rng ~attempt:s.failures in
+      s.phase <- Backoff { due = tick + wait }
+    end
+  in
+  (* The achieved goal state: the earliest world view at which the
+     goal's referee accepts the prefix.  For the monotone finite
+     referees this is the view that achieved the goal — stable across
+     restarts and scheduling, unlike the final view (worlds keep
+     evolving after achievement: pages clear, agents wander).  Falls
+     back to the last view when no prefix verdict is [`Ok] (compact
+     referees judged at truncation). *)
+  let achieved_view (goal : Goal.t) history =
+    let init = History.initial_world_view history in
+    let last () =
+      match History.world_views_rev history with v :: _ -> v | [] -> init
+    in
+    match Referee.start goal.Goal.referee init with
+    | _, `Ok -> init
+    | judge, `Violation ->
+        let rec go judge = function
+          | [] -> last ()
+          | v :: rest ->
+              let judge, verdict = Referee.step judge v in
+              if verdict = `Ok then v else go judge rest
+        in
+        go judge (List.rev (History.world_views_rev history))
+  in
+  let succeed s ~tick history =
+    emit_breaker_change s ~tick (Breaker.record_success (breaker_of s));
+    let state = Msg.to_string (achieved_view s.spec.goal history) in
+    sup s ~tick "done"
+      (Printf.sprintf "rounds=%d incarnations=%d" s.rounds_total
+         s.incarnations);
+    s.phase <- Terminal (Done { rounds = s.rounds_total; incarnations = s.incarnations; state });
+    Admission.release adm
+  in
+  let terminal s = match s.phase with Terminal _ -> true | _ -> false in
+  let all_terminal () = Array.for_all terminal sessions in
+  let next_arrival = ref 0 in
+  let tick = ref 0 in
+  Goalcom_par.Pool.with_pool ~jobs (fun pool ->
+      while (not (all_terminal ())) && !tick < config.max_ticks do
+        incr tick;
+        let tick = !tick in
+        (* 1. chaos kills on running sessions *)
+        Array.iter
+          (fun s ->
+            match s.phase with
+            | Running _ when Chaos.kills_at chaos ~tick ~id:s.id ->
+                sup s ~tick "kill" "chaos";
+                fail_incarnation s ~tick
+            | _ -> ())
+          sessions;
+        (* 2. due restarts (breaker-gated; blocked ones retry next tick) *)
+        Array.iter
+          (fun s ->
+            match s.phase with
+            | Backoff { due } when due <= tick ->
+                ignore (try_begin s ~tick ~restarted:true)
+            | _ -> ())
+          sessions;
+        (* 3. arrivals *)
+        let batch =
+          if config.arrivals_per_tick = 0 then if tick = 1 then n else 0
+          else config.arrivals_per_tick
+        in
+        for _ = 1 to batch do
+          if !next_arrival < n then begin
+            let s = sessions.(!next_arrival) in
+            incr next_arrival;
+            s.admitted_tick <- tick;
+            let admitted =
+              Admission.has_capacity adm
+              &&
+              let ok, change = Breaker.allow (breaker_of s) ~tick in
+              emit_breaker_change s ~tick change;
+              ok
+            in
+            if admitted then begin
+              Admission.claim adm;
+              sup s ~tick "admit" "live";
+              start_incarnation s ~tick ~restarted:false
+            end
+            else if Admission.enqueue adm s.id then begin
+              s.phase <- Waiting;
+              sup s ~tick "admit" "queued"
+            end
+            else begin
+              sup s ~tick "shed" "queue full";
+              s.phase <- Terminal Shed
+            end
+          end
+        done;
+        (* 4. promote from the queue (head-of-line blocking on open
+           breakers is deliberate; see Admission). *)
+        let continue = ref true in
+        while !continue && Admission.has_capacity adm do
+          match Admission.peek_queued adm with
+          | None -> continue := false
+          | Some id ->
+              let s = sessions.(id) in
+              if terminal s then ignore (Admission.pop_queued adm)
+              else if try_begin s ~tick ~restarted:false then begin
+                ignore (Admission.pop_queued adm);
+                Admission.claim adm
+              end
+              else continue := false
+        done;
+        (* 5. the parallel quantum *)
+        let running =
+          Array.to_list sessions
+          |> List.filter_map (fun s ->
+                 match s.phase with
+                 | Running st -> Some (s, st, Exec.Stepper.rounds_executed st)
+                 | _ -> None)
+        in
+        let tasks =
+          Array.of_list
+            (List.map
+               (fun (_, st, _) ->
+                 fun () ->
+                   let quantum () =
+                     let rec go k =
+                       if Exec.Stepper.finished st then ()
+                       else if Exec.Stepper.finishing st then
+                         ignore (Exec.Stepper.step st)
+                       else if k > 0 then
+                         if Exec.Stepper.step st then go (k - 1) else ()
+                     in
+                     go config.quantum
+                   in
+                   if tracing then begin
+                     let acc = ref [] in
+                     Trace.with_sink (fun ev -> acc := ev :: !acc) quantum;
+                     List.rev !acc
+                   end
+                   else begin
+                     quantum ();
+                     []
+                   end)
+               running)
+        in
+        let events = Goalcom_par.Pool.run pool tasks in
+        List.iteri
+          (fun i (s, st, before) ->
+            if tracing then
+              List.iter (fun ev -> s.buf := ev :: !(s.buf)) events.(i);
+            let delta = Exec.Stepper.rounds_executed st - before in
+            s.inc_rounds <- s.inc_rounds + delta;
+            s.rounds_total <- s.rounds_total + delta)
+          running;
+        (* 6. sequential supervision, id order *)
+        Array.iter
+          (fun s ->
+            (match s.phase with
+            | Running st when Exec.Stepper.finished st ->
+                let history = Exec.Stepper.history st in
+                let outcome =
+                  with_session_sink s (fun () ->
+                      let outcome = Outcome.judge s.spec.goal history in
+                      if tracing then
+                        List.iter
+                          (fun round ->
+                            Trace.emit (Trace.Violation { round }))
+                          outcome.Outcome.violation_rounds;
+                      outcome)
+                in
+                if outcome.Outcome.achieved then succeed s ~tick history
+                else begin
+                  sup s ~tick "fail"
+                    (Printf.sprintf "unachieved after %d rounds" s.inc_rounds);
+                  fail_incarnation s ~tick
+                end
+            | Running _
+              when config.round_budget > 0
+                   && s.inc_rounds >= config.round_budget ->
+                sup s ~tick "wedge"
+                  (Printf.sprintf "budget %d rounds" config.round_budget);
+                fail_incarnation s ~tick
+            | _ -> ());
+            (* deadlines apply to everything submitted and unfinished *)
+            match s.phase with
+            | (Waiting | Running _ | Backoff _)
+              when config.deadline > 0
+                   && tick - s.admitted_tick >= config.deadline ->
+                sup s ~tick "deadline"
+                  (Printf.sprintf "after %d ticks" (tick - s.admitted_tick));
+                (match s.phase with
+                | Running _ | Backoff _ -> Admission.release adm
+                | _ -> ());
+                s.phase <-
+                  Terminal (Deadline_exceeded { incarnations = s.incarnations })
+            | _ -> ())
+          sessions
+      done);
+  (* Anything still live when the tick budget ran out. *)
+  Array.iter
+    (fun s -> if not (terminal s) then s.phase <- Terminal Unfinished)
+    sessions;
+  let outcomes =
+    Array.map
+      (fun s ->
+        match s.phase with Terminal o -> o | _ -> assert false)
+      sessions
+  in
+  (* Replay the merged trace — session buffers in id order — into the
+     ambient sink that was installed when the engine was entered. *)
+  if tracing then
+    Array.iter
+      (fun s -> List.iter Trace.emit (List.rev !(s.buf)))
+      sessions;
+  let count f = Array.fold_left (fun acc o -> if f o then acc + 1 else acc) 0 outcomes in
+  let completed = count (function Done _ -> true | _ -> false) in
+  let done_rounds =
+    Array.to_list outcomes
+    |> List.filter_map (function
+         | Done { rounds; _ } -> Some (float_of_int rounds)
+         | _ -> None)
+  in
+  let trips = Hashtbl.fold (fun _ b acc -> acc + Breaker.trips b) breakers 0 in
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n"
+            (Array.to_list (Array.mapi outcome_line outcomes))))
+  in
+  {
+    outcomes;
+    ticks = !tick;
+    completed;
+    shed = count (function Shed -> true | _ -> false);
+    gave_up = count (function Gave_up _ -> true | _ -> false);
+    deadlines = count (function Deadline_exceeded _ -> true | _ -> false);
+    unfinished = count (function Unfinished -> true | _ -> false);
+    restarts = !restarts;
+    trips;
+    total_rounds =
+      Array.fold_left (fun acc s -> acc + s.rounds_total) 0 sessions;
+    p50_rounds = (if done_rounds = [] then 0. else Stats.percentile 50. done_rounds);
+    p99_rounds = (if done_rounds = [] then 0. else Stats.percentile 99. done_rounds);
+    digest;
+  }

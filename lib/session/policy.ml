@@ -1,0 +1,47 @@
+open Goalcom_prelude
+
+(* Restart policies are one-for-one: each session is supervised
+   independently, and a failed incarnation only ever restarts its own
+   session.  What the policy decides is *whether* (give-up-after-N) and
+   *when* (exponential backoff, deterministically jittered from the
+   supervisor's per-session RNG). *)
+
+type t = {
+  max_restarts : int;
+  backoff_base : int;
+  backoff_factor : float;
+  backoff_max : int;
+  jitter : float;
+}
+
+let make ?(max_restarts = 3) ?(backoff_base = 1) ?(backoff_factor = 2.0)
+    ?(backoff_max = 16) ?(jitter = 0.25) () =
+  if max_restarts < 0 then
+    invalid_arg "Policy.make: max_restarts must be non-negative";
+  if backoff_base < 1 then invalid_arg "Policy.make: backoff_base must be >= 1";
+  if backoff_factor < 1.0 then
+    invalid_arg "Policy.make: backoff_factor must be >= 1";
+  if backoff_max < backoff_base then
+    invalid_arg "Policy.make: backoff_max must be >= backoff_base";
+  if jitter < 0.0 then invalid_arg "Policy.make: jitter must be non-negative";
+  { max_restarts; backoff_base; backoff_factor; backoff_max; jitter }
+
+let default = make ()
+
+let gives_up t ~failures = failures > t.max_restarts
+
+(* Backoff before restart [attempt] (1 = first restart): base * factor^(k-1),
+   capped, plus a jitter draw in [0, jitter * capped].  The draw happens
+   whenever jitter is configured — even when the cap makes it moot — so
+   RNG consumption is a function of the failure sequence alone. *)
+let backoff t rng ~attempt =
+  if attempt < 1 then invalid_arg "Policy.backoff: attempt must be >= 1";
+  let raw =
+    float_of_int t.backoff_base *. (t.backoff_factor ** float_of_int (attempt - 1))
+  in
+  let capped = Float.min raw (float_of_int t.backoff_max) in
+  let jittered =
+    if t.jitter > 0.0 then capped +. Rng.float rng (t.jitter *. capped)
+    else capped
+  in
+  max 1 (int_of_float jittered)

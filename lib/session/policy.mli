@@ -1,0 +1,41 @@
+(** One-for-one restart policies for supervised sessions.
+
+    A policy answers two questions about a session whose incarnation
+    just failed (wedged, crashed, or finished without achieving its
+    goal): does the supervisor give up, and if not, how many scheduler
+    ticks does it wait before the next incarnation?  Waits grow
+    exponentially and carry deterministic jitter drawn from the
+    supervising session's own RNG stream, so a thousand sessions
+    tripped by the same crash storm do not restart in lockstep — and
+    the whole schedule is still a pure function of the seed. *)
+
+type t = {
+  max_restarts : int;  (** give up after this many restarts *)
+  backoff_base : int;  (** ticks before the first restart *)
+  backoff_factor : float;  (** exponential growth per attempt *)
+  backoff_max : int;  (** cap on the un-jittered backoff *)
+  jitter : float;  (** extra wait, uniform in [0, jitter * backoff] *)
+}
+
+val make :
+  ?max_restarts:int ->
+  ?backoff_base:int ->
+  ?backoff_factor:float ->
+  ?backoff_max:int ->
+  ?jitter:float ->
+  unit ->
+  t
+(** Defaults: [max_restarts = 3], [backoff_base = 1],
+    [backoff_factor = 2.0], [backoff_max = 16], [jitter = 0.25].
+    @raise Invalid_argument on negative or degenerate values. *)
+
+val default : t
+
+val gives_up : t -> failures:int -> bool
+(** [failures] is the number of failed incarnations so far. *)
+
+val backoff : t -> Goalcom_prelude.Rng.t -> attempt:int -> int
+(** Ticks to wait before restart number [attempt] (counted from 1).
+    Consumes one jitter draw from [rng] whenever [jitter > 0], so RNG
+    use depends only on the failure sequence.
+    @raise Invalid_argument if [attempt < 1]. *)

@@ -124,6 +124,47 @@ let test_spec_parser () =
   | Ok _ -> Alcotest.fail "out-of-range prob accepted"
   | Error _ -> ()
 
+(* Malformed specs must come back with an error a user can act on: the
+   offending token, and — for unknown names — the full vocabulary. *)
+let test_spec_errors () =
+  let err spec =
+    match Fault.stack_of_string ~alphabet spec with
+    | Ok _ -> Alcotest.failf "malformed spec %S accepted" spec
+    | Error e -> e
+  in
+  let check_contains spec needle =
+    let e = err spec in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      nn = 0 || go 0
+    in
+    if not (contains e needle) then
+      Alcotest.failf "error for %S does not mention %s: %s" spec needle e
+  in
+  (* Unknown names: the token itself plus every valid fault name. *)
+  check_contains "bogus:1" "unknown fault \"bogus\"";
+  List.iter
+    (fun name -> check_contains "bogus:1" name)
+    [
+      "nop"; "delay:K"; "drop:P"; "dup"; "corrupt:P"; "reorder:K";
+      "burst:PENTER,PEXIT,PDROP"; "crash:K"; "intermittent:ON,OFF";
+      "adversary:B";
+    ];
+  check_contains "dealy:3" "unknown fault \"dealy\"";
+  (* Wrong arity quotes the expected shape of the named fault. *)
+  check_contains "delay" "\"delay\" wants the form delay:K";
+  check_contains "delay:1,2" "\"delay\" wants the form delay:K";
+  check_contains "burst:0.1,0.2" "\"burst\" wants the form burst:PENTER,PEXIT,PDROP";
+  check_contains "nop:1" "\"nop\" wants the form nop";
+  check_contains "intermittent:5" "\"intermittent\" wants the form intermittent:ON,OFF";
+  (* Unparsable arguments and out-of-range values name the offender. *)
+  check_contains "delay:x" "delay:K wants an integer";
+  check_contains "drop:zz" "drop:P wants a float";
+  check_contains "crash:60+drop:zz" "drop:zz";
+  (* The component inside a stack is quoted, not the whole stack. *)
+  check_contains "crash:60+bogus:1" "bad fault spec \"bogus:1\""
+
 (* qcheck properties *)
 
 let qcount = 120
@@ -488,6 +529,7 @@ let suite =
     ("corrupt stays in the alphabet", `Quick, test_corrupt_flips_to_valid_symbol);
     ("compose order and naming", `Quick, test_compose_order_and_name);
     ("spec parser", `Quick, test_spec_parser);
+    ("spec parse errors", `Quick, test_spec_errors);
     ("finite checkpoint resumes schedule", `Quick, test_finite_checkpoint_resumes_schedule);
     ("compact checkpoint resumes index", `Quick, test_compact_checkpoint_resumes_index);
     ("wedge detector breaks stalls", `Quick, test_wedge_detector_breaks_stalls);

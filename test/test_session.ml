@@ -1,0 +1,300 @@
+(* Tests for the supervised concurrent session engine: restart
+   policies, circuit breakers, admission control, chaos-schedule
+   parsing, engine determinism across jobs counts, and the qcheck
+   crash-restart equivalence property (a supervised session interrupted
+   by kills reaches the same goal state as an uninterrupted run). *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_session
+open Goalcom_harness
+
+(* --- Policy ----------------------------------------------------------- *)
+
+let test_policy_gives_up () =
+  let p = Policy.make ~max_restarts:2 () in
+  Alcotest.(check bool) "1st failure retries" false (Policy.gives_up p ~failures:1);
+  Alcotest.(check bool) "2nd failure retries" false (Policy.gives_up p ~failures:2);
+  Alcotest.(check bool) "3rd failure gives up" true (Policy.gives_up p ~failures:3)
+
+let test_policy_backoff_growth () =
+  (* jitter 0: the schedule is the bare capped exponential. *)
+  let p =
+    Policy.make ~backoff_base:1 ~backoff_factor:2.0 ~backoff_max:16 ~jitter:0.0 ()
+  in
+  let rng = Rng.make 1 in
+  let waits = List.map (fun a -> Policy.backoff p rng ~attempt:a) [ 1; 2; 3; 4; 5; 6; 7 ] in
+  Alcotest.(check (list int)) "capped exponential" [ 1; 2; 4; 8; 16; 16; 16 ] waits
+
+let test_policy_backoff_jitter_deterministic () =
+  let p = Policy.make ~jitter:0.5 () in
+  let schedule seed =
+    let rng = Rng.make seed in
+    List.map (fun a -> Policy.backoff p rng ~attempt:a) [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "same seed, same jitter" (schedule 7) (schedule 7);
+  List.iter
+    (fun w -> Alcotest.(check bool) "wait >= 1" true (w >= 1))
+    (schedule 11)
+
+(* --- Breaker ---------------------------------------------------------- *)
+
+let test_breaker_lifecycle () =
+  let b = Breaker.make ~threshold:2 ~cooldown:3 () in
+  let allow tick = fst (Breaker.allow b ~tick) in
+  Alcotest.(check bool) "closed allows" true (allow 1);
+  Alcotest.(check bool) "no trip yet" true (Breaker.record_failure b ~tick:1 = None);
+  Alcotest.(check bool) "trips at threshold" true
+    (Breaker.record_failure b ~tick:2 = Some Breaker.Tripped);
+  Alcotest.(check bool) "open blocks" false (allow 3);
+  Alcotest.(check bool) "open blocks until cooldown" false (allow 4);
+  (* cooldown elapsed: one half-open probe is let through *)
+  let ok, change = Breaker.allow b ~tick:5 in
+  Alcotest.(check bool) "half-open probes" true ok;
+  Alcotest.(check bool) "probing change" true (change = Some Breaker.Probing);
+  Alcotest.(check bool) "only one probe" false (allow 5);
+  Alcotest.(check bool) "probe success recloses" true
+    (Breaker.record_success b = Some Breaker.Reclosed);
+  Alcotest.(check bool) "closed again" true (allow 6);
+  Alcotest.(check int) "one trip counted" 1 (Breaker.trips b)
+
+let test_breaker_probe_failure_reopens () =
+  let b = Breaker.make ~threshold:1 ~cooldown:2 () in
+  ignore (Breaker.record_failure b ~tick:1);
+  let ok, _ = Breaker.allow b ~tick:3 in
+  Alcotest.(check bool) "probe allowed" true ok;
+  Alcotest.(check bool) "probe failure retrips" true
+    (Breaker.record_failure b ~tick:3 = Some Breaker.Tripped);
+  Alcotest.(check bool) "open again" false (fst (Breaker.allow b ~tick:4));
+  Alcotest.(check int) "two trips" 2 (Breaker.trips b)
+
+let test_breaker_success_resets_consecutive () =
+  let b = Breaker.make ~threshold:2 ~cooldown:2 () in
+  ignore (Breaker.record_failure b ~tick:1);
+  ignore (Breaker.record_success b);
+  Alcotest.(check bool) "success broke the streak" true
+    (Breaker.record_failure b ~tick:2 = None);
+  Alcotest.(check int) "never tripped" 0 (Breaker.trips b)
+
+let test_breaker_disabled () =
+  let b = Breaker.make ~threshold:0 ~cooldown:1 () in
+  for tick = 1 to 5 do
+    ignore (Breaker.record_failure b ~tick)
+  done;
+  Alcotest.(check bool) "threshold 0 never trips" true (fst (Breaker.allow b ~tick:6));
+  Alcotest.(check int) "no trips" 0 (Breaker.trips b)
+
+(* --- Admission -------------------------------------------------------- *)
+
+let test_admission_slots_and_queue () =
+  let a = Admission.make ~max_live:2 ~queue_capacity:2 in
+  Alcotest.(check bool) "has capacity" true (Admission.has_capacity a);
+  Admission.claim a;
+  Admission.claim a;
+  Alcotest.(check bool) "full" false (Admission.has_capacity a);
+  Alcotest.(check bool) "enqueue 10" true (Admission.enqueue a 10);
+  Alcotest.(check bool) "enqueue 11" true (Admission.enqueue a 11);
+  Alcotest.(check bool) "queue full sheds" false (Admission.enqueue a 12);
+  Alcotest.(check int) "one shed" 1 (Admission.shed_count a);
+  Alcotest.(check int) "two queued" 2 (Admission.queued a);
+  Admission.release a;
+  Alcotest.(check bool) "slot freed" true (Admission.has_capacity a);
+  Alcotest.(check (option int)) "fifo head" (Some 10) (Admission.peek_queued a);
+  Alcotest.(check int) "pop head" 10 (Admission.pop_queued a);
+  Alcotest.(check (option int)) "next head" (Some 11) (Admission.peek_queued a)
+
+let test_admission_validation () =
+  Alcotest.check_raises "max_live 0"
+    (Invalid_argument "Admission.make: max_live must be >= 1") (fun () ->
+      ignore (Admission.make ~max_live:0 ~queue_capacity:1));
+  let a = Admission.make ~max_live:1 ~queue_capacity:0 in
+  Admission.claim a;
+  Alcotest.check_raises "claim past capacity"
+    (Invalid_argument "Admission.claim: live set full") (fun () ->
+      Admission.claim a)
+
+(* --- Chaos ------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let chaos_of spec =
+  match Chaos.of_string ~alphabet:4 spec with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let test_chaos_parse_and_target () =
+  let c = chaos_of "kill@2,5%3=1;crash:10@1..50;burst:0.5@1..20%2=0" in
+  Alcotest.(check int) "three directives" 3 (List.length (Chaos.directives c));
+  Alcotest.(check bool) "kills its target" true (Chaos.kills_at c ~tick:2 ~id:4);
+  Alcotest.(check bool) "and at the later tick" true (Chaos.kills_at c ~tick:5 ~id:7);
+  Alcotest.(check bool) "not off-tick" false (Chaos.kills_at c ~tick:3 ~id:4);
+  Alcotest.(check bool) "not off-target" false (Chaos.kills_at c ~tick:2 ~id:3);
+  (* storm stacks compose per target: id 0 gets crash+burst, id 1 crash only *)
+  let name id = Goalcom_faults.Fault.name (Chaos.stack_for c ~id) in
+  Alcotest.(check bool) "id 0 gets burst" true (contains (name 0) "burstwin");
+  Alcotest.(check bool) "id 1 does not" false (contains (name 1) "burstwin")
+
+let test_chaos_parse_errors () =
+  let err spec =
+    match Chaos.of_string ~alphabet:4 spec with
+    | Ok _ -> Alcotest.failf "%S parsed" spec
+    | Error e -> e
+  in
+  Alcotest.(check bool) "unknown directive named" true
+    (contains (err "explode@3") "unknown chaos directive \"explode\"");
+  Alcotest.(check bool) "grammar listed" true (contains (err "explode@3") "kill@T1,T2");
+  Alcotest.(check bool) "bad window" true
+    (contains (err "crash:5@9..2") "window wants 1 <= LO <= HI");
+  Alcotest.(check bool) "bad target" true
+    (contains (err "kill@2%5=9") "0 <= R < M");
+  Alcotest.(check bool) "bad probability" true
+    (contains (err "burst:1.5@1..10") "P in [0,1]");
+  Alcotest.(check bool) "bad embedded fault stack" true
+    (contains (err "fault:bogus:1") "unknown fault")
+
+(* --- Engine ----------------------------------------------------------- *)
+
+(* Tiny standard mix (printing / corridor / open maze) from the E18
+   harness, small enough for unit tests. *)
+let mix n = E18_chaos_matrix.specs ~sessions:n
+
+let test_engine_all_complete () =
+  let r = Engine.run ~specs:(mix 12) ~seed:3 () in
+  Alcotest.(check int) "all done" 12 r.Engine.completed;
+  Alcotest.(check int) "no shed" 0 r.Engine.shed;
+  Alcotest.(check int) "no restarts" 0 r.Engine.restarts;
+  Array.iter
+    (function
+      | Engine.Done _ -> ()
+      | _ -> Alcotest.fail "non-Done outcome in a calm run")
+    r.Engine.outcomes
+
+let test_engine_sheds_overflow () =
+  let config = Engine.config ~max_live:1 ~queue_capacity:1 () in
+  let r = Engine.run ~config ~specs:(mix 4) ~seed:3 () in
+  Alcotest.(check int) "two shed" 2 r.Engine.shed;
+  Alcotest.(check int) "two done" 2 r.Engine.completed;
+  Alcotest.(check bool) "sheds are terminal" true
+    (Array.to_list r.Engine.outcomes
+    |> List.filter (fun o -> o = Engine.Shed)
+    |> List.length = 2)
+
+let test_engine_adversary_gives_up () =
+  let chaos = chaos_of "fault:adversary:999999" in
+  let config =
+    Engine.config ~round_budget:200 ~breaker_threshold:2
+      ~policy:(Policy.make ~max_restarts:1 ~jitter:0.0 ())
+      ()
+  in
+  let r = Engine.run ~chaos ~config ~specs:(mix 3) ~seed:3 () in
+  Alcotest.(check int) "all give up" 3 r.Engine.gave_up;
+  Alcotest.(check bool) "restarts happened" true (r.Engine.restarts > 0);
+  Alcotest.(check bool) "breaker tripped" true (r.Engine.trips > 0)
+
+let test_engine_deadline () =
+  let chaos = chaos_of "fault:adversary:999999" in
+  let config =
+    Engine.config ~deadline:3 ~round_budget:1_000_000
+      ~policy:(Policy.make ~max_restarts:1000 ())
+      ()
+  in
+  let r = Engine.run ~chaos ~config ~specs:(mix 2) ~seed:3 () in
+  Alcotest.(check int) "deadlines fire" 2 r.Engine.deadlines
+
+let chaos_spec_small = "kill@2%2=0;crash:20@1..200%3=1"
+
+let run_small ~jobs ~seed =
+  let chaos = chaos_of chaos_spec_small in
+  let config = Engine.config ~quantum:16 ~max_live:8 () in
+  Engine.run ~chaos ~config ~jobs ~specs:(mix 20) ~seed ()
+
+let test_engine_deterministic_across_jobs () =
+  let record jobs =
+    let buf = ref [] in
+    let r =
+      Trace.with_sink (fun ev -> buf := ev :: !buf) (fun () -> run_small ~jobs ~seed:5)
+    in
+    (r.Engine.digest, List.rev !buf)
+  in
+  let d1, t1 = record 1 in
+  List.iter
+    (fun jobs ->
+      let d, t = record jobs in
+      Alcotest.(check string) (Printf.sprintf "digest jobs=%d" jobs) d1 d;
+      Alcotest.(check bool) (Printf.sprintf "merged trace jobs=%d" jobs) true (t = t1))
+    [ 2; 4 ];
+  match Trace.check Trace.standard t1 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "merged trace invariant: %s" msg
+
+let test_engine_deterministic_across_repeats () =
+  let r1 = run_small ~jobs:2 ~seed:9 in
+  let r2 = run_small ~jobs:2 ~seed:9 in
+  Alcotest.(check string) "digest" r1.Engine.digest r2.Engine.digest;
+  Alcotest.(check bool) "outcomes" true (r1.Engine.outcomes = r2.Engine.outcomes)
+
+(* --- qcheck: crash-restart equivalence (satellite) --------------------
+
+   A supervised session interrupted by chaos kills (a
+   helpfulness-preserving fault schedule: the server is untouched, only
+   incarnations die) reaches the same goal state — digest-identical
+   final world view — as the uninterrupted run, for jobs 1, 2 and 4.
+   Restart costs differ; the achieved state must not. *)
+
+let final_state (r : Engine.report) =
+  match r.Engine.outcomes.(0) with
+  | Engine.Done { state; _ } -> Some state
+  | _ -> None
+
+let prop_crash_restart_reaches_same_state =
+  QCheck.Test.make ~count:12 ~name:"Engine: killed+restarted = uninterrupted (jobs 1/2/4)"
+    QCheck.(pair (int_bound 2) (pair (1 -- 4) (1 -- 4)))
+    (fun (family, (k1, k2)) ->
+      (* one session of the chosen family: mix order is printing,
+         corridor, open-room *)
+      let specs = [| E18_chaos_matrix.specs ~sessions:3 |].(0).(family) in
+      let specs = [| specs |] in
+      let config =
+        Engine.config ~quantum:8
+          ~policy:(Policy.make ~max_restarts:50 ~backoff_max:2 ())
+          ()
+      in
+      let baseline = Engine.run ~config ~specs ~seed:21 () in
+      let chaos =
+        chaos_of (Printf.sprintf "kill@%d,%d" (1 + k1) (1 + k1 + k2))
+      in
+      match final_state baseline with
+      | None -> QCheck.Test.fail_report "baseline did not complete"
+      | Some state ->
+          List.for_all
+            (fun jobs ->
+              final_state (Engine.run ~chaos ~config ~jobs ~specs ~seed:21 ())
+              = Some state)
+            [ 1; 2; 4 ])
+
+let suite =
+  [
+    ("policy gives up", `Quick, test_policy_gives_up);
+    ("policy backoff growth", `Quick, test_policy_backoff_growth);
+    ("policy jitter deterministic", `Quick, test_policy_backoff_jitter_deterministic);
+    ("breaker lifecycle", `Quick, test_breaker_lifecycle);
+    ("breaker probe failure reopens", `Quick, test_breaker_probe_failure_reopens);
+    ("breaker success resets streak", `Quick, test_breaker_success_resets_consecutive);
+    ("breaker disabled", `Quick, test_breaker_disabled);
+    ("admission slots and queue", `Quick, test_admission_slots_and_queue);
+    ("admission validation", `Quick, test_admission_validation);
+    ("chaos parse and targets", `Quick, test_chaos_parse_and_target);
+    ("chaos parse errors", `Quick, test_chaos_parse_errors);
+    ("engine calm run completes", `Quick, test_engine_all_complete);
+    ("engine sheds overflow", `Quick, test_engine_sheds_overflow);
+    ("engine adversary gives up", `Quick, test_engine_adversary_gives_up);
+    ("engine deadline", `Quick, test_engine_deadline);
+    ("engine deterministic across jobs", `Quick, test_engine_deterministic_across_jobs);
+    ("engine deterministic across repeats", `Quick, test_engine_deterministic_across_repeats);
+    QCheck_alcotest.to_alcotest prop_crash_restart_reaches_same_state;
+  ]
+
+let () = Alcotest.run "session" [ ("session", suite) ]

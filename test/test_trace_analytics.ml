@@ -79,6 +79,10 @@ let event_gen =
           nat name_gen name_gen;
         map (fun round -> Trace.Violation { round }) nat;
         map2 (fun rounds halted -> Trace.Run_end { rounds; halted }) nat bool;
+        map3
+          (fun tick session (action, detail) ->
+            Trace.Supervise { tick; session; action; detail })
+          nat nat (pair name_gen name_gen);
       ])
 
 let event_arb = QCheck.make event_gen ~print:Obs.Jsonl.event_to_json
