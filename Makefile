@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check ci bench bench-par bench-sense bench-session bench-check clean
+.PHONY: all build test check ci bench bench-par bench-sense bench-session bench-compile bench-check clean
 
 all: build
 
@@ -22,6 +22,9 @@ ci: check
 	dune exec bin/main.exe -- run e17 --jobs 2
 	dune exec bin/main.exe -- chaos run --sessions 120 --jobs 2 --repeat 2 --check
 	GOALCOM_E18_SESSIONS=60 dune exec bin/main.exe -- run e18 --jobs 2
+	dune exec bin/main.exe -- warm record --sessions 18 --out /tmp/warm.jsonl
+	dune exec bin/main.exe -- warm show /tmp/warm.jsonl
+	dune exec bin/main.exe -- serve --sessions 36 --jobs 2 --warm /tmp/warm.jsonl
 	dune exec bin/main.exe -- run e1 --trace /tmp/e1.jsonl
 	test -s /tmp/e1.jsonl
 	head -1 /tmp/e1.jsonl | grep -q '^{"ev":"'
@@ -57,9 +60,17 @@ bench-sense:
 bench-session:
 	BENCH_ONLY=session dune exec bench/main.exe
 
+# Rewrites just BENCH_compile.json: the flat-table strategy walk vs the
+# interpreted Mealy walk over a 512-slot Levin prefix, with the
+# decode+compile LRU hit rate — the >= 3x speedup and <= 10% miss
+# gates compare against it.
+bench-compile:
+	BENCH_ONLY=compile dune exec bench/main.exe
+
 # The perf-regression gate: quick re-measure, compare against the
 # committed BENCH_trace.json + BENCH_par.json + BENCH_sense.json +
-# BENCH_session.json, write BENCH_check.json, exit 1 on any regression.
+# BENCH_session.json + BENCH_compile.json, write BENCH_check.json,
+# exit 1 on any regression.
 bench-check:
 	dune exec bench/main.exe -- --check
 

@@ -17,6 +17,9 @@
      chaos run|matrix          deterministic chaos harness: fault/kill
                                schedules over the engine, determinism
                                checks, the E18 matrix
+     warm record|show          warm-start stores: record winning
+                               candidate indices from a cold run;
+                               serve/chaos --warm probes them first
      trace-golden <dir>        regenerate the golden trace files
      trace stats|attribution|diff|export
                                analytics over recorded JSONL traces *)
@@ -455,6 +458,30 @@ let sessions_arg ~default =
                  mix: printing / corridor-maze / open-maze universal \
                  users, round-robin).")
 
+(* Warm-start stores: known winning candidate indices per session
+   class, persisted as JSONL (lib/compile Warm).  Loading a missing
+   file is an empty store; a corrupt file degrades to a cold start
+   (Warm.hints rejects it with a Trace.Warm event). *)
+
+module Warm = Goalcom_compile.Warm
+
+let warm_arg =
+  Arg.(value & opt (some string) None
+       & info [ "warm" ] ~docv:"FILE"
+           ~doc:"Warm-start store (JSONL).  Known winning candidate \
+                 indices for each session class are probed first — one \
+                 prepended Levin slot per class — and after the run the \
+                 store is rewritten with the winners this run proved.  \
+                 A missing file is an empty store; a corrupt one falls \
+                 back to a cold start.")
+
+let warm_load path = if Sys.file_exists path then Warm.load path else Ok []
+
+let warm_save path warm report =
+  let entries = E18_chaos_matrix.warm_entries ?warm report in
+  Warm.save path entries;
+  Printf.printf "warm store     %d entries -> %s\n" (List.length entries) path
+
 let max_live_arg =
   Arg.(value & opt int 256
        & info [ "max-live" ] ~docv:"N"
@@ -490,14 +517,18 @@ let serve_cmd =
              ~doc:"Ticks from arrival before an unfinished session is \
                    abandoned (0 disables).")
   in
-  let run sessions max_live queue quantum arrivals deadline budget seed jobs =
+  let run sessions max_live queue quantum arrivals deadline budget warm_path
+      seed jobs =
     apply_jobs jobs;
     let config =
       Session.Engine.config ~quantum ~max_live ~queue_capacity:queue
         ~arrivals_per_tick:arrivals ~round_budget:budget ~deadline ()
     in
-    let specs = E18_chaos_matrix.specs ~sessions in
-    print_report (Session.Engine.run ~config ~specs ~seed ())
+    let warm = Option.map warm_load warm_path in
+    let specs = E18_chaos_matrix.specs ?warm ~sessions () in
+    let report = Session.Engine.run ~config ~specs ~seed () in
+    print_report report;
+    Option.iter (fun path -> warm_save path warm report) warm_path
   in
   Cmd.v
     (Cmd.info "serve"
@@ -505,8 +536,8 @@ let serve_cmd =
              engine (no chaos): admission control, restart supervision, \
              per-class circuit breakers.")
     Term.(const run $ sessions_arg ~default:256 $ max_live_arg $ queue_arg
-          $ quantum_arg $ arrivals_arg $ deadline_arg $ budget_arg $ seed_arg
-          $ jobs_arg)
+          $ quantum_arg $ arrivals_arg $ deadline_arg $ budget_arg $ warm_arg
+          $ seed_arg $ jobs_arg)
 
 let chaos_run_cmd =
   let schedule_arg =
@@ -536,8 +567,8 @@ let chaos_run_cmd =
              ~doc:"Write the merged JSONL trace (per-session buffers in \
                    session-id order) to $(docv).")
   in
-  let run sessions schedule max_live queue budget repeat check trace seed jobs
-      =
+  let run sessions schedule max_live queue budget repeat check trace warm_path
+      seed jobs =
     apply_jobs jobs;
     let chaos =
       match Session.Chaos.of_string ~alphabet:6 schedule with
@@ -548,7 +579,8 @@ let chaos_run_cmd =
       Session.Engine.config ~max_live ~queue_capacity:queue
         ~round_budget:budget ()
     in
-    let specs = E18_chaos_matrix.specs ~sessions in
+    let warm = Option.map warm_load warm_path in
+    let specs = E18_chaos_matrix.specs ?warm ~sessions () in
     let once () =
       if check then begin
         let buf = ref [] in
@@ -563,6 +595,7 @@ let chaos_run_cmd =
     in
     let first, events = once () in
     print_report first;
+    Option.iter (fun path -> warm_save path warm first) warm_path;
     (match events with
     | None -> ()
     | Some evs -> (
@@ -606,7 +639,7 @@ let chaos_run_cmd =
              completion, shedding, restarts and breaker activity.")
     Term.(const run $ sessions_arg ~default:500 $ schedule_arg $ max_live_arg
           $ queue_arg $ budget_arg $ repeat_arg $ check_arg $ trace_arg
-          $ seed_arg $ jobs_arg)
+          $ warm_arg $ seed_arg $ jobs_arg)
 
 let chaos_matrix_cmd =
   let run sessions seed jobs =
@@ -635,6 +668,66 @@ let chaos_cmd =
        ~doc:"Deterministic chaos harness over the supervised session \
              engine: fault schedules, kill schedules, determinism checks.")
     [ chaos_run_cmd; chaos_matrix_cmd ]
+
+(* warm — record / show warm-start stores *)
+
+let warm_record_cmd =
+  (* 18 sessions cover every (family, dialect) key once: printing
+     cycles 4 dialects on ids 0,3,6,9 and each maze family cycles 6 on
+     its residue class. *)
+  let run sessions out seed jobs =
+    apply_jobs jobs;
+    let specs = E18_chaos_matrix.specs ~sessions () in
+    let report = Session.Engine.run ~specs ~seed () in
+    let entries = E18_chaos_matrix.warm_entries report in
+    Warm.save out entries;
+    Printf.printf "ran %d cold sessions: %d completed, %d warm entries -> %s\n"
+      sessions report.Session.Engine.completed (List.length entries) out
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Warm-start store to write (JSONL, overwritten).")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a small cold population of the standard session mix and \
+             record every winning candidate index into a warm-start \
+             store, so later `serve --warm` / `chaos run --warm` runs \
+             probe the winners first.")
+    Term.(const run $ sessions_arg ~default:18 $ out_arg $ seed_arg $ jobs_arg)
+
+let warm_show_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Warm-start store to print.")
+  in
+  let run path =
+    match Warm.load path with
+    | Error e -> Printf.eprintf "%s\n" e; exit 1
+    | Ok entries ->
+        Table.print
+          (Table.make ~title:path
+             ~columns:[ "class"; "enumeration"; "index"; "budget" ]
+             (List.map
+                (fun (e : Warm.entry) ->
+                  [
+                    e.Warm.server_class; e.Warm.enum;
+                    string_of_int e.Warm.index; string_of_int e.Warm.budget;
+                  ])
+                entries))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a warm-start store as a table.")
+    Term.(const run $ file_arg)
+
+let warm_cmd =
+  Cmd.group
+    (Cmd.info "warm"
+       ~doc:"Warm-start stores: persist known-good winning candidate \
+             indices per session class, so repeated runs skip the \
+             enumeration ladder.")
+    [ warm_record_cmd; warm_show_cmd ]
 
 (* trace-golden *)
 
@@ -806,5 +899,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; all_cmd; demo_cmd; check_cmd; transcript_cmd;
-            serve_cmd; chaos_cmd; trace_golden_cmd; trace_cmd;
+            serve_cmd; chaos_cmd; warm_cmd; trace_golden_cmd; trace_cmd;
           ]))

@@ -40,7 +40,10 @@ let append a b =
       let card =
         match b.card with
         | Some cb when ca <= max_int - cb -> Some (ca + cb)
-        | Some _ -> Some max_int
+        (* Overflow: reporting [Some max_int] would silently misstate
+           the cardinality (and make wrap-around indexing truncate the
+           class); [None] says "too many to count" honestly. *)
+        | Some _ -> None
         | None -> None
       in
       make ~name:(a.name ^ "++" ^ b.name) ?card (fun i ->
@@ -120,3 +123,9 @@ let tabulate ~name n f =
   make ~name ~card:n (fun i -> if i < n then Some (f i) else None)
 
 let naturals = make ~name:"naturals" (fun i -> Some i)
+
+let cached ?name ~capacity t =
+  let name = match name with Some n -> n | None -> t.name in
+  let lru = Lru.create ~capacity in
+  ({ name; card = t.card; get = (fun i -> Lru.find_or_add lru i t.get) }, lru)
+

@@ -26,8 +26,11 @@ val of_list : name:string -> 'a list -> 'a t
 val map : ?name:string -> ('a -> 'b) -> 'a t -> 'b t
 
 val append : 'a t -> 'a t -> 'a t
-(** Concatenation; the first enumeration must be finite.
-    @raise Invalid_argument otherwise. *)
+(** Concatenation; the first enumeration must be finite.  When the
+    combined cardinality overflows [int], the result's cardinality is
+    [None] ("too many to count") rather than a silently truncated
+    [max_int].  @raise Invalid_argument if the first side is not
+    finite. *)
 
 val interleave : 'a t -> 'a t -> 'a t
 (** Fair interleaving (even indices from the first, odd from the second);
@@ -57,3 +60,11 @@ val tabulate : name:string -> int -> (int -> 'a) -> 'a t
 
 val naturals : int t
 (** 0, 1, 2, ... *)
+
+val cached : ?name:string -> capacity:int -> 'a t -> 'a t * 'a option Lru.t
+(** [cached ~capacity t] memoizes [get] through a bounded {!Lru} cache
+    shared by every consumer of the returned enumeration (domain-safe —
+    see {!Lru}).  The underlying [get] must be pure.  [capacity 0]
+    disables caching (pass-through).  The cache is returned alongside
+    for hit-rate accounting and tests.  The cardinality and name (by
+    default) are unchanged. *)

@@ -1,0 +1,106 @@
+(* Hashtbl + intrusive doubly-linked recency list: O(1) hit, miss and
+   eviction.  The list head is the most recently used entry, the tail
+   the eviction victim.  A mutex serialises every operation — the cache
+   is shared across domains (the Levin racer resolves candidates while
+   other domains run sequential constructions against the same class),
+   and the protected sections are tiny. *)
+
+type 'a node = {
+  key : int;
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 (min capacity 4096));
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key
+
+let find_or_add t k f =
+  match
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table k with
+        | Some n ->
+            t.hits <- t.hits + 1;
+            unlink t n;
+            push_front t n;
+            Some n.value
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  with
+  | Some v -> v
+  | None ->
+      (* Compute outside the recency bookkeeping but still under the
+         same logical operation: re-take the lock to insert.  Another
+         domain may have inserted [k] meanwhile — keep the resident
+         node (the computations are pure, so either value is right). *)
+      let v = f k in
+      if t.cap > 0 then
+        locked t (fun () ->
+            if not (Hashtbl.mem t.table k) then begin
+              if Hashtbl.length t.table >= t.cap then evict_tail t;
+              let n = { key = k; value = v; prev = None; next = None } in
+              Hashtbl.add t.table k n;
+              push_front t n
+            end);
+      v
+
+let mem t k = locked t (fun () -> Hashtbl.mem t.table k)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+
+let hit_rate t =
+  locked t (fun () ->
+      let total = t.hits + t.misses in
+      if total = 0 then 0. else float_of_int t.hits /. float_of_int total)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)

@@ -131,16 +131,33 @@ let decode ~states ~inputs ~outputs code =
 
 let enumerate ~states ~inputs ~outputs =
   let card = count ~states ~inputs ~outputs in
+  (* A saturated count means the true cardinality exceeds [max_int]:
+     every representable index decodes, but reporting [card = max_int]
+     would silently truncate (e.g. [Enum.append] would make anything
+     appended after this class unreachable).  Report "uncountable"
+     instead; [decode] still bounds-checks each index. *)
+  let card = if card = max_int then None else Some card in
   Enum.make
     ~name:(Printf.sprintf "mealy(%d states,%d in,%d out)" states inputs outputs)
-    ~card
+    ?card
     (fun i -> decode ~states ~inputs ~outputs i)
 
 let enumerate_up_to ~max_states ~inputs ~outputs =
   if max_states <= 0 then invalid_arg "Mealy.enumerate_up_to";
   let rec build n =
     let this = enumerate ~states:n ~inputs ~outputs in
-    if n = max_states then this else Enum.append this (build (n + 1))
+    if n = max_states then this
+    else if Enum.cardinality this = None then
+      (* The [n]-state layer alone exceeds [max_int] machines, so the
+         layers above it could never be reached — appending them used
+         to truncate silently (the saturated layer swallowed every
+         index).  Refuse explicitly instead. *)
+      invalid_arg
+        (Printf.sprintf
+           "Mealy.enumerate_up_to: machine count saturates at %d states \
+            (class too large to stack more layers)"
+           n)
+    else Enum.append this (build (n + 1))
   in
   build 1
 

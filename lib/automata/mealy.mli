@@ -53,10 +53,17 @@ val decode : states:int -> inputs:int -> outputs:int -> int -> t option
 (** Inverse of {!encode}; [None] if the code is out of range. *)
 
 val enumerate : states:int -> inputs:int -> outputs:int -> t Enum.t
-(** All machines of exactly these dimensions, in {!encode} order. *)
+(** All machines of exactly these dimensions, in {!encode} order.  When
+    {!count} saturates (true cardinality above [max_int]) the
+    enumeration's cardinality is [None] — every representable index
+    still decodes, but the class is reported as uncountable instead of
+    silently truncated to [max_int]. *)
 
 val enumerate_up_to : max_states:int -> inputs:int -> outputs:int -> t Enum.t
-(** All machines with 1, 2, ..., [max_states] states, smaller first. *)
+(** All machines with 1, 2, ..., [max_states] states, smaller first.
+    @raise Invalid_argument if a non-final layer's {!count} saturates
+    (the layers above it would be unreachable — historically this
+    truncated silently). *)
 
 val equal_behaviour : depth:int -> t -> t -> bool
 (** Do the two machines produce identical outputs on every input word of

@@ -1,0 +1,61 @@
+open Goalcom_automata
+open Goalcom
+
+let check_input (t : Table.t) i =
+  if i < 0 || i >= t.Table.inputs then
+    invalid_arg
+      (Printf.sprintf "Compiled: reader produced %d, input alphabet is %d" i
+         t.Table.inputs)
+  else i
+
+let generic_of_table ~name ~read ~write (t : Table.t) =
+  Strategy.make ~name
+    ~init:(fun () -> 0)
+    ~step:(fun _rng state obs ->
+      let input = check_input t (read obs) in
+      (* [state] is table-produced (or the initial 0, valid for any
+         machine), [input] just validated: the unsafe step is safe. *)
+      let state', output = Table.step_unsafe t state input in
+      (state', write output))
+
+let user_of_table ?(name = "ctable-user") ~read ~write t =
+  generic_of_table ~name ~read ~write t
+
+let user_of_mealy ?name ~read ~write m =
+  user_of_table ?name ~read ~write (Table.of_mealy m)
+
+let server_of_table ?(name = "ctable-server") ~read ~write t =
+  generic_of_table ~name ~read ~write t
+
+let user_class ?name ~read ~write machines =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> "ctable-users(" ^ Enum.name machines ^ ")"
+  in
+  Enum.make ~name
+    ?card:(Enum.cardinality machines)
+    (fun i ->
+      Option.map
+        (fun m ->
+          user_of_table
+            ~name:(Printf.sprintf "ctable-user#%d" i)
+            ~read ~write (Table.of_mealy m))
+        (Enum.get machines i))
+
+let default_cache_capacity = 512
+
+let cache_capacity () =
+  match Sys.getenv_opt "GOALCOM_COMPILE_CACHE" with
+  | None -> default_cache_capacity
+  | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> invalid_arg "GOALCOM_COMPILE_CACHE wants a non-negative integer"
+    end
+
+let cached_user_class ?capacity ?name ~read ~write machines =
+  let capacity =
+    match capacity with Some c -> c | None -> cache_capacity ()
+  in
+  Enum.cached ~capacity (user_class ?name ~read ~write machines)

@@ -1,0 +1,73 @@
+(** Compiled strategies: flat-table Mealy users behind the ordinary
+    {!Strategy} interface, and decode+compile-cached strategy classes.
+
+    Mirrors [Machine_user] — same reader/writer codecs, same observable
+    behaviour (the differential battery pins transcript equality) — but
+    the per-round step is {!Table.step_unsafe} on a machine compiled
+    once, instead of re-interpreting the [Mealy.t] tables, and the
+    class enumeration memoizes decode+compile in a bounded LRU shared
+    across every consumer (sequential constructions, the Levin racer's
+    resolution loop, repeated runs in one process).
+
+    The cache size comes from the [GOALCOM_COMPILE_CACHE] environment
+    variable (default {!default_cache_capacity}; [0] disables caching)
+    unless overridden per class. *)
+
+open Goalcom_automata
+open Goalcom
+
+val user_of_table :
+  ?name:string ->
+  read:Io.User.obs Machine_user.reader ->
+  write:Io.User.act Machine_user.writer ->
+  Table.t ->
+  Strategy.user
+(** As [Machine_user.user_of_mealy], over a compiled table.  Readers
+    are validated each round; the table step itself is branch-free. *)
+
+val user_of_mealy :
+  ?name:string ->
+  read:Io.User.obs Machine_user.reader ->
+  write:Io.User.act Machine_user.writer ->
+  Mealy.t ->
+  Strategy.user
+(** Compile then wrap. *)
+
+val server_of_table :
+  ?name:string ->
+  read:Io.Server.obs Machine_user.reader ->
+  write:Io.Server.act Machine_user.writer ->
+  Table.t ->
+  Strategy.server
+
+val user_class :
+  ?name:string ->
+  read:Io.User.obs Machine_user.reader ->
+  write:Io.User.act Machine_user.writer ->
+  Mealy.t Enum.t ->
+  Strategy.user Enum.t
+(** The compiled counterpart of [Machine_user.user_class]: each index
+    decodes the machine and compiles it to a table.  Uncached — see
+    {!cached_user_class}.  Strategy names are ["ctable-user#<index>"]
+    (index-derived, so naming costs no re-encode). *)
+
+val default_cache_capacity : int
+(** 512 — covers the distinct indices of a deep Levin prefix with room
+    to spare. *)
+
+val cache_capacity : unit -> int
+(** [GOALCOM_COMPILE_CACHE] parsed as a non-negative int, else
+    {!default_cache_capacity}.  @raise Invalid_argument if the variable
+    is set but not a non-negative integer. *)
+
+val cached_user_class :
+  ?capacity:int ->
+  ?name:string ->
+  read:Io.User.obs Machine_user.reader ->
+  write:Io.User.act Machine_user.writer ->
+  Mealy.t Enum.t ->
+  Strategy.user Enum.t * Strategy.user option Lru.t
+(** {!user_class} wrapped in a bounded decode+compile LRU
+    ([Enum.cached]): fetching index [i] twice decodes and compiles
+    once.  [capacity] defaults to {!cache_capacity}[ ()].  The cache is
+    returned for hit-rate accounting. *)

@@ -1,0 +1,85 @@
+open Goalcom_automata
+open Goalcom
+
+type t = { states : int; inputs : int; outputs : int; next_out : int array }
+
+let of_mealy (m : Mealy.t) =
+  let states = m.Mealy.states in
+  let inputs = m.Mealy.inputs in
+  let outputs = m.Mealy.outputs in
+  let next_out = Array.make (states * inputs) 0 in
+  for s = 0 to states - 1 do
+    let next_row = m.Mealy.next.(s) and out_row = m.Mealy.out.(s) in
+    let base = s * inputs in
+    for i = 0 to inputs - 1 do
+      next_out.(base + i) <- (next_row.(i) * outputs) + out_row.(i)
+    done
+  done;
+  { states; inputs; outputs; next_out }
+
+let to_mealy t =
+  let next = Array.make_matrix t.states t.inputs 0 in
+  let out = Array.make_matrix t.states t.inputs 0 in
+  for s = 0 to t.states - 1 do
+    for i = 0 to t.inputs - 1 do
+      let c = t.next_out.((s * t.inputs) + i) in
+      next.(s).(i) <- c / t.outputs;
+      out.(s).(i) <- c mod t.outputs
+    done
+  done;
+  Mealy.make ~states:t.states ~inputs:t.inputs ~outputs:t.outputs ~next ~out
+
+let[@inline] step_unsafe t s i =
+  let c = Array.unsafe_get t.next_out ((s * t.inputs) + i) in
+  (c / t.outputs, c mod t.outputs)
+
+let step t s i =
+  if s < 0 || s >= t.states then invalid_arg "Table.step: state out of range";
+  if i < 0 || i >= t.inputs then invalid_arg "Table.step: input out of range";
+  step_unsafe t s i
+
+let run t word =
+  let rec go s = function
+    | [] -> []
+    | i :: rest ->
+        let s', o = step t s i in
+        o :: go s' rest
+  in
+  go 0 word
+
+let check_symbol ~what t i =
+  if i < 0 || i >= t.inputs then
+    invalid_arg
+      (Printf.sprintf "Table.%s: reader produced %d, input alphabet is %d" what
+         i t.inputs)
+  else i
+
+let sensor ~name ?(empty = false) ~read ~accept t =
+  let empty_verdict = if empty then Sensing.Positive else Sensing.Negative in
+  Sensing.incremental ~name
+    ~init:(fun () -> (0, empty_verdict))
+    ~step:(fun s ev ->
+      let i = check_symbol ~what:"sensor" t (read ev) in
+      let s', o = step_unsafe t s i in
+      (s', if accept o then Sensing.Positive else Sensing.Negative))
+
+let referee_of ~kind ~name ~read ~accept t =
+  let absorb s v =
+    let i = check_symbol ~what:"referee" t (read v) in
+    let s', o = step_unsafe t s i in
+    (s', Referee.verdict_of_bool (accept o))
+  in
+  (* The initial world view is the DFA's first input symbol; the
+     verdicts thereafter judge the prefix ending at each round's view,
+     exactly the incremental-referee contract. *)
+  match kind with
+  | `Finite ->
+      Referee.finite_incremental name ~init:(absorb 0) ~step:absorb
+  | `Compact ->
+      Referee.compact_incremental name ~init:(absorb 0) ~step:absorb
+
+let finite_referee ~name ~read ~accept t =
+  referee_of ~kind:`Finite ~name ~read ~accept t
+
+let compact_referee ~name ~read ~accept t =
+  referee_of ~kind:`Compact ~name ~read ~accept t

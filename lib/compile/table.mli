@@ -1,0 +1,77 @@
+(** Flat-table lowering of finite-state step functions.
+
+    The enumeration ladder's hot loop steps decoded {!Mealy.t} machines:
+    two bounds-checked 2-D array reads per round ([next.(s).(i)],
+    [out.(s).(i)]), each through a row pointer.  This module compiles a
+    machine once into a single dense array — cell [s * inputs + i]
+    holds [next * outputs + out] packed into one int — so the compiled
+    step is one flat array load and a div/mod, the Frenetic flow-table
+    move applied to strategies.  The same lowering drives table-driven
+    referees and sensors: a DFA over a discretised message alphabet,
+    stepped via the flat array, with an acceptance predicate on the
+    emitted symbol. *)
+
+open Goalcom_automata
+open Goalcom
+
+type t = private {
+  states : int;
+  inputs : int;
+  outputs : int;
+  next_out : int array;
+      (** [next_out.(s * inputs + i) = next * outputs + out]; length
+          [states * inputs] *)
+}
+
+val of_mealy : Mealy.t -> t
+(** Compile; O(states * inputs), no validation needed (a [Mealy.t] is
+    well-formed by construction). *)
+
+val to_mealy : t -> Mealy.t
+(** Exact inverse of {!of_mealy} (the differential tests pin
+    [to_mealy (of_mealy m) = m]). *)
+
+val step : t -> int -> int -> int * int
+(** [step t s i] is [(s', o)], exactly {!Mealy.step} of the source
+    machine.  Bounds-checked; @raise Invalid_argument out of range. *)
+
+val step_unsafe : t -> int -> int -> int * int
+(** The branch-free hot path: one unchecked flat load plus a div/mod.
+    Both [s] and [i] {b must} be in range — the compiled-strategy
+    adapters guarantee this ([s] is always a table-produced state, [i]
+    a validated reader output); out-of-range arguments are undefined
+    behaviour. *)
+
+val run : t -> int list -> int list
+(** Outputs along the run from state 0 — {!Mealy.run} compiled. *)
+
+val sensor :
+  name:string ->
+  ?empty:bool ->
+  read:(View.event -> int) ->
+  accept:(int -> bool) ->
+  t ->
+  Sensing.t
+(** Table-driven sensor: a fresh instance starts in state 0; each view
+    event is discretised by [read] (range-checked), the table steps,
+    and the verdict is [accept] of the emitted symbol ([Positive] on
+    [true]).  [empty] (default [false]) is the empty-view verdict.
+    O(1) per round by construction. *)
+
+val finite_referee :
+  name:string ->
+  read:(Msg.t -> int) ->
+  accept:(int -> bool) ->
+  t ->
+  Referee.t
+(** Table-driven finite referee: the DFA consumes the world-view stream
+    (initial view included, via {!Referee.finite_incremental}); the
+    verdict after each view is [accept] of the symbol emitted on it. *)
+
+val compact_referee :
+  name:string ->
+  read:(Msg.t -> int) ->
+  accept:(int -> bool) ->
+  t ->
+  Referee.t
+(** Same lowering with compact (co-Büchi prefix) semantics. *)

@@ -23,6 +23,16 @@ let round_robin ?(budget = 1) ~width () =
   in
   go 0
 
+let hinted ~hints tail =
+  List.iter
+    (fun { index; budget } ->
+      if index < 0 then invalid_arg "Levin.hinted: negative index";
+      if budget <= 0 then invalid_arg "Levin.hinted: budget must be positive")
+    hints;
+  (* Prepending keeps the tail untouched: a stale hint costs exactly its
+     own budget before the ordinary schedule resumes from its start. *)
+  Seq.append (List.to_seq hints) tail
+
 let work_before ?base ~index ~budget () =
   let work = ref 0 in
   let found = ref false in

@@ -18,6 +18,14 @@ val round_robin : ?budget:int -> width:int -> unit -> slot Seq.t
 (** Naive baseline: cycle through candidates [0..width-1] with a fixed
     per-session budget.  @raise Invalid_argument on bad parameters. *)
 
+val hinted : hints:slot list -> slot Seq.t -> slot Seq.t
+(** [hinted ~hints schedule] runs the hint sessions first, then the
+    unmodified schedule — the warm-start shape: a known-good candidate
+    (recorded by a previous run) is probed up front, and if the hint is
+    stale the enumeration falls through to the cold schedule having
+    spent only the hints' budgets.  @raise Invalid_argument on a
+    negative index or non-positive budget. *)
+
 val work_before : ?base:int -> index:int -> budget:int -> unit -> int
 (** Total budget consumed by the {!schedule} strictly before the first
     slot that gives candidate [index] a budget of at least [budget]

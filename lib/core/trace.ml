@@ -41,6 +41,13 @@ type event =
   | Violation of { round : int }
   | Run_end of { rounds : int; halted : bool }
   | Supervise of { tick : int; session : int; action : string; detail : string }
+  | Warm of {
+      server_class : string;
+      enum : string;
+      index : int;
+      accepted : bool;
+      detail : string;
+    }
 
 type sink = event -> unit
 

@@ -74,6 +74,19 @@ type event =
           ["trip"], ["half-open"], ["close"] or ["done"]; [tick] is the
           engine's scheduler tick (not an execution round — supervision
           happens between runs) *)
+  | Warm of {
+      server_class : string;
+      enum : string;
+      index : int;
+      accepted : bool;
+      detail : string;
+    }
+      (** a warm-start cache decision ([lib/compile]): an entry for
+          ([server_class], [enum]) proposing candidate [index] was
+          applied ([accepted = true], [detail = "hit"]) or rejected in
+          favour of the cold enumeration ([accepted = false]; [detail]
+          says why — a parse error, a stale index, a bad budget).
+          [index] is [-1] when no usable index was recovered *)
 
 type sink = event -> unit
 

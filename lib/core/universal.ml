@@ -25,17 +25,7 @@ type checkpoint = { mutable saved_index : int; mutable saved_slots : int }
 
 let new_checkpoint () = { saved_index = 0; saved_slots = 0 }
 
-let enum_get_cyclic enum i =
-  match Enum.cardinality enum with
-  | Some 0 -> invalid_arg "Universal: empty strategy enumeration"
-  | Some c -> Enum.get_exn enum (i mod c)
-  | None -> begin
-      match Enum.get enum i with
-      | Some s -> s
-      | None -> invalid_arg "Universal: enumeration ran out of strategies"
-    end
-
-(* Memoised {!enum_get_cyclic}: a growable array keyed by the effective
+(* Memoised cyclic enumeration access: a growable array keyed by the effective
    (cardinality-reduced) index, so wrap-around passes and retries stop
    re-running the enumeration's constructor chain every switch.  One
    memo per strategy *instance* (created in [init]), never shared —
@@ -305,9 +295,16 @@ let finite_par ?schedule ?(max_slots = 64) ?jobs ?pool ?config ~enum ~sensing
   let module I = Strategy.Instance in
   (* Candidates are resolved sequentially before any task is spawned:
      [Enum.get] is pure, so this changes no behaviour, and it keeps the
-     domains from re-walking the enumeration (or sharing a memo). *)
+     domains from re-walking the enumeration (or sharing a memo).  The
+     resolution itself goes through a memo: Levin schedules revisit the
+     same index in every phase (index 0 appears in all of them), so
+     without it a 64-slot race decodes candidate 0 eleven times.  With
+     it, no candidate is ever decoded twice within a race — and when
+     the enumeration is itself cache-backed ([Enum.cached], as the
+     compiled classes of lib/compile are), not twice per process. *)
+  let memo = memo_create enum in
   let candidates =
-    Array.map (fun slot -> enum_get_cyclic enum slot.Levin.index) slots
+    Array.map (fun slot -> memo_get memo slot.Levin.index) slots
   in
   let probe i () =
     if Atomic.get best < i then None

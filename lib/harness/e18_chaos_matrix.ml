@@ -17,6 +17,7 @@ open Goalcom_prelude
 open Goalcom_automata
 open Goalcom_goals
 module Session = Goalcom_session
+module Warm = Goalcom_compile.Warm
 
 let title = "Chaos matrix: goal completion under supervised concurrency"
 
@@ -53,11 +54,44 @@ let printing_horizon =
 
 let maze_horizon = 6_000
 
+(* The winning candidate depends on the server's dialect, which cycles
+   within each family — so warm-start entries key on class + dialect,
+   finer than the breaker class the engine supervises on. *)
+let warm_class i =
+  match i mod 3 with
+  | 0 -> Printf.sprintf "printing/d%d" (i / 3 mod printing_alphabet)
+  | 1 -> Printf.sprintf "maze-corridor/d%d" (i / 3 mod maze_alphabet)
+  | _ -> Printf.sprintf "maze-open/d%d" (i / 3 mod maze_alphabet)
+
+(* Session [i]'s candidate enumeration (what warm hints index into). *)
+let users_of i =
+  match i mod 3 with
+  | 0 ->
+      Printing.user_class ~alphabet:printing_alphabet
+        (Dialect.enumerate_rotations ~size:printing_alphabet)
+  | family ->
+      let scenario = if family = 1 then corridor else open_room in
+      Maze.user_class ~alphabet:maze_alphabet ~scenario
+        (Dialect.enumerate_rotations ~size:maze_alphabet)
+
+let schedule_of ~warm ~enum ~server_class =
+  match warm with
+  | None -> None
+  | Some store -> (
+      match Warm.hints ~enum ~server_class store with
+      | [] -> None
+      | hints -> Some (Levin.hinted ~hints (Levin.schedule ())))
+
 (* Session [i] cycles through three goal families (printing, corridor
    maze, open-room maze) and, within a family, through the server
    dialects — so every chaos target pattern (%M=R) cuts across goals
-   and dialects alike. *)
-let spec_of i : Session.Engine.spec =
+   and dialects alike.  With [warm], a validated hint for the session's
+   class+dialect becomes a prepended Levin slot (hints are resolved
+   here, once per spec, not per incarnation). *)
+let spec_of ?warm i : Session.Engine.spec =
+  let schedule =
+    schedule_of ~warm ~enum:(users_of i) ~server_class:(warm_class i)
+  in
   match i mod 3 with
   | 0 ->
       let dialects = Dialect.enumerate_rotations ~size:printing_alphabet in
@@ -71,8 +105,8 @@ let spec_of i : Session.Engine.spec =
         goal = Printing.goal ~docs:[ printing_doc ] ~alphabet:printing_alphabet ();
         make_user =
           (fun ~checkpoint ->
-            Printing.universal_user ~checkpoint ~alphabet:printing_alphabet
-              dialects);
+            Printing.universal_user ?schedule ~checkpoint
+              ~alphabet:printing_alphabet dialects);
         server;
         exec_config = Exec.config ~horizon:printing_horizon ();
       }
@@ -89,14 +123,73 @@ let spec_of i : Session.Engine.spec =
         goal = Maze.goal ~scenarios:[ scenario ] ~alphabet:maze_alphabet ();
         make_user =
           (fun ~checkpoint ->
-            Universal.finite ~checkpoint
+            Universal.finite ?schedule ~checkpoint
               ~enum:(Maze.user_class ~alphabet:maze_alphabet ~scenario dialects)
               ~sensing:Maze.sensing ());
         server;
         exec_config = Exec.config ~horizon:maze_horizon ();
       }
 
-let specs ~sessions = Array.init sessions spec_of
+let specs ?warm ~sessions () = Array.init sessions (spec_of ?warm)
+
+(* The budget a warm hint should carry: the winner achieved the goal
+   with world progress accumulated across its {e revisited} slots
+   (Levin reruns every candidate each phase), so the budget of the slot
+   it happened to win in understates what a single contiguous session
+   needs from scratch.  Sum the budgets of every slot of the winning
+   candidate up to and including the winning one (position
+   [saved_slots]; earlier positions are the exhausted slots). *)
+let hint_budget ~card sched ~slots ~index =
+  let reduce i = match card with Some c when c > 0 -> i mod c | _ -> i in
+  let target = reduce index in
+  let rec go p s acc =
+    if p > slots then acc
+    else
+      match s () with
+      | Seq.Nil -> acc
+      | Seq.Cons (slot, tl) ->
+          let acc =
+            if reduce slot.Levin.index = target then acc + slot.Levin.budget
+            else acc
+          in
+          go (p + 1) tl acc
+  in
+  max 1 (go 0 sched 0)
+
+(* Harvest warm-start entries from a finished run: every [Done]
+   session's checkpoint pins the winning candidate ([saved_index]) and
+   how far down the schedule it sat.  Later sessions of the same
+   class+dialect supersede earlier ones (same winner, so this is a
+   no-op dedup). *)
+let warm_entries ?warm (report : Session.Engine.report) =
+  let entries = ref (match warm with Some (Ok es) -> es | _ -> []) in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Session.Engine.Done _ ->
+          let ck = report.Session.Engine.checkpoints.(i) in
+          let enum = users_of i in
+          let server_class = warm_class i in
+          let sched =
+            match schedule_of ~warm ~enum ~server_class with
+            | Some s -> s
+            | None -> Levin.schedule ()
+          in
+          let budget =
+            hint_budget ~card:(Enum.cardinality enum) sched
+              ~slots:ck.Universal.saved_slots ~index:ck.Universal.saved_index
+          in
+          entries :=
+            Warm.record !entries
+              {
+                Warm.server_class;
+                enum = Enum.name enum;
+                index = ck.Universal.saved_index;
+                budget;
+              }
+      | _ -> ())
+    report.Session.Engine.outcomes;
+  !entries
 
 (* --- the matrix ------------------------------------------------------- *)
 
@@ -153,9 +246,9 @@ let chaos_of spec =
   | Ok c -> c
   | Error e -> invalid_arg ("E18_chaos_matrix: " ^ e)
 
-let run_condition ?jobs ~sessions ~seed cond =
+let run_condition ?warm ?jobs ~sessions ~seed cond =
   Session.Engine.run ~chaos:(chaos_of cond.chaos_spec) ~config:cond.econfig
-    ?jobs ~specs:(specs ~sessions) ~seed ()
+    ?jobs ~specs:(specs ?warm ~sessions ()) ~seed ()
 
 (* Sessions per condition: 2000 (a 10k-session matrix) by default;
    GOALCOM_E18_SESSIONS scales the whole matrix down for smoke runs. *)

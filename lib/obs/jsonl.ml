@@ -175,6 +175,18 @@ let add_event b (ev : Trace.event) =
       Buffer.add_string b ",\"detail\":";
       add_str b detail;
       Buffer.add_char b '}'
+  | Trace.Warm { server_class; enum; index; accepted; detail } ->
+      Buffer.add_string b "{\"ev\":\"warm\",\"class\":";
+      add_str b server_class;
+      Buffer.add_string b ",\"enum\":";
+      add_str b enum;
+      Buffer.add_string b ",\"index\":";
+      add_int b index;
+      Buffer.add_string b ",\"accepted\":";
+      add_bool b accepted;
+      Buffer.add_string b ",\"detail\":";
+      add_str b detail;
+      Buffer.add_char b '}'
 
 let event_to_json ev =
   let b = Buffer.create 128 in
@@ -323,6 +335,13 @@ let event_of_json j : (Trace.event, string) result =
       let* action = str_field "action" j in
       let* detail = str_field "detail" j in
       Ok (Trace.Supervise { tick; session; action; detail })
+  | "warm" ->
+      let* server_class = str_field "class" j in
+      let* enum = str_field "enum" j in
+      let* index = int_field "index" j in
+      let* accepted = bool_field "accepted" j in
+      let* detail = str_field "detail" j in
+      Ok (Trace.Warm { server_class; enum; index; accepted; detail })
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 
 let parse_line line =

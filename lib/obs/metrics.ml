@@ -153,6 +153,8 @@ let observe t (ev : Trace.event) =
   (* Engine-level supervision events are aggregated by lib/session's
      own reporting, not by the per-run meter. *)
   | Trace.Supervise _ -> ()
+  (* Warm-start cache decisions likewise. *)
+  | Trace.Warm _ -> ()
 
 let sink t = observe t
 

@@ -37,6 +37,10 @@ let pp_event ppf (ev : Trace.event) =
   | Trace.Supervise { tick; session; action; detail } ->
       Format.fprintf ppf "## t%d session %d %s%s" tick session action
         (if detail = "" then "" else " [" ^ detail ^ "]")
+  | Trace.Warm { server_class; enum; index; accepted; detail } ->
+      Format.fprintf ppf "== warm %s/%s #%d %s%s" server_class enum index
+        (if accepted then "hit" else "rejected")
+        (if detail = "" then "" else " [" ^ detail ^ "]")
 
 let sink ppf ev = Format.fprintf ppf "%a@." pp_event ev
 

@@ -218,6 +218,8 @@ let observe f (ev : Trace.event) =
   (* Supervision decisions sit between runs; they carry no strategy
      attribution, so span accounting ignores them. *)
   | Trace.Supervise _ -> ()
+  (* Warm-start decisions precede the run; nothing to attribute. *)
+  | Trace.Warm _ -> ()
 
 let finish f =
   flush_pending f;

@@ -28,6 +28,7 @@ let kind_name (ev : Trace.event) =
   | Trace.Violation _ -> "violation"
   | Trace.Run_end _ -> "run_end"
   | Trace.Supervise _ -> "supervise"
+  | Trace.Warm _ -> "warm"
 
 (* Field-by-field differences between two events of the same kind, as
    ["field: left vs right"] fragments. *)
@@ -97,6 +98,14 @@ let field_diffs (a : Trace.event) (b : Trace.event) =
           d "tick" istr a.tick b.tick;
           d "session" istr a.session b.session;
           d "action" Fun.id a.action b.action;
+          d "detail" Fun.id a.detail b.detail;
+        ]
+    | Trace.Warm a, Trace.Warm b ->
+        [
+          d "class" Fun.id a.server_class b.server_class;
+          d "enum" Fun.id a.enum b.enum;
+          d "index" istr a.index b.index;
+          d "accepted" bstr a.accepted b.accepted;
           d "detail" Fun.id a.detail b.detail;
         ]
     | _ -> []

@@ -98,6 +98,7 @@ type report = {
   p50_rounds : float;
   p99_rounds : float;
   digest : string;
+  checkpoints : Universal.checkpoint array;
 }
 
 (* --- internal session state ------------------------------------------ *)
@@ -460,4 +461,5 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ~specs ~seed ()
     p50_rounds = (if done_rounds = [] then 0. else Stats.percentile 50. done_rounds);
     p99_rounds = (if done_rounds = [] then 0. else Stats.percentile 99. done_rounds);
     digest;
+    checkpoints = Array.map (fun s -> s.checkpoint) sessions;
   }

@@ -105,6 +105,12 @@ type report = {
   p50_rounds : float;  (** median rounds-to-goal over completed sessions *)
   p99_rounds : float;
   digest : string;  (** hex digest of all per-session outcomes *)
+  checkpoints : Goalcom.Universal.checkpoint array;
+      (** each session's final enumeration checkpoint (indexed by id).
+          For a [Done] session running a universal user, [saved_index]
+          is the index of the last candidate adopted — the one that
+          achieved the goal — which is what a warm-start cache records
+          for the session's server class. *)
 }
 
 val run :

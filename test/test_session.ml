@@ -159,7 +159,7 @@ let test_chaos_parse_errors () =
 
 (* Tiny standard mix (printing / corridor / open maze) from the E18
    harness, small enough for unit tests. *)
-let mix n = E18_chaos_matrix.specs ~sessions:n
+let mix n = E18_chaos_matrix.specs ~sessions:n ()
 
 let test_engine_all_complete () =
   let r = Engine.run ~specs:(mix 12) ~seed:3 () in
@@ -255,7 +255,7 @@ let prop_crash_restart_reaches_same_state =
     (fun (family, (k1, k2)) ->
       (* one session of the chosen family: mix order is printing,
          corridor, open-room *)
-      let specs = [| E18_chaos_matrix.specs ~sessions:3 |].(0).(family) in
+      let specs = [| E18_chaos_matrix.specs ~sessions:3 () |].(0).(family) in
       let specs = [| specs |] in
       let config =
         Engine.config ~quantum:8

@@ -83,6 +83,12 @@ let event_gen =
           (fun tick session (action, detail) ->
             Trace.Supervise { tick; session; action; detail })
           nat nat (pair name_gen name_gen);
+        map3
+          (fun (server_class, enum) (index, accepted) detail ->
+            Trace.Warm { server_class; enum; index; accepted; detail })
+          (pair name_gen name_gen)
+          (pair (int_range (-1) 40) bool)
+          name_gen;
       ])
 
 let event_arb = QCheck.make event_gen ~print:Obs.Jsonl.event_to_json
