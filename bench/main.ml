@@ -394,8 +394,8 @@ let write_fault_json rows =
    (below) driving the exact same strategies; the replica is checked
    against Exec.run for bit-identical histories before timing.  On top
    of the no-sink point we time the attached-sink variants: Trace.null
-   (pure dispatch cost), the Metrics aggregator, and JSONL rendering
-   into a Buffer. *)
+   (pure dispatch cost), the Metrics aggregator, the binary ring
+   buffer, and JSONL rendering into a Buffer. *)
 
 let replica_run ~config ~goal ~user ~server rng =
   let user_rng = Rng.split rng in
@@ -491,6 +491,10 @@ let measure_trace_overhead ~rounds ~budget () =
     failwith "trace overhead: replica loop diverged from Exec.run";
   let buf = Buffer.create 65536 in
   let metrics = Goalcom_obs.Metrics.create () in
+  (* Sized to hold a full 2000-round run (~18k events) without
+     evicting, so the measured cost is encode+store, not wrap
+     bookkeeping (which is cheaper: same store, no Buffer growth). *)
+  let ring = Goalcom_obs.Ring.create ~capacity:32768 in
   let variants =
     [
       ( "untraced replica",
@@ -510,6 +514,14 @@ let measure_trace_overhead ~rounds ~budget () =
           ignore
             (Exec.run
                ~sink:(Goalcom_obs.Metrics.sink metrics)
+               ~config ~goal ~user ~server
+               (Rng.make (seed + k))) );
+      ( "ring sink (binary)",
+        fun k ->
+          Goalcom_obs.Ring.clear ring;
+          ignore
+            (Exec.run
+               ~sink:(Goalcom_obs.Ring.domain_sink ring)
                ~config ~goal ~user ~server
                (Rng.make (seed + k))) );
       ( "jsonl sink (buffer)",
@@ -599,11 +611,38 @@ let trace_metrics ~base_ms ~nosink_pct measured =
          ])
        measured
 
+(* Hard acceptance thresholds for the always-on capture path, phrased
+   as a Bench_gate baseline with zero tolerance (the sense_gates
+   pattern): a fresh value above the threshold fails the gate no matter
+   what the committed file says.  The ring bound is the PR-8 acceptance
+   bar for leaving capture enabled in production; the null-sink bound
+   pins the fixed cost of merely having a sink installed; the no-sink
+   bound pins the disabled path.  Measured (release profile, -inline
+   200): ring ~41%, null ~13%, no sink ~1.5% — the slack above each is
+   headroom for host noise, not an invitation. *)
+let trace_gates =
+  let open Goalcom_obs.Bench_gate in
+  [
+    { name = "ring sink (binary)/overhead_pct"; value = 50. };
+    { name = "null sink/overhead_pct"; value = 22. };
+    { name = "no_sink_overhead_pct"; value = 5. };
+  ]
+
 let print_trace_overhead () =
   print_endline "\n==================================================";
   print_endline " Tracing overhead (compact control kernel)";
   print_endline "==================================================";
   let rounds = 15 in
+  let events_per_run =
+    let config, goal, user, server = trace_kernel_setup () in
+    let count = ref 0 in
+    ignore
+      (Exec.run
+         ~sink:(fun _ -> incr count)
+         ~config ~goal ~user ~server (Rng.make seed));
+    !count
+  in
+  Printf.printf "kernel emits %d events per run\n%!" events_per_run;
   let n, base_ms, measured = measure_trace_overhead ~rounds ~budget:0.05 () in
   let rows =
     ("untraced replica", [ Printf.sprintf "%.3f" base_ms; "baseline" ])
@@ -1181,7 +1220,15 @@ let session_counts (r : Session_engine.report) =
     ("total_rounds", float_of_int r.total_rounds);
     ("p50_rounds", r.p50_rounds);
     ("p99_rounds", r.p99_rounds);
+    ("p999_rounds", r.p999_rounds);
   ]
+
+(* Throughput of one measured run.  Recorded in BENCH_session.json and
+   printed, but gated through its reciprocal [jobsN_ms] (the gate's
+   judge is lower-is-better, and the two are the same number): it is
+   deliberately absent from the fresh metric list so a faster host's
+   higher throughput is never misread as a regression. *)
+let sessions_per_sec t = float_of_int session_sessions /. t
 
 (* Flattened to the gate's vocabulary — the same names
    Bench_gate.metrics_of_json extracts from BENCH_session.json. *)
@@ -1229,6 +1276,7 @@ let print_session () =
               cname;
               string_of_int jobs;
               Printf.sprintf "%.0f" (t *. 1e3);
+              Printf.sprintf "%.0f" (sessions_per_sec t);
               string_of_int r.completed;
               string_of_int r.shed;
               string_of_int r.restarts;
@@ -1236,6 +1284,7 @@ let print_session () =
               string_of_int r.gave_up;
               Printf.sprintf "%.0f" r.p50_rounds;
               Printf.sprintf "%.0f" r.p99_rounds;
+              Printf.sprintf "%.0f" r.p999_rounds;
               String.sub r.digest 0 12;
             ])
           by_jobs)
@@ -1247,8 +1296,9 @@ let print_session () =
          (Printf.sprintf "session engine, %d sessions per condition"
             session_sessions)
        ~columns:
-         [ "condition"; "jobs"; "wall ms"; "done"; "shed"; "restarts";
-           "trips"; "give-ups"; "p50 rds"; "p99 rds"; "digest" ]
+         [ "condition"; "jobs"; "wall ms"; "sess/s"; "done"; "shed";
+           "restarts"; "trips"; "give-ups"; "p50 rds"; "p99 rds";
+           "p999 rds"; "digest" ]
        rows);
   Printf.printf "\ndigest mismatches across jobs counts: %s\n"
     (if mismatches = [] then "none" else String.concat ", " mismatches);
@@ -1261,9 +1311,13 @@ let print_session () =
     let fields =
       List.map (fun (f, v) -> Printf.sprintf "\"%s\": %s" f (num v))
         (session_counts r)
-      @ List.map
+      @ List.concat_map
           (fun (jobs, (_, t)) ->
-            Printf.sprintf "\"jobs%d_ms\": %.1f" jobs (t *. 1e3))
+            [
+              Printf.sprintf "\"jobs%d_ms\": %.1f" jobs (t *. 1e3);
+              Printf.sprintf "\"jobs%d_sessions_per_sec\": %.1f" jobs
+                (sessions_per_sec t);
+            ])
           by_jobs
     in
     Printf.sprintf "    {\"name\": %S, %s}" cname (String.concat ", " fields)
@@ -1530,7 +1584,21 @@ let check () =
     match measured with (_, (r, _, _)) :: _ -> pct r | [] -> 0.
   in
   let fresh = trace_metrics ~base_ms ~nosink_pct measured in
-  let trace_comparisons = Gate.compare_metrics ~baseline ~fresh () in
+  let trace_comparisons =
+    (* Hard-gated metrics are judged once, against their absolute
+       thresholds; everything else drifts against the committed file
+       with the loose cross-host tolerances. *)
+    let gated (m : Gate.metric) =
+      List.exists (fun (g : Gate.metric) -> g.name = m.name) trace_gates
+    in
+    Gate.compare_metrics
+      ~baseline:(List.filter (fun m -> not (gated m)) baseline)
+      ~fresh ()
+    @ Gate.compare_metrics
+        ~tol_pct:(fun _ -> 0.)
+        ~slack:(fun _ -> 0.)
+        ~baseline:trace_gates ~fresh ()
+  in
   let par_comparisons =
     match Gate.load_file "BENCH_par.json" with
     | Error e ->

@@ -20,8 +20,11 @@
      warm record|show          warm-start stores: record winning
                                candidate indices from a cold run;
                                serve/chaos --warm probes them first
+     top                       live fleet stats: in-place rollup table over
+                               a running serve (--stats FILE) or an
+                               internal population
      trace-golden <dir>        regenerate the golden trace files
-     trace stats|attribution|diff|export
+     trace stats|attribution|sessions|diff|export
                                analytics over recorded JSONL traces *)
 
 open Cmdliner
@@ -449,7 +452,80 @@ let print_report (r : Session.Engine.report) =
   Printf.printf "total rounds   %d\n" r.total_rounds;
   Printf.printf "p50 rounds     %.0f\n" r.p50_rounds;
   Printf.printf "p99 rounds     %.0f\n" r.p99_rounds;
+  Printf.printf "p999 rounds    %.0f\n" r.p999_rounds;
   Printf.printf "digest         %s\n" r.digest
+
+(* --stats: a live Rollup fed from the engine's supervision hook —
+   fleet-level counters, histograms and sessions/sec with no trace
+   retained.  "-" prints Prometheus text exposition to stdout at the
+   end; a .prom path writes the same to a file; any other path gets a
+   JSON snapshot rewritten atomically every --stats-every ticks (and at
+   the end) for `goalcom top` to watch. *)
+
+module Rollup = Goalcom_obs.Rollup
+
+let stats_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats" ] ~docv:"FILE"
+           ~doc:"Aggregate live per-class session rollups (admitted / \
+                 shed / restarts / trips / done, rounds and latency \
+                 p50/p99/p999, sessions/sec).  $(docv) '-' prints a \
+                 Prometheus text exposition to stdout after the run; a \
+                 .prom path writes the same to the file; any other path \
+                 gets a JSON snapshot rewritten every $(b,--stats-every) \
+                 ticks, which a concurrent `goalcom top --stats` \
+                 renders live.")
+
+let stats_every_arg =
+  Arg.(value & opt int 50
+       & info [ "stats-every" ] ~docv:"T"
+           ~doc:"Ticks between snapshot rewrites for a JSON --stats file.")
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+type stats_live = {
+  st_rollup : Rollup.t;
+  st_supervise : tick:int -> session:int -> action:string -> detail:string -> unit;
+  st_tick : tick:int -> unit;
+  st_finish : unit -> unit;
+}
+
+let stats_live ~every ~specs path =
+  let class_of id = specs.(id).Session.Engine.server_class in
+  let st_rollup = Rollup.create ~clock:Unix.gettimeofday ~class_of () in
+  let st_supervise ~tick ~session ~action ~detail =
+    Rollup.supervise st_rollup ~tick ~session ~action ~detail
+  in
+  let st_tick ~tick =
+    if path <> "-" && (not (Filename.check_suffix path ".prom"))
+       && every > 0 && tick mod every = 0
+    then write_atomic path (Rollup.to_json (Rollup.snapshot st_rollup))
+  in
+  let st_finish () =
+    let snap = Rollup.snapshot st_rollup in
+    if path = "-" then print_string (Rollup.to_prometheus snap)
+    else begin
+      let content =
+        if Filename.check_suffix path ".prom" then Rollup.to_prometheus snap
+        else Rollup.to_json snap
+      in
+      write_atomic path content;
+      Table.print (Rollup.table snap);
+      Printf.printf "stats          -> %s\n" path
+    end
+  in
+  { st_rollup; st_supervise; st_tick; st_finish }
+
+(* Thread optional hooks into Engine.run without cluttering each
+   call site. *)
+let engine_hooks = function
+  | None -> (None, None)
+  | Some st -> (Some st.st_supervise, Some st.st_tick)
 
 let sessions_arg ~default =
   Arg.(value & opt int default
@@ -518,7 +594,7 @@ let serve_cmd =
                    abandoned (0 disables).")
   in
   let run sessions max_live queue quantum arrivals deadline budget warm_path
-      seed jobs =
+      stats stats_every seed jobs =
     apply_jobs jobs;
     let config =
       Session.Engine.config ~quantum ~max_live ~queue_capacity:queue
@@ -526,8 +602,15 @@ let serve_cmd =
     in
     let warm = Option.map warm_load warm_path in
     let specs = E18_chaos_matrix.specs ?warm ~sessions () in
-    let report = Session.Engine.run ~config ~specs ~seed () in
+    let stats =
+      Option.map (stats_live ~every:stats_every ~specs) stats
+    in
+    let on_supervise, on_tick = engine_hooks stats in
+    let report =
+      Session.Engine.run ~config ?on_supervise ?on_tick ~specs ~seed ()
+    in
     print_report report;
+    Option.iter (fun st -> st.st_finish ()) stats;
     Option.iter (fun path -> warm_save path warm report) warm_path
   in
   Cmd.v
@@ -537,7 +620,7 @@ let serve_cmd =
              per-class circuit breakers.")
     Term.(const run $ sessions_arg ~default:256 $ max_live_arg $ queue_arg
           $ quantum_arg $ arrivals_arg $ deadline_arg $ budget_arg $ warm_arg
-          $ seed_arg $ jobs_arg)
+          $ stats_arg $ stats_every_arg $ seed_arg $ jobs_arg)
 
 let chaos_run_cmd =
   let schedule_arg =
@@ -567,8 +650,18 @@ let chaos_run_cmd =
              ~doc:"Write the merged JSONL trace (per-session buffers in \
                    session-id order) to $(docv).")
   in
-  let run sessions schedule max_live queue budget repeat check trace warm_path
-      seed jobs =
+  let ring_arg =
+    Arg.(value & opt (some int) None
+         & info [ "ring" ] ~docv:"N"
+             ~doc:"Capture the merged trace through the binary ring-buffer \
+                   sink retaining the last $(docv) events, instead of an \
+                   unbounded in-memory buffer — the always-on production \
+                   capture.  --trace then writes the drained tail; the \
+                   invariant check of --check is skipped if the ring \
+                   evicted events (a truncated prefix is not a run).")
+  in
+  let run sessions schedule max_live queue budget repeat check trace ring
+      warm_path stats stats_every seed jobs =
     apply_jobs jobs;
     let chaos =
       match Session.Chaos.of_string ~alphabet:6 schedule with
@@ -581,45 +674,66 @@ let chaos_run_cmd =
     in
     let warm = Option.map warm_load warm_path in
     let specs = E18_chaos_matrix.specs ?warm ~sessions () in
-    let once () =
-      if check then begin
-        let buf = ref [] in
-        let r =
-          Trace.with_sink
-            (fun ev -> buf := ev :: !buf)
-            (fun () -> Session.Engine.run ~chaos ~config ~specs ~seed ())
-        in
-        (r, Some (List.rev !buf))
-      end
-      else (Session.Engine.run ~chaos ~config ~specs ~seed (), None)
+    let stats = Option.map (stats_live ~every:stats_every ~specs) stats in
+    let capture = check || trace <> None || ring <> None in
+    let evicted = ref 0 in
+    (* The rollup hooks feed only the first run: repeats exist to check
+       determinism of the engine, not to double-count sessions. *)
+    let once ~hooks () =
+      let on_supervise, on_tick =
+        engine_hooks (if hooks then stats else None)
+      in
+      let go () =
+        Session.Engine.run ~chaos ~config ?on_supervise ?on_tick ~specs ~seed
+          ()
+      in
+      if not capture then (go (), None)
+      else
+        match ring with
+        | Some capacity ->
+            let r = Goalcom_obs.Ring.create ~capacity in
+            (* The engine replays its merged stream from this domain, so
+               the shard-bound fast path applies. *)
+            let report = Trace.with_sink (Goalcom_obs.Ring.domain_sink r) go in
+            evicted := Goalcom_obs.Ring.evicted r;
+            (report, Some (Goalcom_obs.Ring.events r))
+        | None ->
+            let buf = ref [] in
+            let report = Trace.with_sink (fun ev -> buf := ev :: !buf) go in
+            (report, Some (List.rev !buf))
     in
-    let first, events = once () in
+    let first, events = once ~hooks:true () in
     print_report first;
+    Option.iter (fun st -> st.st_finish ()) stats;
     Option.iter (fun path -> warm_save path warm first) warm_path;
     (match events with
     | None -> ()
-    | Some evs -> (
+    | Some evs ->
+        if ring <> None then
+          Printf.printf "ring           %d events retained, %d evicted\n"
+            (List.length evs) !evicted;
         (match trace with
         | None -> ()
         | Some path ->
             Goalcom_obs.Jsonl.with_file path (fun sink ->
                 List.iter sink evs));
-        match Trace.check Trace.standard evs with
-        | Ok () ->
-            Printf.printf "trace ok       %d events, standard invariants hold\n"
-              (List.length evs)
-        | Error msg ->
-            Printf.eprintf "trace invariant violated: %s\n" msg;
-            exit 1));
-    if events = None then
-      Option.iter
-        (fun path ->
-          Goalcom_obs.Jsonl.with_file path (fun sink ->
-              Trace.with_sink sink (fun () ->
-                  ignore (Session.Engine.run ~chaos ~config ~specs ~seed ()))))
-        trace;
+        if check then
+          if !evicted > 0 then
+            Printf.printf
+              "trace          invariants skipped (ring evicted %d events)\n"
+              !evicted
+          else begin
+            match Trace.check Trace.standard evs with
+            | Ok () ->
+                Printf.printf
+                  "trace ok       %d events, standard invariants hold\n"
+                  (List.length evs)
+            | Error msg ->
+                Printf.eprintf "trace invariant violated: %s\n" msg;
+                exit 1
+          end);
     for k = 2 to repeat do
-      let r, evs = once () in
+      let r, evs = once ~hooks:false () in
       if r.Session.Engine.digest <> first.Session.Engine.digest then begin
         Printf.eprintf "repeat %d: digest diverged (%s vs %s)\n" k
           r.Session.Engine.digest first.Session.Engine.digest;
@@ -639,7 +753,8 @@ let chaos_run_cmd =
              completion, shedding, restarts and breaker activity.")
     Term.(const run $ sessions_arg ~default:500 $ schedule_arg $ max_live_arg
           $ queue_arg $ budget_arg $ repeat_arg $ check_arg $ trace_arg
-          $ warm_arg $ seed_arg $ jobs_arg)
+          $ ring_arg $ warm_arg $ stats_arg $ stats_every_arg $ seed_arg
+          $ jobs_arg)
 
 let chaos_matrix_cmd =
   let run sessions seed jobs =
@@ -745,7 +860,13 @@ let trace_golden_cmd =
         let events = c.Trace_cases.events () in
         Goalcom_obs.Jsonl.to_file path events;
         Printf.printf "wrote %s (%d events)\n" path (List.length events))
-      Trace_cases.all
+      Trace_cases.all;
+    let stats_path = Filename.concat dir "stats_e18_chaos.json" in
+    let oc = open_out stats_path in
+    output_string oc (Trace_cases.rollup_stats ());
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" stats_path
   in
   Cmd.v
     (Cmd.info "trace-golden"
@@ -882,12 +1003,131 @@ and trace_export_cmd =
              profile (round numbers as logical time) or as CSV.")
     Term.(const run $ file_arg $ format_arg $ out_arg)
 
+and trace_sessions_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"JSONL engine trace (from `serve`/`chaos run --trace`).")
+  in
+  let run path =
+    let events = load_trace path in
+    match Span.sessions_of_events events with
+    | [] ->
+        Printf.printf
+          "%s: no Supervise events — not an engine trace (try `goalcom \
+           trace attribution`)\n"
+          path
+    | sessions -> Table.print (Span.sessions_table sessions)
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:"Per-session supervise attribution of an engine trace: one row \
+             per session with its incarnations, restarts, kills, the \
+             enumeration indices each restart resumed at, and the winning \
+             candidate.")
+    Term.(const run $ file_arg)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
        ~doc:"Analytics over JSONL execution traces: stats, overhead \
-             attribution, structural diffing, profile export.")
-    [ trace_stats_cmd; trace_attribution_cmd; trace_diff_cmd; trace_export_cmd ]
+             attribution, per-session supervision, structural diffing, \
+             profile export.")
+    [
+      trace_stats_cmd; trace_attribution_cmd; trace_sessions_cmd;
+      trace_diff_cmd; trace_export_cmd;
+    ]
+
+(* top — live fleet stats, htop-style *)
+
+let top_cmd =
+  let stats_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "stats" ] ~docv:"FILE"
+             ~doc:"Watch the JSON snapshot file a concurrent `serve --stats \
+                   FILE` (or `chaos run --stats FILE`) keeps rewriting, \
+                   instead of serving an internal population.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between redraws when watching a --stats file.")
+  in
+  let refresh_arg =
+    Arg.(value & opt int 20
+         & info [ "refresh-ticks" ] ~docv:"T"
+             ~doc:"Scheduler ticks between redraws when serving the \
+                   internal population.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Render a single frame and exit (no ANSI \
+                                 clearing; smoke tests and pipelines).")
+  in
+  let draw ~clear snap =
+    if clear then print_string "\027[H\027[2J";
+    Table.print (Rollup.table snap);
+    flush stdout
+  in
+  let watch_file path interval once =
+    let frame () =
+      match Goalcom_obs.Json.of_file path with
+      | Error e -> Error e
+      | Ok j -> Rollup.snapshot_of_json j
+    in
+    if once then (
+      match frame () with
+      | Ok snap -> draw ~clear:false snap
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1)
+    else
+      let rec loop () =
+        (match frame () with
+        | Ok snap -> draw ~clear:true snap
+        | Error e ->
+            print_string "\027[H\027[2J";
+            Printf.printf "goalcom top: waiting for %s (%s)\n%!" path e);
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+  in
+  let serve_internal sessions refresh once seed jobs =
+    apply_jobs jobs;
+    let specs = E18_chaos_matrix.specs ~sessions () in
+    let class_of id = specs.(id).Session.Engine.server_class in
+    let rollup = Rollup.create ~clock:Unix.gettimeofday ~class_of () in
+    let on_supervise ~tick ~session ~action ~detail =
+      Rollup.supervise rollup ~tick ~session ~action ~detail
+    in
+    let on_tick ~tick =
+      if (not once) && refresh > 0 && tick mod refresh = 0 then
+        draw ~clear:true (Rollup.snapshot rollup)
+    in
+    let report =
+      Session.Engine.run
+        ~config:(Session.Engine.config ~max_live:64 ())
+        ~on_supervise ~on_tick ~specs ~seed ()
+    in
+    draw ~clear:(not once) (Rollup.snapshot rollup);
+    Printf.printf "completed %d/%d, digest %s\n" report.Session.Engine.completed
+      (Array.length specs) report.Session.Engine.digest
+  in
+  let run stats sessions interval refresh once seed jobs =
+    match stats with
+    | Some path -> watch_file path interval once
+    | None -> serve_internal sessions refresh once seed jobs
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live fleet stats, htop-style: an in-place session rollup \
+             table (per-class counters, rounds and latency percentiles, \
+             sessions/sec).  With --stats FILE it watches a running \
+             serve/chaos; without, it serves an internal population and \
+             redraws as it runs.")
+    Term.(const run $ stats_file_arg $ sessions_arg ~default:120
+          $ interval_arg $ refresh_arg $ once_arg $ seed_arg $ jobs_arg)
 
 let () =
   let info =
@@ -899,5 +1139,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; all_cmd; demo_cmd; check_cmd; transcript_cmd;
-            serve_cmd; chaos_cmd; warm_cmd; trace_golden_cmd; trace_cmd;
+            serve_cmd; chaos_cmd; warm_cmd; top_cmd; trace_golden_cmd;
+            trace_cmd;
           ]))

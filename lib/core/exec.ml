@@ -41,8 +41,9 @@ module Stepper = struct
     (* Run_start precedes the RNG splits, exactly as in the monolithic
        loop, so a traced stepper and a traced [run] agree byte for
        byte. *)
-    if Trace.enabled () then
-      Trace.emit
+    let h = Trace.handle () in
+    if Trace.handle_enabled h then
+      Trace.handle_emit h
         (Trace.Run_start
            {
              goal = Goal.name goal;
@@ -92,17 +93,18 @@ module Stepper = struct
     | Some _ -> true
     | None -> t.round > t.cfg.horizon || (t.halted && t.drain_left <= 0)
 
-  let emit_msg round src dst msg =
+  let[@inline] emit_msg h round src dst msg =
     if not (Msg.is_silence msg) then
-      Trace.emit (Trace.Emit { round; src; dst; msg })
+      Trace.handle_emit h (Trace.Emit { round; src; dst; msg })
 
   let finish t =
     let history =
       History.make ~initial_world_view:t.initial_world_view
         (List.rev t.rounds_rev)
     in
-    if Trace.enabled () then
-      Trace.emit
+    let h = Trace.handle () in
+    if Trace.handle_enabled h then
+      Trace.handle_emit h
         (Trace.Run_end { rounds = History.length history; halted = t.halted });
     t.result <- Some history;
     history
@@ -121,12 +123,16 @@ module Stepper = struct
           false
         end
         else begin
-          let tracing = Trace.enabled () in
+          (* One DLS access per step; everything below goes through the
+             handle (the sink is stable within a step — nothing here
+             installs or removes sinks). *)
+          let h = Trace.handle () in
+          let tracing = Trace.handle_enabled h in
           let round = t.round in
           let (u2s, u2w), (s2u, s2w), (w2u, w2s) = t.prev_acts in
           if tracing then begin
-            Trace.set_round round;
-            Trace.emit (Trace.Round_start { round })
+            Trace.handle_set_round h round;
+            Trace.handle_emit h (Trace.Round_start { round })
           end;
           let user_act : Io.User.act =
             if t.halted then Io.User.halt_act
@@ -144,13 +150,14 @@ module Stepper = struct
           in
           let halted' = t.halted || user_act.halt in
           if tracing then begin
-            emit_msg round Trace.User Trace.Server user_act.to_server;
-            emit_msg round Trace.User Trace.World user_act.to_world;
-            emit_msg round Trace.Server Trace.User server_act.to_user;
-            emit_msg round Trace.Server Trace.World server_act.to_world;
-            emit_msg round Trace.World Trace.User world_act.to_user;
-            emit_msg round Trace.World Trace.Server world_act.to_server;
-            if halted' && not t.halted then Trace.emit (Trace.Halt { round })
+            emit_msg h round Trace.User Trace.Server user_act.to_server;
+            emit_msg h round Trace.User Trace.World user_act.to_world;
+            emit_msg h round Trace.Server Trace.User server_act.to_user;
+            emit_msg h round Trace.Server Trace.World server_act.to_world;
+            emit_msg h round Trace.World Trace.User world_act.to_user;
+            emit_msg h round Trace.World Trace.Server world_act.to_server;
+            if halted' && not t.halted then
+              Trace.handle_emit h (Trace.Halt { round })
           end;
           let round_record =
             {

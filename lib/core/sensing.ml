@@ -183,16 +183,18 @@ let tolerant ~window ~threshold t =
        interesting tolerant-sensing event: record it when tracing (every
        unmasked verdict is already visible to the universal user's own
        [Sense] emission). *)
-    if Trace.enabled () then
-      Trace.emit
-        (Trace.Sense
-           {
-             round;
-             sensor = name ^ "/mask";
-             positive = true;
-             clock = negs;
-             patience = threshold;
-           })
+    match Trace.current () with
+    | None -> ()
+    | Some sink ->
+        sink
+          (Trace.Sense
+             {
+               round;
+               sensor = name ^ "/mask";
+               positive = true;
+               clock = negs;
+               patience = threshold;
+             })
   in
   let sense view =
     let depth = min window (View.length view) in

@@ -101,6 +101,29 @@ let emit ev = match (state ()).d_sink with None -> () | Some f -> f ev
 let set_round r = (state ()).d_round <- r
 let current_round () = (state ()).d_round
 
+(* Hot-path handle: the per-domain state record itself.  [Domain.DLS.get]
+   compiles to a lookup through the domain's local root — cheap, but not
+   free, and the engine's step loop used to pay it up to nine times per
+   round (the enabled guard, [set_round], and once inside [emit] for
+   every message).  Fetching the record once per step and reading fields
+   through it leaves exactly one DLS access per round.  A handle is safe
+   to hold for as long as the holder stays on one domain: [set_sink] /
+   [with_sink] mutate this same record in place, so a cached handle
+   observes sink installs and removals immediately. *)
+
+type handle = dls
+
+let[@inline] handle () = state ()
+
+let[@inline] handle_enabled h =
+  match h.d_sink with None -> false | Some _ -> true
+
+let[@inline] handle_emit h ev =
+  match h.d_sink with None -> () | Some f -> f ev
+
+let[@inline] handle_set_round h r = h.d_round <- r
+let[@inline] handle_round h = h.d_round
+
 let with_sink s f =
   guard_install (Some s);
   let st = state () in

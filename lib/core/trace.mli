@@ -117,6 +117,27 @@ val set_round : int -> unit
 
 val current_round : unit -> int
 
+(** {1 The hot-path handle}
+
+    {!emit}, {!enabled} and {!set_round} each perform one domain-local
+    lookup; an emitter that touches the sink several times per round
+    (the {!Exec.Stepper} step loop pays up to nine accesses per round)
+    can fetch the calling domain's trace state {e once} and go through
+    the handle instead.  A handle stays valid while the holder remains
+    on its domain — {!set_sink} and {!with_sink} mutate the same record
+    in place, so a cached handle observes sink changes immediately.
+    Never move a handle across domains. *)
+
+type handle
+
+val handle : unit -> handle
+(** The calling domain's trace state; one DLS access. *)
+
+val handle_enabled : handle -> bool
+val handle_emit : handle -> event -> unit
+val handle_set_round : handle -> int -> unit
+val handle_round : handle -> int
+
 val tee : sink -> sink -> sink
 (** Both sinks, left first. *)
 

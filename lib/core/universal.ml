@@ -81,6 +81,10 @@ type ('strat, 'inst) compact_state = {
   c_pending : (Io.User.obs * Io.User.act) option;
   c_rounds_in : int;  (* rounds the current strategy has run *)
   c_attempt : int;  (* retries already spent on the current index *)
+  c_grace : int;
+      (* memoized [effective_grace c_index c_attempt] — recomputed only
+         when index or attempt change, so the per-round path (patience
+         check, Sense event) skips the cardinality division *)
   c_last_world : Msg.t option;  (* previous from_world observation *)
   c_stall : int;  (* consecutive rounds without world-view progress *)
 }
@@ -144,6 +148,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
         c_pending = None;
         c_rounds_in = 0;
         c_attempt = 0;
+        c_grace = effective_grace start 0;
         c_last_world = None;
         c_stall = 0;
       })
@@ -157,16 +162,20 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
         if state.c_pending = None then Sensing.Positive (* nothing to judge yet *)
         else Sensing.verdict sense_state
       in
-      if Trace.enabled () then
-        Trace.emit
-          (Trace.Sense
-             {
-               round = obs.Io.User.round;
-               sensor = sensing.Sensing.name;
-               positive = verdict = Sensing.Positive;
-               clock = state.c_rounds_in;
-               patience = effective_grace state.c_index state.c_attempt;
-             });
+      (* Single sink lookup (this fires every round): fetch the sink
+         once instead of the enabled-guard-then-emit double access. *)
+      (match Trace.current () with
+      | None -> ()
+      | Some sink ->
+          sink
+            (Trace.Sense
+               {
+                 round = obs.Io.User.round;
+                 sensor = sensing.Sensing.name;
+                 positive = verdict = Sensing.Positive;
+                 clock = state.c_rounds_in;
+                 patience = state.c_grace;
+               }));
       (* Wedge detection: a frozen from_world stream means the current
          strategy is not moving the world at all (e.g. the server
          crashed or went silent mid-session); once the stall outlasts
@@ -184,8 +193,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
       let state, stall =
         if
           verdict = Sensing.Negative
-          && (state.c_rounds_in >= effective_grace state.c_index state.c_attempt
-             || wedged)
+          && (state.c_rounds_in >= state.c_grace || wedged)
         then begin
           if (not wedged) && state.c_attempt < retries then begin
             (* Retry the same index from scratch with doubled patience
@@ -204,6 +212,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
                 c_inst = I.create (memo_get state.c_memo state.c_index);
                 c_rounds_in = 0;
                 c_attempt = state.c_attempt + 1;
+                c_grace = effective_grace state.c_index (state.c_attempt + 1);
               },
               0 )
           end
@@ -231,6 +240,7 @@ let compact ?(grace = 1) ?(growth = `Doubling) ?(retries = 0) ?wedge_after
                 c_inst = I.create (memo_get state.c_memo index);
                 c_rounds_in = 0;
                 c_attempt = 0;
+                c_grace = effective_grace index 0;
               },
               0 )
           end
@@ -442,19 +452,21 @@ let finite ?schedule ?checkpoint ?stats ~enum ~sensing () =
         if state.f_pending = None then Sensing.Negative (* nothing achieved yet *)
         else Sensing.verdict sense_state
       in
-      if Trace.enabled () then
-        Trace.emit
-          (Trace.Sense
-             {
-               round = obs.Io.User.round;
-               sensor = sensing.Sensing.name;
-               positive = verdict = Sensing.Positive;
-               clock = state.f_used;
-               patience =
-                 (match state.f_current with
-                 | Some (slot, _) -> slot.Levin.budget
-                 | None -> 0);
-             });
+      (match Trace.current () with
+      | None -> ()
+      | Some sink ->
+          sink
+            (Trace.Sense
+               {
+                 round = obs.Io.User.round;
+                 sensor = sensing.Sensing.name;
+                 positive = verdict = Sensing.Positive;
+                 clock = state.f_used;
+                 patience =
+                   (match state.f_current with
+                   | Some (slot, _) -> slot.Levin.budget
+                   | None -> 0);
+               }));
       if verdict = Sensing.Positive then
         ({ state with f_sense = sense_state; f_pending = None }, Io.User.halt_act)
       else begin

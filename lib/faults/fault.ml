@@ -16,8 +16,10 @@ let nop = { name = "nop"; wrap = Fun.id }
    emission ever consumes randomness, so traced and untraced runs draw
    the same RNG stream. *)
 let emit_fault fault detail =
-  if Trace.enabled () then
-    Trace.emit (Trace.Fault { round = Trace.current_round (); fault; detail })
+  let h = Trace.handle () in
+  if Trace.handle_enabled h then
+    Trace.handle_emit h
+      (Trace.Fault { round = Trace.handle_round h; fault; detail })
 
 (* [compose f g] applies [g] closest to the server: the composed link
    reads outbound as server → g → f → user and inbound the other way —

@@ -155,3 +155,13 @@ let e18_chaos =
   }
 
 let all = [ e1_printing; e3_maze; e16_crash; e18_chaos ]
+
+(* The stats golden is generated and tested through this one function
+   (like [events] above), so the regenerator and the test cannot
+   drift: a clock-less Rollup folded over the [e18_chaos] supervise
+   stream is a pure function of the case. *)
+let rollup_stats () =
+  let module Rollup = Goalcom_obs.Rollup in
+  let r = Rollup.create ~class_of:(fun _ -> "maze") () in
+  List.iter (Rollup.observe r) (e18_chaos.events ());
+  Rollup.to_json (Rollup.snapshot r)

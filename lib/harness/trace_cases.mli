@@ -37,3 +37,9 @@ val e18_chaos : case
     replay order alongside the run events. *)
 
 val all : case list
+
+val rollup_stats : unit -> string
+(** The clock-less {!Goalcom_obs.Rollup} snapshot of the {!e18_chaos}
+    supervise stream, as one JSON line — deterministic, so
+    [goalcom trace-golden] freezes it as [stats_e18_chaos.json] and the
+    telemetry suite diffs a recomputation against the committed file. *)

@@ -1,0 +1,68 @@
+(** Compact binary encoding of {!Goalcom.Trace.event} — the wire format
+    of the ring-buffer sink ({!Ring}).
+
+    One tag byte per event, then the fields in declaration order:
+    integers as zigzag-mapped LEB128 varints (at most 9 bytes for the
+    63-bit domain), strings as a varint byte length plus raw bytes (no
+    escaping — arbitrary bytes roundtrip exactly), parties and booleans
+    as one byte, and messages as a tagged preorder walk.  A
+    [Round_start] costs 2 bytes and a typical [Emit] 6–8, an order of
+    magnitude under their JSONL renderings, and encoding performs no
+    formatting — which is what makes always-on capture affordable.
+
+    {!decode} inverts {!add_event} exactly (the qcheck suite pins the
+    roundtrip over arbitrary events, adversarial [Text] bytes
+    included), so decoded events feed every existing [Trace.event]
+    consumer — {!Jsonl}, {!Trace_diff}, {!Span}, {!Metrics}, the golden
+    tests — unchanged.  The format is an in-memory ring layout, not an
+    archival format: it carries no version header; {!Jsonl} remains the
+    interchange format. *)
+
+val add_event : Buffer.t -> Goalcom.Trace.event -> unit
+(** Append one encoded event. *)
+
+val event_to_string : Goalcom.Trace.event -> string
+
+(** {1 Cursor encoder}
+
+    The allocation-free encoding path ({!Ring}'s hot loop): a reusable
+    growable byte cursor.  {!encode} rewinds the cursor and writes one
+    event; the result is the first {!enc_len} bytes of {!enc_bytes}
+    (valid until the next {!encode} — copy out before re-using). *)
+
+type enc
+
+val enc_create : int -> enc
+(** A cursor with [n] bytes of initial capacity (grows as needed). *)
+
+val encode : enc -> Goalcom.Trace.event -> unit
+(** Rewind and write one event: the cursor holds exactly that event. *)
+
+val put_event : enc -> Goalcom.Trace.event -> unit
+(** Append one event at the cursor without rewinding ({!Ring} keeps a
+    whole shard's events in one cursor this way). *)
+
+val enc_bytes : enc -> Bytes.t
+val enc_len : enc -> int
+
+val enc_set_len : enc -> int -> unit
+(** Truncate to the first [n] bytes ([0 <= n <= enc_len]) — the
+    drop-the-tail half of a caller-managed compaction that blits live
+    bytes down inside {!enc_bytes} first. *)
+
+val sink : Buffer.t -> Goalcom.Trace.sink
+(** A sink appending every event to the buffer (benchmark harness and
+    tests; production capture wants {!Ring.sink}). *)
+
+(** {1 Decoding} *)
+
+val decode : ?pos:int -> string -> (Goalcom.Trace.event * int, string) result
+(** [decode ?pos s] reads one event at [pos] (default [0]); on success
+    returns the event and the offset just past it.  Errors name the
+    failing byte offset. *)
+
+val event_of_string : string -> (Goalcom.Trace.event, string) result
+(** One event spanning the whole string; trailing bytes are an error. *)
+
+val decode_all : ?pos:int -> string -> (Goalcom.Trace.event list, string) result
+(** Events back to back until the end of the string. *)

@@ -1,0 +1,167 @@
+(* The always-on capture sink: a fixed-capacity ring of binary-encoded
+   events, one shard per domain.
+
+   Emission path: append the event through Binary's cursor encoder
+   straight into the shard's arena — one growable Bytes.t holding the
+   retained events back to back — and record the (offset, length) pair
+   in a circular index.  No per-event allocation at all: the arena and
+   index are reused for the life of the shard, so a ring that retains
+   events across minor collections promotes two flat blocks once, not
+   one small string per event (which is what made a string-array ring
+   pay major-heap churn proportional to the event rate).  No locks, no
+   atomics — the shard is reached through domain-local storage; the
+   mutex only guards the shard registry (a shard registers itself from
+   its DLS initialiser, once per domain per ring) and the drain-side
+   iteration.
+
+   Arena reclamation: eviction just advances [head], so dead bytes
+   accumulate at the front of the arena.  Retained bytes are always the
+   contiguous region [base, cursor) where [base] is the oldest retained
+   event's offset — writes are sequential and eviction drops the lowest
+   offsets first.  When the dead prefix outgrows the live region (plus
+   slack), a push first slides the live bytes down to 0 and rebases the
+   index; the eviction bytes between two compactions pay for the copy,
+   so the amortized cost is O(1) per byte and arena memory stays within
+   a small multiple of the retained encoding.
+
+   Draining decodes every retained slice back to a Trace.event and
+   concatenates shards in first-use order (per-shard order is FIFO).
+   On one domain that equals exactly what a buffering sink would have
+   recorded, minus evicted prefixes — the acceptance test pins the
+   drained ring Trace_diff-equal to the JSONL sink for the same run.
+   Across domains the interleaving is scheduling-dependent, like any
+   per-domain capture; the engine replays its merged trace from one
+   domain, so its rings hold a single shard. *)
+
+type shard = {
+  enc : Binary.enc;  (* the arena: retained events, back to back *)
+  offs : int array;  (* circular index: where each event starts *)
+  lens : int array;
+  mutable head : int;  (* index slot of the oldest retained event *)
+  mutable tail : int;  (* next slot to write; equals [head] when full *)
+  mutable len : int;
+  mutable evicted : int;
+}
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  shards : shard list ref;  (* first-use order *)
+  slot : shard Domain.DLS.key;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let mutex = Mutex.create () in
+  let shards = ref [] in
+  let slot =
+    (* Runs on first access from each domain: build the shard and
+       register it, so the per-event path is a bare DLS load. *)
+    Domain.DLS.new_key (fun () ->
+        let sh =
+          {
+            enc = Binary.enc_create 4096;
+            offs = Array.make capacity 0;
+            lens = Array.make capacity 0;
+            head = 0;
+            tail = 0;
+            len = 0;
+            evicted = 0;
+          }
+        in
+        Mutex.lock mutex;
+        shards := !shards @ [ sh ];
+        Mutex.unlock mutex;
+        sh)
+  in
+  { capacity; mutex; shards; slot }
+
+let capacity t = t.capacity
+
+(* Slide the live region [base, cursor) down to 0 and rebase the
+   index.  Only called with [base > 0], from [push]. *)
+let compact sh base =
+  let e = sh.enc in
+  let retained = Binary.enc_len e - base in
+  let buf = Binary.enc_bytes e in
+  Bytes.blit buf base buf 0 retained;
+  let cap = Array.length sh.offs in
+  for k = 0 to sh.len - 1 do
+    let i = sh.head + k in
+    let i = if i >= cap then i - cap else i in
+    Array.unsafe_set sh.offs i (Array.unsafe_get sh.offs i - base)
+  done;
+  Binary.enc_set_len e retained
+
+let push_sh sh ev =
+  let e = sh.enc in
+  let start = Binary.enc_len e in
+  Binary.put_event e ev;
+  let n = Binary.enc_len e - start in
+  let cap = Array.length sh.offs in
+  let i = sh.tail in
+  Array.unsafe_set sh.offs i start;
+  Array.unsafe_set sh.lens i n;
+  sh.tail <- (if i + 1 = cap then 0 else i + 1);
+  if sh.len = cap then begin
+    (* Full: the write above overwrote the oldest slot ([tail] chases
+       [head] once full); advance [head] past it. *)
+    sh.head <- sh.tail;
+    sh.evicted <- sh.evicted + 1;
+    (* Dead bytes only ever grow here, so the reclamation check lives
+       on the eviction path and the common non-evicting push does no
+       extra work.  Compact once the dead prefix outgrows the live
+       bytes (plus slack so tiny rings don't compact every eviction);
+       appends that outgrow the arena while the prefix is mostly live
+       are handled by the cursor's own doubling. *)
+    let base = Array.unsafe_get sh.offs sh.head in
+    let cursor = Binary.enc_len e in
+    if base > cursor - base + 4096 then compact sh base
+  end
+  else sh.len <- sh.len + 1
+
+let sink t ev = push_sh (Domain.DLS.get t.slot) ev
+
+(* The DLS lookup is the single biggest fixed cost left on the emission
+   path (the encode itself is ~10ns); binding the shard once at install
+   time removes it.  Sound only because the returned closure is used
+   from the domain that called [domain_sink] — which is exactly the
+   single-domain shape of the engine replay, the chaos capture and the
+   bench harness. *)
+let domain_sink t =
+  let sh = Domain.DLS.get t.slot in
+  fun ev -> push_sh sh ev
+
+(* Drain-side accessors.  These lock only the registry; they read shard
+   fields without synchronisation, so call them when producers are
+   quiescent (after the traced run) — the engine and CLI do. *)
+
+let with_shards t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> f !(t.shards))
+
+let sum f t = with_shards t (List.fold_left (fun acc sh -> acc + f sh) 0)
+let length t = sum (fun sh -> sh.len) t
+let evicted t = sum (fun sh -> sh.evicted) t
+let domains t = with_shards t List.length
+
+let events t =
+  with_shards t
+    (List.concat_map (fun sh ->
+         let cap = Array.length sh.offs in
+         let buf = Binary.enc_bytes sh.enc in
+         List.init sh.len (fun k ->
+             let i = (sh.head + k) mod cap in
+             let slice = Bytes.sub_string buf sh.offs.(i) sh.lens.(i) in
+             match Binary.event_of_string slice with
+             | Ok ev -> ev
+             | Error e -> failwith ("Ring.events: corrupt slot: " ^ e))))
+
+let clear t =
+  with_shards t
+    (List.iter (fun sh ->
+         Binary.enc_set_len sh.enc 0;
+         sh.head <- 0;
+         sh.tail <- 0;
+         sh.len <- 0;
+         sh.evicted <- 0))

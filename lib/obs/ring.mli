@@ -1,0 +1,59 @@
+(** The always-on capture sink: a fixed-capacity ring buffer of
+    {!Binary}-encoded events, one shard per domain.
+
+    A deployment that leaves tracing ON wants two properties the JSONL
+    sink lacks: bounded memory (keep the {e last} [capacity] events,
+    evicting the oldest) and an emission path cheap enough to ignore
+    (no formatting, no I/O, no locks).  The ring provides both: each
+    domain reaches its own shard through domain-local storage — zero
+    synchronisation per event, and a sink observed by many pool workers
+    records each worker's stream separately — and each event costs one
+    binary encode plus an array store.
+
+    {!events} decodes the retained slots back to ordinary
+    {!Goalcom.Trace.event}s (shards concatenated in first-use order,
+    each FIFO), so a drained ring feeds [Jsonl], [Trace_diff], [Span],
+    [Rollup] and the trace invariants unchanged.  On a single domain
+    the drained events are exactly the tail of what a buffering sink
+    would have recorded.
+
+    Drain-side functions ({!events}, {!length}, {!evicted}, {!clear})
+    are for quiescent moments — after the traced run — they do not
+    synchronise with in-flight emissions on other domains. *)
+
+type t
+
+val create : capacity:int -> t
+(** A ring retaining at most [capacity] events {e per domain} that
+    emits into it.  @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val sink : t -> Goalcom.Trace.sink
+(** The recording sink: install ambient ([Trace.with_sink]) or pass as
+    [?sink].  Resolves the calling domain's shard on every event, so
+    one sink value may be shared across domains. *)
+
+val domain_sink : t -> Goalcom.Trace.sink
+(** Like {!sink} but binds the {e calling} domain's shard once, now —
+    the per-event path skips the domain-local lookup.  The returned
+    closure must only be invoked from the domain that created it; use
+    it on single-domain capture paths (the engine replay, [chaos run],
+    the bench) and plain {!sink} everywhere else. *)
+
+val events : t -> Goalcom.Trace.event list
+(** Decode and concatenate all retained events.  @raise Failure on a
+    corrupt slot (impossible unless the ring's memory was corrupted —
+    slots are only ever written by {!sink}). *)
+
+val length : t -> int
+(** Retained events, over all shards. *)
+
+val evicted : t -> int
+(** Events overwritten since creation (or {!clear}), over all shards. *)
+
+val domains : t -> int
+(** Shards in use = domains that have emitted into this ring. *)
+
+val clear : t -> unit
+(** Empty every shard (capacity and shard registration are kept). *)

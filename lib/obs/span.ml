@@ -402,6 +402,153 @@ let ledger_table l =
       ]
     rows
 
+(* Per-session attribution over an engine trace.
+
+   The engine replays each session's buffered events contiguously in
+   session-id order: Supervise decisions (admit, start, restart, kill,
+   done, ...) interleaved with the session's incarnations' run events.
+   Every run event belongs to the session of the most recent Supervise
+   event — the engine emits "admit" before anything else a session
+   does — so a single pass reassembles per-session slices, and
+   split_runs on a slice segments its incarnations exactly as for a
+   single crash-resume run.  Each incarnation keeps the enumeration
+   index its checkpoint restored (the Resume event the universal user
+   emits when resuming mid-enumeration), linking the supervise timeline
+   to the enumeration ladder: which candidate a restart came back to,
+   and which incarnation finally won. *)
+
+type incarnation = {
+  inc_number : int;  (* 1-based, in start order *)
+  inc_resumed_at : int option;  (* Resume.index, None for a cold start *)
+  inc_run : run;
+}
+
+type session_span = {
+  sess_id : int;
+  sess_admit_tick : int option;
+  sess_outcome : (string * int) option;  (* terminal action, tick *)
+  sess_restarts : int;
+  sess_kills : int;
+  sess_rounds : int;  (* over all incarnations *)
+  sess_incarnations : incarnation list;
+}
+
+let session_of_slice id (supervises, events) =
+  let admit = ref None and outcome = ref None in
+  let restarts = ref 0 and kills = ref 0 in
+  List.iter
+    (fun (tick, action) ->
+      match action with
+      | "admit" -> if !admit = None then admit := Some tick
+      | "restart" -> incr restarts
+      | "kill" -> incr kills
+      | "done" | "give-up" | "deadline" | "shed" ->
+          outcome := Some (action, tick)
+      | _ -> ())
+    supervises;
+  let incarnations =
+    List.mapi
+      (fun i segment ->
+        {
+          inc_number = i + 1;
+          inc_resumed_at =
+            List.find_map
+              (function Trace.Resume { index; _ } -> Some index | _ -> None)
+              segment;
+          inc_run = run_of_events segment;
+        })
+      (if events = [] then [] else Trace.split_runs events)
+  in
+  {
+    sess_id = id;
+    sess_admit_tick = !admit;
+    sess_outcome = !outcome;
+    sess_restarts = !restarts;
+    sess_kills = !kills;
+    sess_rounds =
+      List.fold_left (fun acc i -> acc + i.inc_run.rounds) 0 incarnations;
+    sess_incarnations = incarnations;
+  }
+
+let sessions_of_events events =
+  let slices = Hashtbl.create 64 in
+  let order = ref [] in
+  let slice id =
+    match Hashtbl.find_opt slices id with
+    | Some s -> s
+    | None ->
+        let s = (ref [], ref []) in
+        Hashtbl.add slices id s;
+        order := id :: !order;
+        s
+  in
+  let current = ref None in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Supervise { tick; session; action; _ } ->
+          current := Some session;
+          let sups, _ = slice session in
+          sups := (tick, action) :: !sups
+      | ev -> begin
+          match !current with
+          | None -> () (* a bare run stream: nothing to attribute to *)
+          | Some id ->
+              let _, evs = slice id in
+              evs := ev :: !evs
+        end)
+    events;
+  List.rev_map
+    (fun id ->
+      let sups, evs = Hashtbl.find slices id in
+      session_of_slice id (List.rev !sups, List.rev !evs))
+    !order
+  |> List.sort (fun a b -> compare a.sess_id b.sess_id)
+
+let sessions_table sessions =
+  let rows =
+    List.map
+      (fun s ->
+        let outcome, tick =
+          match s.sess_outcome with
+          | Some (action, tick) -> (action, Table.cell_int tick)
+          | None -> ("unfinished", "-")
+        in
+        let resumes =
+          s.sess_incarnations
+          |> List.filter_map (fun i -> i.inc_resumed_at)
+          |> List.map string_of_int
+          |> String.concat ","
+        in
+        let winner =
+          match List.rev s.sess_incarnations with
+          | last :: _ -> index_cell last.inc_run.winner
+          | [] -> "-"
+        in
+        [
+          Table.cell_int s.sess_id;
+          (match s.sess_admit_tick with
+          | Some t -> Table.cell_int t
+          | None -> "-");
+          outcome;
+          tick;
+          Table.cell_int (List.length s.sess_incarnations);
+          Table.cell_int s.sess_restarts;
+          Table.cell_int s.sess_kills;
+          Table.cell_int s.sess_rounds;
+          (if resumes = "" then "-" else resumes);
+          winner;
+        ])
+      sessions
+  in
+  Table.make ~title:"sessions (per-incarnation attribution)"
+    ~columns:
+      [
+        "session"; "admit"; "outcome"; "tick"; "incarnations"; "restarts";
+        "kills"; "rounds"; "resumed at"; "winner";
+      ]
+    rows
+
 let runs_table runs =
   let rows =
     List.mapi

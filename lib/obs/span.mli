@@ -94,7 +94,48 @@ type ledger = {
 val ledger : run list -> ledger
 val ledger_of_events : Goalcom.Trace.event list -> ledger
 
+(** {1 Per-session attribution}
+
+    An engine trace replays each session's events contiguously in
+    session-id order: [Supervise] decisions interleaved with the
+    session's incarnations' run events.  {!sessions_of_events}
+    reassembles per-session slices (every run event belongs to the
+    session of the most recent [Supervise] — the engine emits ["admit"]
+    first), segments each slice into incarnations with
+    {!Goalcom.Trace.split_runs}, and links each incarnation to the
+    enumeration index its checkpoint restored (its [Resume] event) —
+    so a restart's supervise timeline meets the enumeration ladder. *)
+
+type incarnation = {
+  inc_number : int;  (** 1-based, in start order *)
+  inc_resumed_at : int option;
+      (** the enumeration index the incarnation's checkpoint restored
+          ([Resume.index]); [None] for a cold start *)
+  inc_run : run;
+}
+
+type session_span = {
+  sess_id : int;
+  sess_admit_tick : int option;
+  sess_outcome : (string * int) option;
+      (** terminal supervise action (["done"], ["give-up"],
+          ["deadline"], ["shed"]) and its tick; [None] if unfinished *)
+  sess_restarts : int;
+  sess_kills : int;
+  sess_rounds : int;  (** over all incarnations *)
+  sess_incarnations : incarnation list;
+}
+
+val sessions_of_events : Goalcom.Trace.event list -> session_span list
+(** Sessions in id order.  Events before the first [Supervise] (a bare
+    run stream) are not attributed — use {!of_events} for those. *)
+
 (** {1 Rendering} *)
 
 val ledger_table : ledger -> Goalcom_prelude.Table.t
 val runs_table : run list -> Goalcom_prelude.Table.t
+
+val sessions_table : session_span list -> Goalcom_prelude.Table.t
+(** One row per session: outcome, incarnations, restarts / kills,
+    rounds, the enumeration indices restarts resumed at, and the
+    winning candidate of the last incarnation. *)

@@ -44,8 +44,10 @@ let directives t = t.directives
 let none = { directives = []; spec = "" }
 
 let emit_fault fault detail =
-  if Trace.enabled () then
-    Trace.emit (Trace.Fault { round = Trace.current_round (); fault; detail })
+  let h = Trace.handle () in
+  if Trace.handle_enabled h then
+    Trace.handle_emit h
+      (Trace.Fault { round = Trace.handle_round h; fault; detail })
 
 (* --- storm combinators ------------------------------------------------ *)
 

@@ -97,6 +97,7 @@ type report = {
   total_rounds : int;
   p50_rounds : float;
   p99_rounds : float;
+  p999_rounds : float;
   digest : string;
   checkpoints : Universal.checkpoint array;
 }
@@ -126,8 +127,8 @@ type session = {
   mutable admitted_tick : int;
 }
 
-let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ~specs ~seed ()
-    =
+let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?on_supervise
+    ?on_tick ~specs ~seed () =
   let n = Array.length specs in
   let jobs =
     match jobs with Some j -> j | None -> Goalcom_par.Pool.default_jobs ()
@@ -171,7 +172,17 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ~specs ~seed ()
         b
   in
   let restarts = ref 0 in
+  (* Every supervision decision goes to the observer hook (a live
+     Rollup, typically) whether or not tracing is on — the hook is how
+     serve reports fleet stats without retaining any trace — and into
+     the session's trace buffer when it is.  Hooks run in the
+     sequential phase in id order, so what they see is deterministic;
+     they observe only, the run's outcomes and digest never depend on
+     them. *)
   let sup s ~tick action detail =
+    (match on_supervise with
+    | Some f -> f ~tick ~session:s.id ~action ~detail
+    | None -> ());
     if tracing then
       s.buf :=
         Trace.Supervise { tick; session = s.id; action; detail } :: !(s.buf)
@@ -413,7 +424,8 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ~specs ~seed ()
                 s.phase <-
                   Terminal (Deadline_exceeded { incarnations = s.incarnations })
             | _ -> ())
-          sessions
+          sessions;
+        match on_tick with Some f -> f ~tick | None -> ()
       done);
   (* Anything still live when the tick budget ran out. *)
   Array.iter
@@ -460,6 +472,8 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ~specs ~seed ()
       Array.fold_left (fun acc s -> acc + s.rounds_total) 0 sessions;
     p50_rounds = (if done_rounds = [] then 0. else Stats.percentile 50. done_rounds);
     p99_rounds = (if done_rounds = [] then 0. else Stats.percentile 99. done_rounds);
+    p999_rounds =
+      (if done_rounds = [] then 0. else Stats.percentile 99.9 done_rounds);
     digest;
     checkpoints = Array.map (fun s -> s.checkpoint) sessions;
   }

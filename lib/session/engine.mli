@@ -104,6 +104,7 @@ type report = {
   total_rounds : int;
   p50_rounds : float;  (** median rounds-to-goal over completed sessions *)
   p99_rounds : float;
+  p999_rounds : float;
   digest : string;  (** hex digest of all per-session outcomes *)
   checkpoints : Goalcom.Universal.checkpoint array;
       (** each session's final enumeration checkpoint (indexed by id).
@@ -117,6 +118,9 @@ val run :
   ?chaos:Chaos.t ->
   ?config:config ->
   ?jobs:int ->
+  ?on_supervise:
+    (tick:int -> session:int -> action:string -> detail:string -> unit) ->
+  ?on_tick:(tick:int -> unit) ->
   specs:spec array ->
   seed:int ->
   unit ->
@@ -125,4 +129,15 @@ val run :
     Session [i] runs [specs.(i)]; per-session RNGs are split from
     [seed] in id order up front, so outcomes do not depend on
     scheduling.  [jobs] defaults to
-    [Goalcom_par.Pool.default_jobs ()]. *)
+    [Goalcom_par.Pool.default_jobs ()].
+
+    [on_supervise] observes every supervision decision (the
+    [Trace.Supervise] vocabulary) as it is made — whether or not a
+    trace sink is ambient — so a live aggregator (a [Rollup]) can
+    report fleet stats without the engine retaining any trace.
+    [on_tick] fires at the end of each scheduler tick, after the
+    sequential supervision phase (a live display's refresh point).
+    Both run on the supervising domain in the deterministic sequential
+    phase: decisions arrive in (tick, session-id) order for every
+    [jobs] count.  They are observers only — outcomes, digest and
+    merged trace never depend on them. *)

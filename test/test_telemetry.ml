@@ -1,0 +1,374 @@
+(* Telemetry-layer tests: the binary event codec (qcheck roundtrips,
+   including adversarial Text payloads), the ring sink's wrap/eviction/
+   compaction behaviour, the ring-vs-JSONL capture acceptance on a real
+   supervised run, Rollup merge determinism across jobs counts, and the
+   golden stats snapshot frozen by `goalcom trace-golden`. *)
+
+open Goalcom
+open Goalcom_session
+open Goalcom_harness
+module Binary = Goalcom_obs.Binary
+module Ring = Goalcom_obs.Ring
+module Rollup = Goalcom_obs.Rollup
+module Jsonl = Goalcom_obs.Jsonl
+module Trace_diff = Goalcom_obs.Trace_diff
+module Json = Goalcom_obs.Json
+
+let qcount = 200
+
+(* --- Generators ------------------------------------------------------- *)
+
+(* Adversarial strings: arbitrary bytes, so Text payloads cover NUL,
+   newlines, quotes, and high bytes — everything the length-prefixed
+   binary framing must carry verbatim (and at sizes straddling the
+   word-copy / blit split at 8 and 16 bytes). *)
+let raw_string_gen =
+  QCheck.Gen.(
+    map Bytes.unsafe_to_string
+      (map
+         (fun l -> Bytes.init (List.length l) (List.nth l))
+         (list_size (0 -- 40) (map Char.chr (0 -- 255)))))
+
+let msg_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Msg.Silence;
+              map (fun s -> Msg.Sym s) (0 -- 1000);
+              map (fun i -> Msg.Int i)
+                (oneof [ small_signed_int; int; return min_int; return max_int ]);
+              map (fun s -> Msg.Text s) raw_string_gen;
+            ]
+        in
+        if n <= 1 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              ( 1,
+                map2 (fun a b -> Msg.Pair (a, b)) (self (n / 2)) (self (n / 2))
+              );
+              (1, map (fun ms -> Msg.Seq ms) (list_size (0 -- 4) (self (n / 3))));
+            ]))
+
+let party_gen = QCheck.Gen.oneofl [ Trace.User; Trace.Server; Trace.World ]
+
+let event_gen =
+  QCheck.Gen.(
+    let int_field = oneof [ small_nat; int_bound 100_000; return 0 ] in
+    oneof
+      [
+        map
+          (fun ((goal, user), (server, (horizon, (drain, world_choice)))) ->
+            Trace.Run_start { goal; user; server; horizon; drain; world_choice })
+          (pair
+             (pair raw_string_gen raw_string_gen)
+             (pair raw_string_gen (pair int_field (pair int_field int_field))));
+        map (fun round -> Trace.Round_start { round }) int_field;
+        map
+          (fun (round, (src, (dst, msg))) ->
+            Trace.Emit { round; src; dst; msg })
+          (pair int_field (pair party_gen (pair party_gen msg_gen)));
+        map (fun round -> Trace.Halt { round }) int_field;
+        map
+          (fun (round, (sensor, (positive, (clock, patience)))) ->
+            Trace.Sense { round; sensor; positive; clock; patience })
+          (pair int_field
+             (pair raw_string_gen (pair bool (pair int_field int_field))));
+        map
+          (fun (round, (from_index, (to_index, attempt))) ->
+            Trace.Switch { round; from_index; to_index; attempt })
+          (pair int_field (pair int_field (pair int_field int_field)));
+        map
+          (fun (index, slots) -> Trace.Resume { index; slots })
+          (pair int_field int_field);
+        map
+          (fun (round, (index, budget)) -> Trace.Session { round; index; budget })
+          (pair int_field (pair int_field int_field));
+        map
+          (fun (round, (fault, detail)) -> Trace.Fault { round; fault; detail })
+          (pair int_field (pair raw_string_gen raw_string_gen));
+        map (fun round -> Trace.Violation { round }) int_field;
+        map
+          (fun (rounds, halted) -> Trace.Run_end { rounds; halted })
+          (pair int_field bool);
+        map
+          (fun (tick, (session, (action, detail))) ->
+            Trace.Supervise { tick; session; action; detail })
+          (pair int_field (pair int_field (pair raw_string_gen raw_string_gen)));
+        map
+          (fun ((server_class, enum), (index, (accepted, detail))) ->
+            Trace.Warm { server_class; enum; index; accepted; detail })
+          (pair
+             (pair raw_string_gen raw_string_gen)
+             (pair (oneof [ int_field; return (-1) ]) (pair bool raw_string_gen)));
+      ])
+
+let event_arb =
+  QCheck.make event_gen ~print:(fun ev -> Goalcom_obs.Jsonl.event_to_json ev)
+
+(* --- Binary codec ----------------------------------------------------- *)
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~count:qcount ~name:"Binary: event roundtrips exactly"
+    event_arb (fun ev ->
+      match Binary.event_of_string (Binary.event_to_string ev) with
+      | Ok ev' -> ev' = ev
+      | Error e -> QCheck.Test.fail_report ("decode failed: " ^ e))
+
+let prop_binary_stream_roundtrip =
+  QCheck.Test.make ~count:(qcount / 2)
+    ~name:"Binary: concatenated stream decodes in order"
+    QCheck.(make QCheck.Gen.(list_size (0 -- 20) event_gen))
+    (fun evs ->
+      let b = Buffer.create 256 in
+      List.iter (Binary.add_event b) evs;
+      match Binary.decode_all (Buffer.contents b) with
+      | Ok evs' -> evs' = evs
+      | Error e -> QCheck.Test.fail_report ("decode_all failed: " ^ e))
+
+(* A cursor used via [put_event] (append, no rewind — the ring's mode)
+   frames every event so each slice decodes independently. *)
+let prop_binary_cursor_slices =
+  QCheck.Test.make ~count:(qcount / 2)
+    ~name:"Binary: cursor appends decode slice by slice"
+    QCheck.(make QCheck.Gen.(list_size (1 -- 12) event_gen))
+    (fun evs ->
+      let e = Binary.enc_create 16 in
+      let slices =
+        List.map
+          (fun ev ->
+            let start = Binary.enc_len e in
+            Binary.put_event e ev;
+            (start, Binary.enc_len e - start))
+          evs
+      in
+      let buf = Binary.enc_bytes e in
+      List.for_all2
+        (fun ev (start, len) ->
+          Binary.event_of_string (Bytes.sub_string buf start len) = Ok ev)
+        evs slices)
+
+let test_binary_rejects_garbage () =
+  (match Binary.event_of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty string decoded");
+  (match Binary.event_of_string "\255\255\255\255" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad tag decoded");
+  (* A truncated event must fail cleanly, not read out of bounds. *)
+  let s = Binary.event_to_string (Trace.Fault { round = 9; fault = "f"; detail = "dddddddddd" }) in
+  match Binary.event_of_string (String.sub s 0 (String.length s - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated event decoded"
+
+(* --- Ring wrap / eviction / compaction -------------------------------- *)
+
+let ev_of_int i =
+  Trace.Emit { round = i; src = Trace.User; dst = Trace.Server; msg = Msg.Int i }
+
+let test_ring_retains_before_wrap () =
+  let r = Ring.create ~capacity:4 in
+  let sink = Ring.sink r in
+  List.iter (fun i -> sink (ev_of_int i)) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Ring.length r);
+  Alcotest.(check int) "evicted" 0 (Ring.evicted r);
+  Alcotest.(check int) "domains" 1 (Ring.domains r);
+  Alcotest.(check bool) "events" true
+    (Ring.events r = List.map ev_of_int [ 1; 2; 3 ])
+
+let test_ring_wraps_to_last_capacity () =
+  let r = Ring.create ~capacity:4 in
+  let sink = Ring.sink r in
+  for i = 1 to 10 do
+    sink (ev_of_int i)
+  done;
+  Alcotest.(check int) "length" 4 (Ring.length r);
+  Alcotest.(check int) "evicted" 6 (Ring.evicted r);
+  Alcotest.(check bool) "last 4 retained" true
+    (Ring.events r = List.map ev_of_int [ 7; 8; 9; 10 ]);
+  Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Ring.length r);
+  Alcotest.(check int) "evicted reset" 0 (Ring.evicted r);
+  sink (ev_of_int 11);
+  Alcotest.(check bool) "usable after clear" true
+    (Ring.events r = [ ev_of_int 11 ])
+
+(* Thousands of evictions with size-varying events: the arena compacts
+   many times over; after every batch the ring must still decode to
+   exactly the last [capacity] events. *)
+let test_ring_compaction_preserves_tail () =
+  let cap = 8 in
+  let r = Ring.create ~capacity:cap in
+  let sink = Ring.domain_sink r in
+  let mk i =
+    Trace.Fault
+      { round = i; fault = "f"; detail = String.make (i mod 97) 'x' }
+  in
+  for batch = 0 to 49 do
+    for k = 1 to 100 do
+      sink (mk ((batch * 100) + k))
+    done;
+    let last = (batch * 100) + 100 in
+    let expect = List.init cap (fun j -> mk (last - cap + 1 + j)) in
+    if Ring.events r <> expect then
+      Alcotest.failf "batch %d: tail mismatch after compaction" batch
+  done;
+  Alcotest.(check int) "evicted" (5000 - cap) (Ring.evicted r)
+
+(* --- Capture acceptance: ring vs JSONL on a supervised run ------------ *)
+
+let chaos_specs sessions = E18_chaos_matrix.specs ~sessions ()
+
+let test_ring_matches_jsonl_capture () =
+  let specs = chaos_specs 12 in
+  let config = Engine.config ~quantum:32 () in
+  let run () =
+    ignore (Engine.run ~config ~jobs:2 ~specs ~seed:77 ())
+  in
+  let buf = ref [] in
+  Trace.with_sink (fun ev -> buf := ev :: !buf) run;
+  let jsonl_events = List.rev !buf in
+  let r = Ring.create ~capacity:(List.length jsonl_events + 16) in
+  Trace.with_sink (Ring.domain_sink r) run;
+  let ring_events = Ring.events r in
+  Alcotest.(check int) "no eviction" 0 (Ring.evicted r);
+  (match Trace.check Trace.standard ring_events with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "drained ring fails invariants: %s" e);
+  (match Trace_diff.events jsonl_events ring_events with
+  | None -> ()
+  | Some d ->
+      Alcotest.failf "ring / jsonl divergence: %s"
+        (Trace_diff.to_string ~left_label:"jsonl" ~right_label:"ring" d));
+  (* Same events -> byte-identical JSONL rendering. *)
+  Alcotest.(check bool) "jsonl lines equal" true
+    (Jsonl.to_lines jsonl_events = Jsonl.to_lines ring_events)
+
+(* --- Rollup ------------------------------------------------------------ *)
+
+(* The engine makes supervision decisions in its sequential phase, so a
+   live rollup fed from on_supervise is bit-identical across jobs
+   counts. *)
+let test_rollup_deterministic_across_jobs () =
+  let snapshot_at jobs =
+    let specs = chaos_specs 16 in
+    let class_of id = specs.(id).Engine.server_class in
+    let r = Rollup.create ~class_of () in
+    let on_supervise = Rollup.supervise r in
+    ignore
+      (Engine.run
+         ~config:(Engine.config ~quantum:32 ())
+         ~jobs ~on_supervise ~specs ~seed:5 ());
+    Rollup.to_json (Rollup.snapshot r)
+  in
+  let s1 = snapshot_at 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d snapshot" jobs)
+        s1 (snapshot_at jobs))
+    [ 2; 4 ]
+
+(* Merging shard rollups equals feeding one rollup the whole stream,
+   and the merge is order-insensitive on the counters. *)
+let test_rollup_merge_matches_single_stream () =
+  let specs = chaos_specs 16 in
+  let class_of id = specs.(id).Engine.server_class in
+  let decisions = ref [] in
+  ignore
+    (Engine.run
+       ~config:(Engine.config ~quantum:32 ())
+       ~jobs:1
+       ~on_supervise:(fun ~tick ~session ~action ~detail ->
+         decisions := (tick, session, action, detail) :: !decisions)
+       ~specs ~seed:5 ());
+  let decisions = List.rev !decisions in
+  let whole = Rollup.create ~class_of () in
+  let a = Rollup.create ~class_of () in
+  let b = Rollup.create ~class_of () in
+  List.iteri
+    (fun i (tick, session, action, detail) ->
+      Rollup.supervise whole ~tick ~session ~action ~detail;
+      Rollup.supervise (if i mod 2 = 0 then a else b) ~tick ~session ~action
+        ~detail)
+    decisions;
+  Rollup.merge ~into:a b;
+  Alcotest.(check string) "merged = single stream"
+    (Rollup.to_json (Rollup.snapshot whole))
+    (Rollup.to_json (Rollup.snapshot a))
+
+let test_rollup_json_roundtrip () =
+  let json = Trace_cases.rollup_stats () in
+  match Json.parse json with
+  | Error e -> Alcotest.failf "snapshot JSON unparseable: %s" e
+  | Ok j -> (
+      match Rollup.snapshot_of_json j with
+      | Error e -> Alcotest.failf "snapshot_of_json: %s" e
+      | Ok snap ->
+          Alcotest.(check string) "re-rendered snapshot" json
+            (Rollup.to_json snap))
+
+(* Histogram edges: exact unit buckets below 64, bounded relative error
+   above, deterministic merge. *)
+let test_hist_edges () =
+  let h = Rollup.Hist.create () in
+  List.iter (Rollup.Hist.add h) [ 0; 1; 63; 64; 1000; 100_000 ];
+  Alcotest.(check int) "total" 6 (Rollup.Hist.total h);
+  Alcotest.(check int) "p0 exact" 0 (Rollup.Hist.percentile 0. h);
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "small value %d exact" v)
+        v
+        (Rollup.Hist.upper_of (Rollup.Hist.bucket_of v)))
+    [ 0; 1; 13; 63 ];
+  List.iter
+    (fun v ->
+      let ub = Rollup.Hist.upper_of (Rollup.Hist.bucket_of v) in
+      if ub < v then Alcotest.failf "upper_of(bucket_of %d) = %d < v" v ub;
+      if float_of_int (ub - v) > (float_of_int v /. 16.) +. 1. then
+        Alcotest.failf "bucket error too large at %d: %d" v ub)
+    [ 64; 65; 100; 1000; 12_345; 1_000_000 ]
+
+(* --- Golden stats snapshot -------------------------------------------- *)
+
+let test_stats_golden () =
+  let path = Filename.concat "golden" "stats_e18_chaos.json" in
+  let expected = String.concat "\n" (Jsonl.read_lines path) in
+  let actual = Trace_cases.rollup_stats () in
+  if expected <> actual then
+    Alcotest.failf
+      "stats snapshot drifted from %s;\nexpected: %s\nactual:   %s\n\
+       if the change is intended, regenerate with `dune exec bin/main.exe -- \
+       trace-golden test/golden`"
+      path expected actual
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+    QCheck_alcotest.to_alcotest prop_binary_stream_roundtrip;
+    QCheck_alcotest.to_alcotest prop_binary_cursor_slices;
+    Alcotest.test_case "binary rejects garbage" `Quick
+      test_binary_rejects_garbage;
+    Alcotest.test_case "ring retains before wrap" `Quick
+      test_ring_retains_before_wrap;
+    Alcotest.test_case "ring wraps to last capacity" `Quick
+      test_ring_wraps_to_last_capacity;
+    Alcotest.test_case "ring compaction preserves tail" `Quick
+      test_ring_compaction_preserves_tail;
+    Alcotest.test_case "ring matches jsonl capture" `Quick
+      test_ring_matches_jsonl_capture;
+    Alcotest.test_case "rollup deterministic across jobs" `Quick
+      test_rollup_deterministic_across_jobs;
+    Alcotest.test_case "rollup merge = single stream" `Quick
+      test_rollup_merge_matches_single_stream;
+    Alcotest.test_case "rollup json roundtrip" `Quick
+      test_rollup_json_roundtrip;
+    Alcotest.test_case "histogram edges" `Quick test_hist_edges;
+    Alcotest.test_case "stats golden snapshot" `Quick test_stats_golden;
+  ]
+
+let () = Alcotest.run "telemetry" [ ("telemetry", suite) ]
