@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check ci bench bench-par bench-sense bench-session bench-compile bench-trace bench-check clean
+.PHONY: all build test check ci bench bench-par bench-sense bench-session bench-compile bench-trace bench-net bench-check clean
 
 all: build
 
@@ -20,6 +20,8 @@ check: build test
 # drift, bench gate.  Run before pushing.
 ci: check
 	dune exec bin/main.exe -- run e17 --jobs 2
+	GOALCOM_E19_TRIALS=10 dune exec bin/main.exe -- run e19 --jobs 2
+	dune exec bin/main.exe -- serve --sessions 24 --mix net --jobs 2
 	dune exec bin/main.exe -- chaos run --sessions 120 --jobs 2 --repeat 2 --check
 	GOALCOM_E18_SESSIONS=60 dune exec bin/main.exe -- run e18 --jobs 2
 	dune exec bin/main.exe -- warm record --sessions 18 --out /tmp/warm.jsonl
@@ -82,10 +84,19 @@ bench-compile:
 bench-trace:
 	BENCH_ONLY=trace dune exec --profile release bench/main.exe
 
+# Rewrites just BENCH_net.json: the network goal family — topology
+# delivery rounds, ARQ forwarding failure counts under fault stacks,
+# and the shared-medium contention populations at 2/4/8 users with
+# the cross-jobs determinism digests re-checked.  Every count is
+# deterministic and gated at zero tolerance; only wall clocks are
+# loose.
+bench-net:
+	BENCH_ONLY=net dune exec --profile release bench/main.exe
+
 # The perf-regression gate: quick re-measure, compare against the
 # committed BENCH_trace.json + BENCH_par.json + BENCH_sense.json +
-# BENCH_session.json + BENCH_compile.json, write BENCH_check.json,
-# exit 1 on any regression.
+# BENCH_session.json + BENCH_compile.json + BENCH_net.json, write
+# BENCH_check.json, exit 1 on any regression.
 bench-check:
 	dune exec --profile release bench/main.exe -- --check
 

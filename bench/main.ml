@@ -1,6 +1,6 @@
 (* Benchmark driver.
 
-   Seven parts:
+   Eight parts:
    1. Regenerate every experiment table/figure — the paper has no
       evaluation section, so these tables ARE the evaluation; see
       EXPERIMENTS.md for the claim-by-claim mapping.
@@ -16,8 +16,11 @@
       -> BENCH_session.json.
    7. Strategy compilation & the decode+compile cache
       -> BENCH_compile.json.
+   8. The network goal family: topology delivery rounds, ARQ
+      forwarding under faults, shared-medium contention
+      -> BENCH_net.json.
 
-   `--check` re-measures 3-7 quickly and gates them against the
+   `--check` re-measures 3-8 quickly and gates them against the
    committed BENCH files; `--jobs N` sets the ambient pool width. *)
 
 open Bechamel
@@ -1549,6 +1552,294 @@ let print_compile () =
   close_out oc;
   Printf.printf "wrote BENCH_compile.json (%d metrics)\n" (List.length metrics)
 
+(* Part 8: the network goal family -> BENCH_net.json.
+
+   lib/net's claims are behavioural and deterministic, so the gate
+   pins them exactly, exactly as Part 6 does for the session engine:
+
+   - delivery rounds: how many rounds the informed and the universal
+     user need to route each canned topology (single deterministic
+     runs — exact counts, zero tolerance);
+   - forwarding under faults: delivery failures and mean rounds of the
+     stop-and-wait ARQ over clean / lossy+duplicating links within the
+     E19 round budget (fixed trials and seed — exact, zero tolerance);
+   - contention: the shared-medium multiple-access populations at 2/4/8
+     users — slots to drain, collisions, idles, incompletions (exact),
+     plus net_mismatch_pct comparing every jobs>1 engine digest against
+     jobs=1 (0 or 100, zero tolerance: the group-arbiter determinism
+     claim).
+
+   Wall clock per users x jobs cell is recorded with the loose
+   cross-host tolerance.  Counts are one-sided lower-is-better, which
+   is why the file records failures/incomplete rather than
+   successes/completed. *)
+
+module Net = Goalcom_net
+
+let net_alphabet = E19_net_matrix.alphabet
+let net_payload_alphabet = 4
+let net_dialects = Dialect.enumerate_rotations ~size:net_alphabet
+let net_dialect i = Enum.get_exn net_dialects (i mod net_alphabet)
+let net_forward_trials = 40
+let net_forward_budget = 400
+let net_mac_users = [ 2; 4; 8 ]
+let net_mac_jobs = [ 1; 2; 4 ]
+
+(* Failed deliveries encode as a sentinel that exceeds any real round
+   count, so a regression to non-delivery always trips the (one-sided,
+   lower-is-better) zero-tolerance rounds gate. *)
+let net_undelivered = 1_000_000
+
+let measure_net_topo () =
+  List.map
+    (fun (name, scenario) ->
+      let goal = Net.Topo.goal ~scenarios:[ scenario ] ~alphabet:net_alphabet () in
+      let server = Net.Topo.server ~alphabet:net_alphabet (net_dialect 3) in
+      let rounds ~horizon user =
+        let outcome, history =
+          Exec.run_outcome
+            ~config:(Exec.config ~horizon ())
+            ~goal ~user ~server (Rng.make seed)
+        in
+        if outcome.Outcome.achieved then History.length history
+        else net_undelivered
+      in
+      ( name,
+        rounds ~horizon:net_forward_budget
+          (Net.Topo.informed_user ~alphabet:net_alphabet ~scenario
+             (net_dialect 3)),
+        rounds ~horizon:8_000
+          (Net.Topo.universal_user ~alphabet:net_alphabet ~scenario
+             net_dialects) ))
+    (E19_net_matrix.topo_cases ())
+
+let net_forward_conditions =
+  [ ("clean", ""); ("loss15dup", "loss:0.15+dup"); ("loss35dup", "loss:0.35+dup") ]
+
+(* [(condition, failures, mean_rounds)] over the fixed trial count. *)
+let measure_net_forward () =
+  let scenario =
+    Net.Forward.scenario ~payload_alphabet:net_payload_alphabet [ 2; 0; 3; 1 ]
+  in
+  let goal = Net.Forward.goal ~scenarios:[ scenario ] ~alphabet:net_alphabet () in
+  let user = Net.Forward.informed_user ~alphabet:net_alphabet (net_dialect 0) in
+  List.map
+    (fun (name, spec) ->
+      let fault =
+        match Goalcom_faults.Fault.stack_of_string ~alphabet:net_alphabet spec with
+        | Ok f -> f
+        | Error e -> invalid_arg ("bench net: " ^ e)
+      in
+      let server =
+        Goalcom_faults.Fault.apply fault
+          (Net.Forward.server ~alphabet:net_alphabet
+             ~payload_alphabet:net_payload_alphabet (net_dialect 0))
+      in
+      let r =
+        Trial.run
+          ~config:(Exec.config ~horizon:net_forward_budget ())
+          ~trials:net_forward_trials ~seed ~goal ~user ~server ()
+      in
+      ( name,
+        net_forward_trials - r.Trial.successes,
+        if Float.is_nan r.Trial.mean_rounds then float_of_int net_undelivered
+        else r.Trial.mean_rounds ))
+    net_forward_conditions
+
+(* [(users, [(jobs, (mac_run, seconds))])] *)
+let measure_net_mac () =
+  List.map
+    (fun users ->
+      ( users,
+        List.map
+          (fun jobs ->
+            let t0 = Unix.gettimeofday () in
+            let r = E19_net_matrix.run_mac ~jobs ~users ~seed () in
+            (jobs, (r, Unix.gettimeofday () -. t0)))
+          net_mac_jobs ))
+    net_mac_users
+
+let measure_net () = (measure_net_topo (), measure_net_forward (), measure_net_mac ())
+
+(* Populations whose jobs>1 digest diverges from jobs=1; [] passes. *)
+let net_mismatches mac =
+  List.filter_map
+    (fun (users, by_jobs) ->
+      match by_jobs with
+      | (_, ((base : E19_net_matrix.mac_run), _)) :: rest ->
+          let digest (r : E19_net_matrix.mac_run) =
+            r.E19_net_matrix.report.Session_engine.digest
+          in
+          if
+            List.for_all
+              (fun (_, (r, _)) -> String.equal (digest r) (digest base))
+              rest
+          then None
+          else Some (Printf.sprintf "%d-users" users)
+      | [] -> None)
+    mac
+
+(* Flattened to the gate's vocabulary — the same names
+   Bench_gate.metrics_of_json extracts from BENCH_net.json. *)
+let net_metrics (topo, fwd, mac) =
+  let open Goalcom_obs.Bench_gate in
+  let mismatch_pct = if net_mismatches mac = [] then 0. else 100. in
+  { name = "net_mismatch_pct"; value = mismatch_pct }
+  :: (List.concat_map
+        (fun (name, informed, universal) ->
+          [
+            { name = Printf.sprintf "topo_%s/informed_rounds" name;
+              value = float_of_int informed };
+            { name = Printf.sprintf "topo_%s/universal_rounds" name;
+              value = float_of_int universal };
+          ])
+        topo
+     @ List.concat_map
+         (fun (name, failures, mean_rounds) ->
+           [
+             { name = Printf.sprintf "fwd_%s/failures" name;
+               value = float_of_int failures };
+             { name = Printf.sprintf "fwd_%s/mean_rounds" name;
+               value = mean_rounds };
+           ])
+         fwd
+     @ List.concat_map
+         (fun (users, by_jobs) ->
+           let (r1 : E19_net_matrix.mac_run), _ = List.assoc 1 by_jobs in
+           let open E19_net_matrix in
+           [
+             { name = Printf.sprintf "mac%d/slots" users;
+               value = float_of_int r1.slots };
+             { name = Printf.sprintf "mac%d/collisions" users;
+               value = float_of_int r1.collisions };
+             { name = Printf.sprintf "mac%d/idles" users;
+               value = float_of_int r1.idles };
+             { name = Printf.sprintf "mac%d/incomplete" users;
+               value =
+                 float_of_int (users - r1.report.Session_engine.completed) };
+           ]
+           @ List.map
+               (fun (jobs, (_, t)) ->
+                 { name = Printf.sprintf "mac%d/jobs%d_ms" users jobs;
+                   value = t *. 1e3 })
+               by_jobs)
+         mac)
+
+(* Determinism makes every count exact, so only the wall-clock timings
+   get the cross-host default tolerance; mean_rounds gets absolute
+   slack covering its %.2f serialisation in the committed file. *)
+let net_tol name =
+  let module Gate = Goalcom_obs.Bench_gate in
+  if Filename.check_suffix name "_ms" then Gate.default_tol_pct name else 0.
+
+let net_slack name =
+  let module Gate = Goalcom_obs.Bench_gate in
+  if Filename.check_suffix name "_ms" then Gate.default_slack name
+  else if Filename.check_suffix name "mean_rounds" then 0.01
+  else 0.
+
+let print_net () =
+  print_endline "\n==================================================";
+  print_endline " Network goal family (lib/net)";
+  print_endline "==================================================";
+  let topo, fwd, mac = measure_net () in
+  let mismatches = net_mismatches mac in
+  Table.print
+    (Table.make ~title:"topology routing: rounds to deliver (dialect-3 switch)"
+       ~columns:[ "case"; "informed"; "universal" ]
+       (List.map
+          (fun (n, i, u) -> [ n; string_of_int i; string_of_int u ])
+          topo));
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf "ARQ forwarding: %d trials, %d-round budget"
+            net_forward_trials net_forward_budget)
+       ~columns:[ "condition"; "failures"; "mean rounds" ]
+       (List.map
+          (fun (n, f, m) -> [ n; string_of_int f; Printf.sprintf "%.0f" m ])
+          fwd));
+  Table.print
+    (Table.make ~title:"multiple access: one shared medium per population"
+       ~columns:
+         [ "users"; "jobs"; "wall ms"; "slots"; "delivered"; "collisions";
+           "idles"; "done"; "digest" ]
+       (List.concat_map
+          (fun (users, by_jobs) ->
+            List.map
+              (fun (jobs, ((r : E19_net_matrix.mac_run), t)) ->
+                let open E19_net_matrix in
+                [
+                  string_of_int users;
+                  string_of_int jobs;
+                  Printf.sprintf "%.0f" (t *. 1e3);
+                  string_of_int r.slots;
+                  string_of_int r.successes;
+                  string_of_int r.collisions;
+                  string_of_int r.idles;
+                  Printf.sprintf "%d/%d" r.report.Session_engine.completed
+                    users;
+                  String.sub r.report.Session_engine.digest 0 12;
+                ])
+              by_jobs)
+          mac));
+  Printf.printf "\ndigest mismatches across jobs counts: %s\n"
+    (if mismatches = [] then "none" else String.concat ", " mismatches);
+  let entries =
+    List.map
+      (fun (name, informed, universal) ->
+        Printf.sprintf
+          "    {\"name\": \"topo_%s\", \"informed_rounds\": %d, \
+           \"universal_rounds\": %d}"
+          name informed universal)
+      topo
+    @ List.map
+        (fun (name, failures, mean) ->
+          Printf.sprintf
+            "    {\"name\": \"fwd_%s\", \"failures\": %d, \"mean_rounds\": \
+             %.2f}"
+            name failures mean)
+        fwd
+    @ List.map
+        (fun (users, by_jobs) ->
+          let (r1 : E19_net_matrix.mac_run), _ = List.assoc 1 by_jobs in
+          let open E19_net_matrix in
+          let timings =
+            List.map
+              (fun (jobs, (_, t)) ->
+                Printf.sprintf "\"jobs%d_ms\": %.1f" jobs (t *. 1e3))
+              by_jobs
+          in
+          Printf.sprintf
+            "    {\"name\": \"mac%d\", \"slots\": %d, \"collisions\": %d, \
+             \"idles\": %d, \"incomplete\": %d, %s}"
+            users r1.slots r1.collisions r1.idles
+            (users - r1.report.Session_engine.completed)
+            (String.concat ", " timings))
+        mac
+  in
+  let oc = open_out "BENCH_net.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"trials\": %d,\n\
+    \  \"jobs\": [1, 2, 4],\n\
+    \  \"unit\": \"ms\",\n\
+    \  \"net_mismatch_pct\": %.1f,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    seed net_forward_trials
+    (if mismatches = [] then 0. else 100.)
+    (String.concat ",\n" entries);
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_net.json (%d topologies, %d link conditions, %d populations \
+     x %d job counts)\n"
+    (List.length topo) (List.length fwd) (List.length mac)
+    (List.length net_mac_jobs)
+
 (* --check: the perf-regression gate.  Re-measure the tracing overhead
    and the gated parallel workload (CI-sized quick runs), compare
    against the committed BENCH_trace.json / BENCH_par.json with
@@ -1664,9 +1955,27 @@ let check () =
         let measured = measure_compile ~repeats:3 () in
         compile_comparisons ~baseline:compile_baseline ~measured ()
   in
+  let net_cmp =
+    match Gate.load_file "BENCH_net.json" with
+    | Error e ->
+        Printf.eprintf "bench --check: %s\n" e;
+        exit 2
+    | Ok net_baseline ->
+        Printf.printf
+          "bench --check: re-measuring the network goal family (%d \
+           topologies, %d link conditions, mac users %s at jobs %s)...\n\
+           %!"
+          (List.length (E19_net_matrix.topo_cases ()))
+          (List.length net_forward_conditions)
+          (String.concat "/" (List.map string_of_int net_mac_users))
+          (String.concat "/" (List.map string_of_int net_mac_jobs));
+        let measured = measure_net () in
+        Gate.compare_metrics ~tol_pct:net_tol ~slack:net_slack
+          ~baseline:net_baseline ~fresh:(net_metrics measured) ()
+  in
   let comparisons =
     trace_comparisons @ par_comparisons @ sense_cmp @ session_cmp
-    @ compile_cmp
+    @ compile_cmp @ net_cmp
   in
   Table.print (Gate.table comparisons);
   let verdict = Gate.verdict_json comparisons in
@@ -1678,7 +1987,8 @@ let check () =
   | [] ->
       Printf.printf
         "bench --check: PASS (%d metrics vs %s + BENCH_par.json + \
-         BENCH_sense.json + BENCH_session.json + BENCH_compile.json)\n"
+         BENCH_sense.json + BENCH_session.json + BENCH_compile.json + \
+         BENCH_net.json)\n"
         (List.length comparisons) baseline_path
   | regs ->
       Printf.printf "bench --check: FAIL (%d of %d metrics regressed)\n"
@@ -1697,6 +2007,7 @@ let () =
     | Some "sense" -> print_sense ()
     | Some "session" -> print_session ()
     | Some "compile" -> print_compile ()
+    | Some "net" -> print_net ()
     | _ ->
         print_experiments ();
         write_fault_json (print_bench ());
@@ -1704,4 +2015,5 @@ let () =
         print_par ();
         print_sense ();
         print_session ();
-        print_compile ()
+        print_compile ();
+        print_net ()

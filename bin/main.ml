@@ -534,6 +534,22 @@ let sessions_arg ~default =
                  mix: printing / corridor-maze / open-maze universal \
                  users, round-robin).")
 
+let mix_arg =
+  Arg.(value & opt (enum [ ("e18", `E18); ("net", `Net) ]) `E18
+       & info [ "mix" ] ~docv:"MIX"
+           ~doc:"Session population: $(b,e18) (the standard printing/maze \
+                 mix) or $(b,net) (lib/net: shared-medium multiple-access \
+                 groups of four — stepped through the engine's group \
+                 arbiter, one slot per tick — plus topology-routing and \
+                 ARQ-forwarding universal sessions).  The net mix pins \
+                 quantum to 1 so a scheduler tick is one medium slot.")
+
+(* The net mix attaches shared-medium groups and needs quantum 1 (one
+   tick = one arbitration slot); warm stores record E18 classes only. *)
+let population_of_mix ?warm ~sessions = function
+  | `E18 -> (E18_chaos_matrix.specs ?warm ~sessions (), [])
+  | `Net -> E19_net_matrix.population ~sessions ()
+
 (* Warm-start stores: known winning candidate indices per session
    class, persisted as JSONL (lib/compile Warm).  Loading a missing
    file is an empty store; a corrupt file degrades to a cold start
@@ -593,34 +609,43 @@ let serve_cmd =
              ~doc:"Ticks from arrival before an unfinished session is \
                    abandoned (0 disables).")
   in
-  let run sessions max_live queue quantum arrivals deadline budget warm_path
-      stats stats_every seed jobs =
+  let run sessions mix max_live queue quantum arrivals deadline budget
+      warm_path stats stats_every seed jobs =
     apply_jobs jobs;
+    let quantum = match mix with `Net -> 1 | `E18 -> quantum in
     let config =
       Session.Engine.config ~quantum ~max_live ~queue_capacity:queue
         ~arrivals_per_tick:arrivals ~round_budget:budget ~deadline ()
     in
     let warm = Option.map warm_load warm_path in
-    let specs = E18_chaos_matrix.specs ?warm ~sessions () in
+    let specs, groups = population_of_mix ?warm ~sessions mix in
     let stats =
       Option.map (stats_live ~every:stats_every ~specs) stats
     in
     let on_supervise, on_tick = engine_hooks stats in
     let report =
-      Session.Engine.run ~config ?on_supervise ?on_tick ~specs ~seed ()
+      Session.Engine.run ~config ~groups ?on_supervise ?on_tick ~specs ~seed
+        ()
     in
     print_report report;
     Option.iter (fun st -> st.st_finish ()) stats;
-    Option.iter (fun path -> warm_save path warm report) warm_path
+    match mix with
+    | `E18 -> Option.iter (fun path -> warm_save path warm report) warm_path
+    | `Net ->
+        Option.iter
+          (fun _ ->
+            Printf.printf
+              "warm store     unchanged (the net mix records no classes)\n")
+          warm_path
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a session population through the supervised concurrent \
              engine (no chaos): admission control, restart supervision, \
              per-class circuit breakers.")
-    Term.(const run $ sessions_arg ~default:256 $ max_live_arg $ queue_arg
-          $ quantum_arg $ arrivals_arg $ deadline_arg $ budget_arg $ warm_arg
-          $ stats_arg $ stats_every_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ sessions_arg ~default:256 $ mix_arg $ max_live_arg
+          $ queue_arg $ quantum_arg $ arrivals_arg $ deadline_arg $ budget_arg
+          $ warm_arg $ stats_arg $ stats_every_arg $ seed_arg $ jobs_arg)
 
 let chaos_run_cmd =
   let schedule_arg =
@@ -660,7 +685,7 @@ let chaos_run_cmd =
                    invariant check of --check is skipped if the ring \
                    evicted events (a truncated prefix is not a run).")
   in
-  let run sessions schedule max_live queue budget repeat check trace ring
+  let run sessions mix schedule max_live queue budget repeat check trace ring
       warm_path stats stats_every seed jobs =
     apply_jobs jobs;
     let chaos =
@@ -669,23 +694,29 @@ let chaos_run_cmd =
       | Error e -> Printf.eprintf "%s\n" e; exit 1
     in
     let config =
-      Session.Engine.config ~max_live ~queue_capacity:queue
-        ~round_budget:budget ()
+      Session.Engine.config
+        ?quantum:(match mix with `Net -> Some 1 | `E18 -> None)
+        ~max_live ~queue_capacity:queue ~round_budget:budget ()
     in
     let warm = Option.map warm_load warm_path in
-    let specs = E18_chaos_matrix.specs ?warm ~sessions () in
+    (* Rebuilt per run: net-mix groups close over mutable media whose
+       cumulative slot counters would otherwise leak from one repeat
+       into the next run's arbiter report details. *)
+    let fresh_population () = population_of_mix ?warm ~sessions mix in
+    let specs, _ = fresh_population () in
     let stats = Option.map (stats_live ~every:stats_every ~specs) stats in
     let capture = check || trace <> None || ring <> None in
     let evicted = ref 0 in
     (* The rollup hooks feed only the first run: repeats exist to check
        determinism of the engine, not to double-count sessions. *)
     let once ~hooks () =
+      let specs, groups = fresh_population () in
       let on_supervise, on_tick =
         engine_hooks (if hooks then stats else None)
       in
       let go () =
-        Session.Engine.run ~chaos ~config ?on_supervise ?on_tick ~specs ~seed
-          ()
+        Session.Engine.run ~chaos ~config ~groups ?on_supervise ?on_tick
+          ~specs ~seed ()
       in
       if not capture then (go (), None)
       else
@@ -705,7 +736,14 @@ let chaos_run_cmd =
     let first, events = once ~hooks:true () in
     print_report first;
     Option.iter (fun st -> st.st_finish ()) stats;
-    Option.iter (fun path -> warm_save path warm first) warm_path;
+    (match mix with
+    | `E18 -> Option.iter (fun path -> warm_save path warm first) warm_path
+    | `Net ->
+        Option.iter
+          (fun _ ->
+            Printf.printf
+              "warm store     unchanged (the net mix records no classes)\n")
+          warm_path);
     (match events with
     | None -> ()
     | Some evs ->
@@ -751,10 +789,10 @@ let chaos_run_cmd =
     (Cmd.info "run"
        ~doc:"Run the session population under a chaos schedule and report \
              completion, shedding, restarts and breaker activity.")
-    Term.(const run $ sessions_arg ~default:500 $ schedule_arg $ max_live_arg
-          $ queue_arg $ budget_arg $ repeat_arg $ check_arg $ trace_arg
-          $ ring_arg $ warm_arg $ stats_arg $ stats_every_arg $ seed_arg
-          $ jobs_arg)
+    Term.(const run $ sessions_arg ~default:500 $ mix_arg $ schedule_arg
+          $ max_live_arg $ queue_arg $ budget_arg $ repeat_arg $ check_arg
+          $ trace_arg $ ring_arg $ warm_arg $ stats_arg $ stats_every_arg
+          $ seed_arg $ jobs_arg)
 
 let chaos_matrix_cmd =
   let run sessions seed jobs =

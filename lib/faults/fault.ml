@@ -365,6 +365,7 @@ let usages =
     ("nop", "nop");
     ("delay", "delay:K");
     ("drop", "drop:P");
+    ("loss", "loss:P");
     ("dup", "dup");
     ("corrupt", "corrupt:P");
     ("reorder", "reorder:K");
@@ -419,6 +420,18 @@ let of_string ~alphabet spec =
             | None -> fail "drop:P wants a float"
           end
         | _ -> arity "drop:P"
+      end
+    (* [loss:P] is the network-link spelling of [drop:P] — lib/net link
+       specs read "loss" where fault stacks historically said "drop";
+       both parse to the same wrapper. *)
+    | "loss" -> begin
+        match args with
+        | [ p ] -> begin
+            match float_arg p with
+            | Some p -> Ok (drop ~prob:p)
+            | None -> fail "loss:P wants a float"
+          end
+        | _ -> arity "loss:P"
       end
     | "dup" -> ( match args with [] -> Ok duplicate | _ -> arity "dup")
     | "corrupt" -> begin

@@ -109,7 +109,8 @@ val adversary : budget:int -> alphabet:int -> t
 (** {1 Spec parsing}
 
     For CLI flags and randomised tests.  Grammar (args after [:],
-    comma-separated): [nop], [delay:K], [drop:P], [dup], [corrupt:P],
+    comma-separated): [nop], [delay:K], [drop:P] (alias [loss:P], the
+    network-link spelling), [dup], [corrupt:P],
     [reorder:K], [burst:PENTER,PEXIT,PDROP], [crash:K],
     [intermittent:ON,OFF], [adversary:B].  Stacks join specs with [+],
     outermost first, e.g. ["corrupt:0.05+crash:60"]. *)

@@ -1,0 +1,52 @@
+(** E19 — the network matrix: topology routing, probabilistic
+    forwarding, and goal-oriented multiple access (lib/net) measured
+    end-to-end.  See EXPERIMENTS.md. *)
+
+open Goalcom_prelude
+module Session := Goalcom_session
+
+val title : string
+val claim : string
+
+val run : seed:int -> Table.t
+
+(** {1 Building blocks shared with the CLI, bench and tests} *)
+
+val alphabet : int
+(** Command alphabet of the topo/forward dialect classes. *)
+
+val topo_cases : unit -> (string * Goalcom_net.Topo.scenario) list
+
+(** One multiple-access population: [users] stations, each a universal
+    user Levin-racing the transmission-policy class over its own port
+    of one shared {!Goalcom_net.Medium}. *)
+type mac_run = {
+  report : Session.Engine.report;
+  slots : int;
+  successes : int;
+  collisions : int;
+  idles : int;
+}
+
+val mac_max_period : users:int -> int
+val mac_doc : int -> int list
+(** Station [i]'s payload word. *)
+
+val run_mac :
+  ?jobs:int ->
+  ?chaos:Session.Chaos.t ->
+  ?max_ticks:int ->
+  users:int ->
+  seed:int ->
+  unit ->
+  mac_run
+
+val population :
+  ?mac_users:int ->
+  sessions:int ->
+  unit ->
+  Session.Engine.spec array * Session.Engine.group list
+(** The [goalcom serve --mix net] population: the first [mac_users]
+    (default 8, capped at [sessions]) sessions form shared-medium
+    groups of four, the rest alternate topology and forwarding
+    universal sessions with server dialects cycled. *)

@@ -48,6 +48,8 @@ let all =
       claim = E17_scaling.claim; run = E17_scaling.run };
     { id = "e18"; kind = Table; title = E18_chaos_matrix.title;
       claim = E18_chaos_matrix.claim; run = E18_chaos_matrix.run };
+    { id = "e19"; kind = Table; title = E19_net_matrix.title;
+      claim = E19_net_matrix.claim; run = E19_net_matrix.run };
   ]
 
 let find id =

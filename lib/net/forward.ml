@@ -1,0 +1,150 @@
+open Goalcom
+open Goalcom_automata
+open Goalcom_servers
+open Goalcom_goals
+
+let data_cmd = 0
+let reset_cmd = 1
+let min_alphabet = 2
+
+let check_alphabet alphabet =
+  if alphabet < min_alphabet then
+    invalid_arg "Forward: alphabet must have at least 2 symbols"
+
+type scenario = { doc : int list; alpha : int }
+
+let scenario ~payload_alphabet doc =
+  if doc = [] then invalid_arg "Forward.scenario: empty payload";
+  if payload_alphabet < 1 then invalid_arg "Forward.scenario: empty alphabet";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= payload_alphabet then
+        invalid_arg "Forward.scenario: payload symbol out of range")
+    doc;
+  { doc; alpha = payload_alphabet }
+
+let payload s = s.doc
+
+(* --- the relay -------------------------------------------------------- *)
+
+(* The relay holds only the wire machine's state.  The wire is stepped
+   with the per-step RNG — never one captured at construction — so a
+   relay shared by repeated runs (or incarnations) stays bit-identical
+   for every jobs count; see the PR 1 Channel.drop_inbound audit. *)
+let relay ?wire ~alphabet ~payload_alphabet () =
+  check_alphabet alphabet;
+  (match wire with
+  | Some (w : Prob_mealy.t) ->
+      if w.Prob_mealy.inputs <> payload_alphabet
+         || w.Prob_mealy.outputs <> payload_alphabet
+      then invalid_arg "Forward.relay: wire alphabet mismatch"
+  | None -> ());
+  Strategy.make
+    ~name:
+      (match wire with
+      | None -> "net-relay"
+      | Some _ -> "net-relay(wire)")
+    ~init:(fun () -> 0 (* wire state *))
+    ~step:(fun rng wstate (obs : Io.Server.obs) ->
+      match obs.from_user with
+      | Msg.Pair (Msg.Sym c, Msg.Pair (Msg.Int seq, Msg.Int sym))
+        when c = data_cmd && seq >= 0 && sym >= 0 && sym < payload_alphabet ->
+          let wstate, sym =
+            match wire with
+            | None -> (wstate, sym)
+            | Some w ->
+                let st, o = Prob_mealy.step rng w wstate sym in
+                (st, o)
+          in
+          (wstate, Io.Server.say_world (Msg.Pair (Msg.Int seq, Msg.Int sym)))
+      | Msg.Sym c when c = reset_cmd ->
+          (wstate, Io.Server.say_world (Msg.Sym reset_cmd))
+      | _ -> (wstate, Io.Server.silent))
+
+let server ?wire ~alphabet ~payload_alphabet d =
+  Transform.with_dialect d (relay ?wire ~alphabet ~payload_alphabet ())
+
+let server_class ?wire ~alphabet ~payload_alphabet dialects =
+  Transform.dialect_class
+    ~base:(relay ?wire ~alphabet ~payload_alphabet ())
+    dialects
+
+(* --- the goal --------------------------------------------------------- *)
+
+let world_of_scenario s =
+  let len = List.length s.doc in
+  World.make
+    ~name:(Printf.sprintf "net-forward-world(%d syms)" len)
+    ~init:(fun () -> [])
+    ~step:(fun _rng received (obs : Io.World.obs) ->
+      let received =
+        match obs.from_server with
+        | Msg.Pair (Msg.Int seq, Msg.Int sym)
+          when seq = List.length received && seq < len ->
+            received @ [ sym ]
+        | Msg.Sym c when c = reset_cmd -> []
+        | _ -> received
+      in
+      (received, Io.World.say_user (Codec.pair_of_ints s.doc received)))
+    ~view:(fun received -> Codec.pair_of_ints s.doc received)
+
+let delivered view =
+  match Codec.pair_of_ints_opt view with
+  | Some (doc, received) -> doc <> [] && received = doc
+  | None -> false
+
+let referee = Referee.finite_exists "payload-forwarded" delivered
+
+let goal ~scenarios ~alphabet () =
+  check_alphabet alphabet;
+  if scenarios = [] then invalid_arg "Forward.goal: no scenarios";
+  Goal.make
+    ~name:(Printf.sprintf "net-forward(alphabet=%d)" alphabet)
+    ~worlds:(List.map world_of_scenario scenarios)
+    ~referee
+
+(* --- users ------------------------------------------------------------ *)
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+(* Stop-and-wait: the latest broadcast alone decides the next frame, so
+   losses retransmit, duplicates dedup at the world's sequence check,
+   and a derailed prefix (wire corruption that slipped through) is
+   cleared and resent. *)
+let informed_user ~alphabet d =
+  check_alphabet alphabet;
+  let send m = Io.User.say_server (Dialect_msg.encode d m) in
+  Strategy.stateless
+    ~name:(Printf.sprintf "net-arq@%s" (Format.asprintf "%a" Dialect.pp d))
+    (fun (obs : Io.User.obs) ->
+      match Codec.pair_of_ints_opt obs.from_world with
+      | None -> Io.User.silent
+      | Some (doc, received) ->
+          if received = doc then Io.User.halt_act
+          else if is_prefix received doc then
+            let k = List.length received in
+            send
+              (Msg.Pair
+                 (Msg.Sym data_cmd, Msg.Pair (Msg.Int k, Msg.Int (List.nth doc k))))
+          else send (Msg.Sym reset_cmd))
+
+let user_class ~alphabet dialects =
+  Enum.map
+    ~name:(Printf.sprintf "net-arq-users(%s)" (Enum.name dialects))
+    (fun d -> informed_user ~alphabet d)
+    dialects
+
+let sensing_window = 12
+
+let sensing =
+  Sensing.of_recent ~name:"payload-forwarded" ~window:sensing_window (fun e ->
+      delivered e.View.from_world)
+
+let universal_user ?schedule ?checkpoint ?stats ~alphabet dialects =
+  Universal.finite ?schedule ?checkpoint ?stats
+    ~enum:(user_class ~alphabet dialects)
+    ~sensing ()

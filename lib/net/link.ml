@@ -1,0 +1,45 @@
+open Goalcom_automata
+
+(* Link behaviours are ordinary (probabilistic) Mealy machines over the
+   payload alphabet; building them here keeps the topology and
+   forwarding goals free of transition-table plumbing. *)
+
+let check_alphabet alphabet =
+  if alphabet < 1 then invalid_arg "Link: empty payload alphabet"
+
+let clean ~alphabet =
+  check_alphabet alphabet;
+  Mealy.identity ~size:alphabet
+
+let relabel ~alphabet k =
+  check_alphabet alphabet;
+  let k = ((k mod alphabet) + alphabet) mod alphabet in
+  Mealy.map_output (fun s -> (s + k) mod alphabet) ~outputs:alphabet
+    (Mealy.identity ~size:alphabet)
+
+let stuck ~alphabet s =
+  check_alphabet alphabet;
+  if s < 0 || s >= alphabet then invalid_arg "Link.stuck: symbol out of range";
+  Mealy.constant ~inputs:alphabet ~outputs:alphabet s
+
+(* State 0 is "fresh"; the first input moves the machine to state
+   [1 + sym] where every input emits [sym] forever. *)
+let sticky ~alphabet =
+  check_alphabet alphabet;
+  let states = 1 + alphabet in
+  let next =
+    Array.init states (fun s ->
+        Array.init alphabet (fun i -> if s = 0 then 1 + i else s))
+  in
+  let out =
+    Array.init states (fun s ->
+        Array.init alphabet (fun i -> if s = 0 then i else s - 1))
+  in
+  Mealy.make ~states ~inputs:alphabet ~outputs:alphabet ~next ~out
+
+let wire ~flip_prob ~alphabet =
+  check_alphabet alphabet;
+  Prob_mealy.perturb ~flip_prob (Mealy.identity ~size:alphabet)
+
+let imperfection ~alphabet spec =
+  Goalcom_faults.Fault.stack_of_string ~alphabet spec

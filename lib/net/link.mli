@@ -1,0 +1,45 @@
+(** Link behaviours: the per-edge machinery of the network goals.
+
+    A network edge carries a payload symbol through a Mealy transducer
+    — the deterministic builders below cover the behaviours the
+    topology scenarios need (clean wires, relabelling scramblers, stuck
+    links) — and a point-to-point link degrades through the
+    probabilistic side: a {!wire} corrupts the carried symbol with some
+    flip probability ({!Goalcom_automata.Prob_mealy.perturb}), while an
+    {!imperfection} spec composes the {!Goalcom_faults.Fault} algebra
+    (loss, duplication, bursts...) onto the link's server.
+
+    Determinism: none of these capture randomness at construction.  A
+    {!wire} is a distribution table; sampling happens at step time with
+    the per-step RNG the execution engine supplies, which is what keeps
+    shared-medium runs bit-identical across jobs counts. *)
+
+open Goalcom_automata
+
+val clean : alphabet:int -> Mealy.t
+(** The identity wire: emits what it receives. *)
+
+val relabel : alphabet:int -> int -> Mealy.t
+(** [relabel ~alphabet k] rotates every payload symbol by [k] — a
+    scrambling link.  Two of them with [k] and [alphabet - k] compose
+    back to {!clean}. *)
+
+val stuck : alphabet:int -> int -> Mealy.t
+(** A broken link that maps every symbol to the given one. *)
+
+val sticky : alphabet:int -> Mealy.t
+(** A link with memory: the first symbol through is delivered intact
+    and every later symbol is replaced by it (the link "remembers" its
+    first payload).  Exercises per-edge state in the topology worlds.
+    @raise Invalid_argument if the alphabet is empty. *)
+
+val wire : flip_prob:float -> alphabet:int -> Prob_mealy.t
+(** A noisy identity wire: with probability [flip_prob] the carried
+    symbol is replaced by a uniformly random one.
+    @raise Invalid_argument if the probability is out of range. *)
+
+val imperfection :
+  alphabet:int -> string -> (Goalcom_faults.Fault.t, string) result
+(** Parse a link-imperfection spec — the {!Goalcom_faults.Fault}
+    stack grammar, where probabilistic loss is spelled [loss:P]
+    (e.g. ["loss:0.25+dup"]). *)

@@ -1,0 +1,54 @@
+open Goalcom
+open Goalcom_goals
+
+let goal ~payload_alphabet doc =
+  let scenario = Forward.scenario ~payload_alphabet doc in
+  Goal.make
+    ~name:(Printf.sprintf "net-mac(%d syms)" (List.length doc))
+    ~worlds:[ Forward.world_of_scenario scenario ]
+    ~referee:Forward.referee
+
+(* A station never needs to frame ahead: the broadcast names the next
+   missing symbol, the medium cannot corrupt or duplicate, and a lost
+   (collided) frame just leaves the broadcast where it was — so the
+   policy retransmits at its next scheduled round. *)
+let policy ~period ~offset =
+  if period < 1 || offset < 0 || offset >= period then
+    invalid_arg "Mac.policy: need 0 <= offset < period";
+  Strategy.stateless
+    ~name:(Printf.sprintf "mac-policy(%d/%d)" offset period)
+    (fun (obs : Io.User.obs) ->
+      match Codec.pair_of_ints_opt obs.from_world with
+      | None -> Io.User.silent
+      | Some (doc, received) ->
+          if received = doc then Io.User.halt_act
+          else if obs.round mod period = offset then
+            let k = List.length received in
+            match List.nth_opt doc k with
+            | Some sym ->
+                Io.User.say_server (Msg.Pair (Msg.Int k, Msg.Int sym))
+            | None -> Io.User.silent
+          else Io.User.silent)
+
+let policy_class ?(shift = 0) ~max_period () =
+  if max_period < 1 then invalid_arg "Mac.policy_class: empty class";
+  let all =
+    List.concat_map
+      (fun p -> List.init p (fun o -> (p, o)))
+      (List.init max_period (fun i -> i + 1))
+  in
+  let n = List.length all in
+  let shift = ((shift mod n) + n) mod n in
+  Goalcom_automata.Enum.tabulate
+    ~name:(Printf.sprintf "mac-policies(max_period=%d,shift=%d)" max_period shift)
+    n
+    (fun i ->
+      let p, o = List.nth all ((i + shift) mod n) in
+      policy ~period:p ~offset:o)
+
+let sensing = Forward.sensing
+
+let universal_user ?schedule ?checkpoint ?stats ?shift ~max_period () =
+  Universal.finite ?schedule ?checkpoint ?stats
+    ~enum:(policy_class ?shift ~max_period ())
+    ~sensing ()

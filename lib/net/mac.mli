@@ -1,0 +1,51 @@
+(** The multiple-access goal: N users share one {!Medium}.
+
+    Each station's world wants its own payload word delivered
+    ({!Forward}'s world, reused verbatim: frames are sequence-checked,
+    the broadcast is [(payload, received)]).  The server is a
+    {!Medium.port}: frames only get through in slots where no other
+    station transmits, so {e when} to transmit is the whole game.
+
+    The user-strategy class is the classic slotted answer: periodic
+    transmission schedules.  [policy ~period ~offset] transmits the
+    next missing symbol exactly in rounds [r] with
+    [r mod period = offset] — stations whose (period, offset) pairs
+    separate share the medium collision-free.  A universal user Levin-
+    races the policy class with delivery sensing, and [shift] rotates
+    each station's enumeration order so identical stations do not march
+    through the class in lockstep (each station owns its enumeration
+    order; universality is order-independent).
+
+    Goal throughput under contention — delivered frames per slot,
+    collisions per slot — is what E19 and BENCH_net score. *)
+
+open Goalcom
+
+val goal : payload_alphabet:int -> int list -> Goal.t
+(** The station's goal: its payload word fully received ({!Forward}
+    world and referee).  @raise Invalid_argument on an empty word or
+    out-of-range symbols. *)
+
+val policy : period:int -> offset:int -> Strategy.user
+(** Transmit the first missing broadcast symbol on the [offset]-th of
+    every [period] rounds; halt once the broadcast shows the word
+    complete.  @raise Invalid_argument unless
+    [0 <= offset < period]. *)
+
+val policy_class : ?shift:int -> max_period:int -> unit -> Strategy.user Goalcom_automata.Enum.t
+(** Every [policy] with [period <= max_period] — [P(P+1)/2] of them —
+    in period-major order, rotated left by [shift] (default 0). *)
+
+val sensing : Sensing.t
+(** {!Forward.sensing}: positive once the broadcast showed the word
+    complete. *)
+
+val universal_user :
+  ?schedule:Goalcom.Levin.slot Seq.t ->
+  ?checkpoint:Universal.checkpoint ->
+  ?stats:Universal.stats ->
+  ?shift:int ->
+  max_period:int ->
+  unit ->
+  Strategy.user
+(** {!Universal.finite} over {!policy_class} with {!sensing}. *)

@@ -1,0 +1,57 @@
+(** The shared-medium arbiter: goal-oriented multiple access.
+
+    One physical channel, [ports] stations.  Time is slotted; in each
+    slot every station may stage at most one frame on its {!port}
+    server, and {!resolve} — called once per slot by the session
+    engine's {e sequential} supervision phase — decides the slot's
+    fate: exactly one staged frame is {e delivered} (it reaches that
+    station's world on the port's next step), two or more {e collide}
+    (everyone staged learns it, nothing is delivered), none is an idle
+    slot.  The feedback a station reads on its port the following slot
+    is [Sym 0] (nothing pending), [Sym 1] (your frame was delivered)
+    or [Sym 2] (your frame collided).
+
+    {b Determinism.}  A port's step touches only that port's cells, so
+    the engine's parallel quantum can advance all stations of a group
+    concurrently; everything cross-port — winner selection, counters,
+    feedback — happens in {!resolve} on the supervising domain, and
+    nothing here consumes randomness.  Outcomes are therefore
+    bit-identical for every jobs count, which the net test-suite and
+    BENCH_net pin.
+
+    A port's strategy [init] clears that port's cells, so a restarted
+    incarnation (chaos kill, crash-resume) starts from a quiet port
+    while medium-level counters keep their fleet totals. *)
+
+open Goalcom
+
+type t
+
+val create : ports:int -> t
+(** @raise Invalid_argument unless [ports >= 1]. *)
+
+val ports : t -> int
+
+val port : t -> int -> Strategy.server
+(** Station [i]'s server.  From the user it accepts framed attempts
+    [Pair (Int seq, Int sym)]; the first attempt of a slot sticks,
+    later ones in the same slot are ignored.  To the user it emits the
+    feedback symbol; to the world it emits the delivered frame, once,
+    the slot after {!resolve} granted it.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val resolve :
+  ?report:(port:int -> action:string -> detail:string -> unit) -> t -> unit
+(** Close the current slot.  [report] observes the decisions in port
+    order — ["deliver"] for the winning station, ["collide"] for every
+    staged loser — with deterministic details; the session engine
+    routes them into its supervise stream. *)
+
+val slots : t -> int
+val successes : t -> int
+val collisions : t -> int
+(** Slots that ended in a collision (however many stations clashed). *)
+
+val idles : t -> int
+val delivered : t -> int -> int
+(** Frames delivered for one port across the run. *)

@@ -83,7 +83,9 @@ end
 
 (* Per-class counters: one slot per supervision action that terminates,
    starts or refuses a session.  [admitted] counts both immediate and
-   queued admissions. *)
+   queued admissions.  [delivered] / [collisions] come from shared-world
+   group arbiters (lib/net Medium via the engine's group report): frames
+   a session got through its medium slot, and slots it clashed in. *)
 type counts = {
   mutable admitted : int;
   mutable shed : int;
@@ -96,6 +98,8 @@ type counts = {
   mutable wedges : int;
   mutable kills : int;
   mutable trips : int;
+  mutable delivered : int;
+  mutable collisions : int;
 }
 
 let zero_counts () =
@@ -111,6 +115,8 @@ let zero_counts () =
     wedges = 0;
     kills = 0;
     trips = 0;
+    delivered = 0;
+    collisions = 0;
   }
 
 type t = {
@@ -166,6 +172,8 @@ let supervise t ~tick ~session ~action ~detail =
       c.deadlines <- c.deadlines + 1;
       Hashtbl.remove t.admit_tick session
   | "trip" -> c.trips <- c.trips + 1
+  | "deliver" -> c.delivered <- c.delivered + 1
+  | "collide" -> c.collisions <- c.collisions + 1
   | "done" ->
       c.completed <- c.completed + 1;
       let rounds =
@@ -204,7 +212,9 @@ let merge ~into src =
       d.deadlines <- d.deadlines + c.deadlines;
       d.wedges <- d.wedges + c.wedges;
       d.kills <- d.kills + c.kills;
-      d.trips <- d.trips + c.trips)
+      d.trips <- d.trips + c.trips;
+      d.delivered <- d.delivered + c.delivered;
+      d.collisions <- d.collisions + c.collisions)
     src.classes;
   Hashtbl.iter
     (fun session tick ->
@@ -231,6 +241,8 @@ type class_stats = {
   wedges : int;
   kills : int;
   trips : int;
+  delivered : int;
+  collisions : int;
 }
 
 type snapshot = {
@@ -262,6 +274,8 @@ let freeze cls (c : counts) =
     wedges = c.wedges;
     kills = c.kills;
     trips = c.trips;
+    delivered = c.delivered;
+    collisions = c.collisions;
   }
 
 let snapshot (t : t) =
@@ -285,6 +299,8 @@ let snapshot (t : t) =
           wedges = acc.wedges + c.wedges;
           kills = acc.kills + c.kills;
           trips = acc.trips + c.trips;
+          delivered = acc.delivered + c.delivered;
+          collisions = acc.collisions + c.collisions;
         })
       (freeze "total" (zero_counts ()))
       classes
@@ -330,6 +346,8 @@ let table s =
       Table.cell_int c.wedges;
       Table.cell_int c.kills;
       Table.cell_int c.trips;
+      Table.cell_int c.delivered;
+      Table.cell_int c.collisions;
     ]
   in
   let rate =
@@ -341,7 +359,8 @@ let table s =
     ~columns:
       [
         "class"; "admit"; "shed"; "start"; "restart"; "done"; "fail";
-        "give-up"; "deadline"; "wedge"; "kill"; "trip";
+        "give-up"; "deadline"; "wedge"; "kill"; "trip"; "deliver";
+        "collide";
       ]
     ~notes:
       [
@@ -380,6 +399,8 @@ let to_prometheus s =
         ("wedged", c.wedges);
         ("killed", c.kills);
         ("tripped", c.trips);
+        ("delivered", c.delivered);
+        ("collided", c.collisions);
       ]);
   Buffer.add_string b "# TYPE goalcom_ticks gauge\n";
   Buffer.add_string b (Printf.sprintf "goalcom_ticks %d\n" s.ticks);
@@ -404,9 +425,10 @@ let to_prometheus s =
 let add_class_json b (c : class_stats) =
   Buffer.add_string b
     (Printf.sprintf
-       "{\"class\":%S,\"admitted\":%d,\"shed\":%d,\"started\":%d,\"restarts\":%d,\"done\":%d,\"failed\":%d,\"gave_up\":%d,\"deadlines\":%d,\"wedges\":%d,\"kills\":%d,\"trips\":%d}"
+       "{\"class\":%S,\"admitted\":%d,\"shed\":%d,\"started\":%d,\"restarts\":%d,\"done\":%d,\"failed\":%d,\"gave_up\":%d,\"deadlines\":%d,\"wedges\":%d,\"kills\":%d,\"trips\":%d,\"delivered\":%d,\"collisions\":%d}"
        c.cls c.admitted c.shed c.started c.restarts c.completed c.failed
-       c.gave_up c.deadlines c.wedges c.kills c.trips)
+       c.gave_up c.deadlines c.wedges c.kills c.trips c.delivered
+       c.collisions)
 
 let to_json s =
   let b = Buffer.create 1024 in
@@ -459,6 +481,15 @@ let class_of_json j =
   let* wedges = int_field "wedges" j in
   let* kills = int_field "kills" j in
   let* trips = int_field "trips" j in
+  (* Absent in snapshots written before the shared-medium counters
+     existed: read as 0 rather than rejecting the file. *)
+  let opt_field name =
+    match Option.bind (Json.member name j) Json.int_opt with
+    | Some v -> v
+    | None -> 0
+  in
+  let delivered = opt_field "delivered" in
+  let collisions = opt_field "collisions" in
   Ok
     {
       cls;
@@ -473,6 +504,8 @@ let class_of_json j =
       wedges;
       kills;
       trips;
+      delivered;
+      collisions;
     }
 
 let snapshot_of_json j =

@@ -86,6 +86,11 @@ type class_stats = {
   wedges : int;
   kills : int;
   trips : int;
+  delivered : int;
+      (** frames a shared-world arbiter delivered for this class's
+          sessions (the engine group report's ["deliver"] action —
+          lib/net Medium slots won) *)
+  collisions : int;  (** medium slots this class's sessions clashed in *)
 }
 
 type snapshot = {

@@ -31,6 +31,15 @@ type spec = {
   exec_config : Exec.config;
 }
 
+type group = {
+  gname : string;
+  members : int array;
+  arbitrate :
+    tick:int ->
+    report:(session:int -> action:string -> detail:string -> unit) ->
+    unit;
+}
+
 type config = {
   quantum : int;
   max_live : int;
@@ -127,9 +136,19 @@ type session = {
   mutable admitted_tick : int;
 }
 
-let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?on_supervise
-    ?on_tick ~specs ~seed () =
+let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?(groups = [])
+    ?on_supervise ?on_tick ~specs ~seed () =
   let n = Array.length specs in
+  List.iter
+    (fun g ->
+      if Array.length g.members = 0 then
+        invalid_arg ("Engine.run: empty group " ^ g.gname);
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= n then
+            invalid_arg ("Engine.run: group member out of range in " ^ g.gname))
+        g.members)
+    groups;
   let jobs =
     match jobs with Some j -> j | None -> Goalcom_par.Pool.default_jobs ()
   in
@@ -382,7 +401,25 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?on_supervise
             s.inc_rounds <- s.inc_rounds + delta;
             s.rounds_total <- s.rounds_total + delta)
           running;
-        (* 6. sequential supervision, id order *)
+        (* 6a. group arbiters: one slot per tick per live group.  The
+           parallel quantum only staged per-member state (each member
+           touches its own cells); everything cross-member — winner
+           selection, collision feedback, delivery grants — happens
+           here on the supervising domain, in group list order, before
+           any verdict is made.  Reports funnel into the supervise
+           stream attributed to the member session, so rollups see
+           deliveries and collisions like any other decision.  A group
+           whose members are all terminal stops arbitrating (its slot
+           clock freezes with its last live member). *)
+        List.iter
+          (fun g ->
+            if Array.exists (fun id -> not (terminal sessions.(id))) g.members
+            then
+              g.arbitrate ~tick
+                ~report:(fun ~session ~action ~detail ->
+                  sup sessions.(session) ~tick action detail))
+          groups;
+        (* 6b. sequential supervision, id order *)
         Array.iter
           (fun s ->
             (match s.phase with

@@ -45,6 +45,29 @@ type spec = {
   exec_config : Goalcom.Exec.config;
 }
 
+(** A shared-world session group: [members] are session ids whose
+    servers are ports of one shared arbiter (a
+    [Goalcom_net.Medium], typically).  Each tick, after the parallel
+    quantum and before any supervision verdict, the engine calls
+    [arbitrate] for every group with a non-terminal member — on the
+    supervising domain, in group list order — so one scheduler tick is
+    one arbitration slot.  The contract that keeps multi-user runs
+    bit-identical across jobs counts: during the parallel quantum a
+    member's server may touch only its own per-member cells of the
+    shared state; everything cross-member (winner selection, collision
+    feedback, counters) belongs in [arbitrate].  [report] feeds
+    supervision observations (e.g. ["deliver"], ["collide"]) into the
+    supervise stream attributed to a member session; like every
+    supervise hook it is an observer — outcomes never depend on it. *)
+type group = {
+  gname : string;
+  members : int array;
+  arbitrate :
+    tick:int ->
+    report:(session:int -> action:string -> detail:string -> unit) ->
+    unit;
+}
+
 type config = {
   quantum : int;  (** rounds per session per tick *)
   max_live : int;  (** concurrently running sessions *)
@@ -118,6 +141,7 @@ val run :
   ?chaos:Chaos.t ->
   ?config:config ->
   ?jobs:int ->
+  ?groups:group list ->
   ?on_supervise:
     (tick:int -> session:int -> action:string -> detail:string -> unit) ->
   ?on_tick:(tick:int -> unit) ->
@@ -129,7 +153,8 @@ val run :
     Session [i] runs [specs.(i)]; per-session RNGs are split from
     [seed] in id order up front, so outcomes do not depend on
     scheduling.  [jobs] defaults to
-    [Goalcom_par.Pool.default_jobs ()].
+    [Goalcom_par.Pool.default_jobs ()].  [groups] attach shared-world
+    arbiters (see {!type:group}); member ids must be in range.
 
     [on_supervise] observes every supervision decision (the
     [Trace.Supervise] vocabulary) as it is made — whether or not a

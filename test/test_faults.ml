@@ -165,6 +165,41 @@ let test_spec_errors () =
   (* The component inside a stack is quoted, not the whole stack. *)
   check_contains "crash:60+bogus:1" "bad fault spec \"bogus:1\""
 
+(* [loss:P] is the network-link spelling of [drop:P] (lib/net link
+   specs); it must parse to the same wrapper and reject malformed
+   probabilities with its own grammar name. *)
+let test_loss_alias () =
+  (match Fault.of_string ~alphabet "loss:0.25" with
+  | Ok f -> Alcotest.(check string) "loss = drop" "drop(0.25)" (Fault.name f)
+  | Error e -> Alcotest.fail e);
+  (match Fault.stack_of_string ~alphabet "crash:60+loss:0.1+dup" with
+  | Ok f ->
+      Alcotest.(check string) "loss in a stack" "crash(60)+drop(0.10)+dup"
+        (Fault.name f)
+  | Error e -> Alcotest.fail e);
+  let err spec =
+    match Fault.of_string ~alphabet spec with
+    | Ok _ -> Alcotest.failf "malformed spec %S accepted" spec
+    | Error e -> e
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let check_contains spec needle =
+    let e = err spec in
+    if not (contains e needle) then
+      Alcotest.failf "error for %S does not mention %s: %s" spec needle e
+  in
+  check_contains "loss:zz" "loss:P wants a float";
+  check_contains "loss" "\"loss\" wants the form loss:P";
+  check_contains "loss:0.1,0.2" "\"loss\" wants the form loss:P";
+  check_contains "loss:1.5" "prob";
+  check_contains "loss:-0.1" "prob";
+  (* The alias is advertised in the unknown-name vocabulary. *)
+  check_contains "bogus:1" "loss:P"
+
 (* qcheck properties *)
 
 let qcount = 120
@@ -530,6 +565,7 @@ let suite =
     ("compose order and naming", `Quick, test_compose_order_and_name);
     ("spec parser", `Quick, test_spec_parser);
     ("spec parse errors", `Quick, test_spec_errors);
+    ("loss alias", `Quick, test_loss_alias);
     ("finite checkpoint resumes schedule", `Quick, test_finite_checkpoint_resumes_schedule);
     ("compact checkpoint resumes index", `Quick, test_compact_checkpoint_resumes_index);
     ("wedge detector breaks stalls", `Quick, test_wedge_detector_breaks_stalls);

@@ -123,7 +123,7 @@ let test_trial_validation () =
            ~server:idle_server ()))
 
 let test_registry_complete () =
-  Alcotest.(check int) "eighteen experiments" 18 (List.length Experiment.all);
+  Alcotest.(check int) "nineteen experiments" 19 (List.length Experiment.all);
   List.iteri
     (fun i (e : Experiment.t) ->
       Alcotest.(check string) "ordered ids" (Printf.sprintf "e%d" (i + 1)) e.id)
@@ -137,7 +137,7 @@ let test_registry_find () =
 
 let test_registry_kinds () =
   let kinds = List.map (fun (e : Experiment.t) -> e.kind) Experiment.all in
-  Alcotest.(check int) "ten tables" 10
+  Alcotest.(check int) "eleven tables" 11
     (List.length (List.filter (fun k -> k = Experiment.Table) kinds));
   Alcotest.(check int) "eight figures" 8
     (List.length (List.filter (fun k -> k = Experiment.Figure) kinds));

@@ -1,0 +1,375 @@
+(* Tests for lib/net: topology goals, probabilistic forwarding, the
+   shared-medium arbiter, and the multi-user session-group semantics. *)
+
+open Goalcom
+open Goalcom_prelude
+open Goalcom_automata
+module Net = Goalcom_net
+module Fault = Goalcom_faults.Fault
+
+let alphabet = 5 (* command alphabet for topo/forward dialect classes *)
+let dialects = Dialect.enumerate_rotations ~size:alphabet
+let dialect i = Enum.get_exn dialects i
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* --- link builders ---------------------------------------------------- *)
+
+let test_link_builders () =
+  let a = 4 in
+  Alcotest.(check (list int))
+    "clean" [ 0; 3; 2 ]
+    (Mealy.run (Net.Link.clean ~alphabet:a) [ 0; 3; 2 ]);
+  Alcotest.(check (list int))
+    "relabel wraps" [ 1; 0 ]
+    (Mealy.run (Net.Link.relabel ~alphabet:a 1) [ 0; 3 ]);
+  Alcotest.(check (list int))
+    "relabel composes to identity" [ 2 ]
+    (Mealy.run
+       (Mealy.cascade (Net.Link.relabel ~alphabet:a 1)
+          (Net.Link.relabel ~alphabet:a 3))
+       [ 2 ]);
+  Alcotest.(check (list int))
+    "stuck" [ 1; 1; 1 ]
+    (Mealy.run (Net.Link.stuck ~alphabet:a 1) [ 0; 2; 3 ]);
+  Alcotest.(check (list int))
+    "sticky remembers its first symbol" [ 2; 2; 2 ]
+    (Mealy.run (Net.Link.sticky ~alphabet:a) [ 2; 0; 3 ])
+
+let test_link_imperfection_spec () =
+  (match Net.Link.imperfection ~alphabet "loss:0.25+dup" with
+  | Ok f ->
+      Alcotest.(check string) "loss parses as drop" "drop(0.25)+dup"
+        (Fault.name f)
+  | Error e -> Alcotest.fail e);
+  match Net.Link.imperfection ~alphabet "loss:not-a-prob" with
+  | Ok _ -> Alcotest.fail "malformed probability must not parse"
+  | Error e ->
+      Alcotest.(check bool) "error names the grammar" true
+        (contains ~affix:"loss:P" e)
+
+(* --- topology --------------------------------------------------------- *)
+
+let run_topo ~scenario ~user ~server ?(horizon = 400) seed =
+  let goal = Net.Topo.goal ~scenarios:[ scenario ] ~alphabet () in
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal ~user ~server
+    (Rng.make seed)
+
+let test_topo_scenarios () =
+  let line = Net.Topo.line ~hops:3 ~payload_alphabet:4 ~payload:2 in
+  Alcotest.(check (list int)) "line route" [ 0; 0; 0 ] (Net.Topo.route line);
+  let diamond = Net.Topo.diamond ~payload_alphabet:4 ~payload:2 in
+  Alcotest.(check (list int))
+    "diamond routes around the stuck decoy" [ 0; 0 ]
+    (Net.Topo.route diamond);
+  let ring = Net.Topo.ring ~nodes:5 ~sink:3 ~payload_alphabet:4 ~payload:1 in
+  Alcotest.(check (list int))
+    "ring avoids the stuck chord" [ 1; 0; 0 ]
+    (Net.Topo.route ring);
+  Alcotest.check_raises "unroutable scenario rejected"
+    (Invalid_argument "Topo.scenario: no intact route from source to sink")
+    (fun () ->
+      let net =
+        Net.Topo.net ~payload_alphabet:4 ~nodes:2
+          [ (0, 1, Net.Link.stuck ~alphabet:4 0) ]
+      in
+      ignore (Net.Topo.scenario ~net ~source:0 ~sink:1 ~payload:2))
+
+let test_topo_informed_delivers () =
+  List.iter
+    (fun (name, scenario) ->
+      List.iter
+        (fun di ->
+          let d = dialect di in
+          let outcome, _ =
+            run_topo ~scenario
+              ~user:(Net.Topo.informed_user ~alphabet ~scenario d)
+              ~server:(Net.Topo.server ~alphabet d)
+              (42 + di)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s via dialect %d" name di)
+            true outcome.Outcome.achieved)
+        [ 0; 2; 4 ])
+    [
+      ("line", Net.Topo.line ~hops:3 ~payload_alphabet:4 ~payload:2);
+      ("diamond", Net.Topo.diamond ~payload_alphabet:4 ~payload:2);
+      ("ring", Net.Topo.ring ~nodes:5 ~sink:3 ~payload_alphabet:4 ~payload:1);
+    ]
+
+let test_topo_wrong_dialect_fails_universal_recovers () =
+  let scenario = Net.Topo.diamond ~payload_alphabet:4 ~payload:2 in
+  let outcome, _ =
+    run_topo ~scenario
+      ~user:(Net.Topo.informed_user ~alphabet ~scenario (dialect 1))
+      ~server:(Net.Topo.server ~alphabet (dialect 0))
+      7
+  in
+  Alcotest.(check bool) "wrong dialect stalls" false outcome.Outcome.achieved;
+  List.iter
+    (fun di ->
+      let outcome, _ =
+        run_topo ~scenario ~horizon:4_000
+          ~user:(Net.Topo.universal_user ~alphabet ~scenario dialects)
+          ~server:(Net.Topo.server ~alphabet (dialect di))
+          11
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "universal conquers dialect %d" di)
+        true outcome.Outcome.achieved)
+    [ 0; 1; 4 ]
+
+(* --- forwarding ------------------------------------------------------- *)
+
+let payload_alphabet = 4
+let fwd_doc = [ 2; 0; 3; 1 ]
+let fwd_scenario = Net.Forward.scenario ~payload_alphabet fwd_doc
+
+let run_forward ?wire ?(fault = Fault.nop) ?(horizon = 600) ~user_d ~server_d
+    seed =
+  let goal = Net.Forward.goal ~scenarios:[ fwd_scenario ] ~alphabet () in
+  let server =
+    Fault.apply fault
+      (Net.Forward.server ?wire ~alphabet ~payload_alphabet (dialect server_d))
+  in
+  Exec.run_outcome ~config:(Exec.config ~horizon ()) ~goal
+    ~user:(Net.Forward.informed_user ~alphabet (dialect user_d))
+    ~server (Rng.make seed)
+
+let test_forward_clean () =
+  let outcome, history = run_forward ~user_d:2 ~server_d:2 5 in
+  Alcotest.(check bool) "delivered" true outcome.Outcome.achieved;
+  Alcotest.(check bool)
+    "final view shows the payload" true
+    (Net.Forward.delivered
+       (match History.world_views_rev history with v :: _ -> v | [] -> Msg.Silence))
+
+let test_forward_wrong_dialect_stalls () =
+  let outcome, _ = run_forward ~user_d:1 ~server_d:2 5 in
+  Alcotest.(check bool) "stalls" false outcome.Outcome.achieved
+
+let test_forward_lossy_dup () =
+  let fault =
+    match Fault.stack_of_string ~alphabet "loss:0.3+dup" with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun seed ->
+      let outcome, _ = run_forward ~fault ~user_d:0 ~server_d:0 seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "ARQ survives loss+dup (seed %d)" seed)
+        true outcome.Outcome.achieved)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_forward_noisy_wire () =
+  let wire = Net.Link.wire ~flip_prob:0.15 ~alphabet:payload_alphabet in
+  List.iter
+    (fun seed ->
+      let outcome, _ = run_forward ~wire ~user_d:0 ~server_d:0 seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "ARQ resets through wire noise (seed %d)" seed)
+        true outcome.Outcome.achieved)
+    [ 1; 2; 3 ]
+
+let test_forward_universal () =
+  let wire = Net.Link.wire ~flip_prob:0.05 ~alphabet:payload_alphabet in
+  let goal = Net.Forward.goal ~scenarios:[ fwd_scenario ] ~alphabet () in
+  let server =
+    Net.Forward.server ~wire ~alphabet ~payload_alphabet (dialect 3)
+  in
+  let outcome, _ =
+    Exec.run_outcome
+      ~config:(Exec.config ~horizon:6_000 ())
+      ~goal
+      ~user:(Net.Forward.universal_user ~alphabet dialects)
+      ~server (Rng.make 9)
+  in
+  Alcotest.(check bool) "universal forwards" true outcome.Outcome.achieved
+
+(* --- the medium ------------------------------------------------------- *)
+
+module Session = Goalcom_session
+module E19 = Goalcom_harness.E19_net_matrix
+
+let frame seq sym = Msg.Pair (Msg.Int seq, Msg.Int sym)
+
+let test_medium_slot_semantics () =
+  Alcotest.check_raises "no ports"
+    (Invalid_argument "Medium.create: need at least one port") (fun () ->
+      ignore (Net.Medium.create ~ports:0));
+  let m = Net.Medium.create ~ports:3 in
+  let rng = Rng.make 1 in
+  let p = Array.init 3 (fun i -> Strategy.Instance.create (Net.Medium.port m i)) in
+  let step i from_user : Io.Server.act =
+    Strategy.Instance.step rng p.(i)
+      { Io.Server.from_user; from_world = Msg.Silence }
+  in
+  (* slot 1: ports 0 and 1 clash, port 2 stays quiet *)
+  List.iter
+    (fun (i, attempt) ->
+      let a = step i attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "port %d starts quiet" i)
+        true
+        (a.Io.Server.to_user = Msg.Sym 0 && a.Io.Server.to_world = Msg.Silence))
+    [ (0, frame 0 2); (1, frame 0 3); (2, Msg.Silence) ];
+  Net.Medium.resolve m;
+  (* slot 2: the clashers read their collision; only port 2 transmits *)
+  Alcotest.(check bool) "0 collided" true
+    ((step 0 Msg.Silence).Io.Server.to_user = Msg.Sym 2);
+  Alcotest.(check bool) "1 collided" true
+    ((step 1 Msg.Silence).Io.Server.to_user = Msg.Sym 2);
+  Alcotest.(check bool) "2 still quiet" true
+    ((step 2 (frame 0 1)).Io.Server.to_user = Msg.Sym 0);
+  Net.Medium.resolve m;
+  (* slot 3: port 2's frame was granted — ack plus world delivery *)
+  let a = step 2 Msg.Silence in
+  Alcotest.(check bool) "2 delivered" true (a.Io.Server.to_user = Msg.Sym 1);
+  Alcotest.(check bool) "frame forwarded" true
+    (a.Io.Server.to_world = frame 0 1);
+  Net.Medium.resolve m;
+  (* slot 3 staged nothing: an idle slot *)
+  Alcotest.(check int) "slots" 3 (Net.Medium.slots m);
+  Alcotest.(check int) "successes" 1 (Net.Medium.successes m);
+  Alcotest.(check int) "collisions" 1 (Net.Medium.collisions m);
+  Alcotest.(check int) "idles" 1 (Net.Medium.idles m);
+  Alcotest.(check int) "port 2 delivered" 1 (Net.Medium.delivered m 2);
+  Alcotest.(check int) "port 0 delivered" 0 (Net.Medium.delivered m 0)
+
+let test_medium_first_attempt_sticks_and_restart_clears () =
+  let m = Net.Medium.create ~ports:1 in
+  let rng = Rng.make 2 in
+  let p = Strategy.Instance.create (Net.Medium.port m 0) in
+  let step from_user : Io.Server.act =
+    Strategy.Instance.step rng p
+      { Io.Server.from_user; from_world = Msg.Silence }
+  in
+  ignore (step (frame 0 2));
+  ignore (step (frame 0 3));
+  (* same slot: the first attempt sticks *)
+  Net.Medium.resolve m;
+  let a = step Msg.Silence in
+  Alcotest.(check bool) "first attempt won" true
+    (a.Io.Server.to_world = frame 0 2);
+  (* a granted-but-unread frame dies with the incarnation *)
+  ignore (step (frame 1 1));
+  Net.Medium.resolve m;
+  Strategy.Instance.restart p;
+  let a = step Msg.Silence in
+  Alcotest.(check bool) "restart starts from a quiet port" true
+    (a.Io.Server.to_user = Msg.Sym 0 && a.Io.Server.to_world = Msg.Silence);
+  (* medium-level counters survive the incarnation *)
+  Alcotest.(check int) "successes persist" 2 (Net.Medium.successes m)
+
+(* --- multiple access through the session-group engine ------------------ *)
+
+let test_mac_group_completes () =
+  let r = E19.run_mac ~users:2 ~seed:3 () in
+  Alcotest.(check int) "both stations finish" 2
+    r.E19.report.Session.Engine.completed;
+  (* each station's word has two symbols: at least four granted frames *)
+  Alcotest.(check bool) "deliveries happened" true (r.E19.successes >= 4);
+  Alcotest.(check bool) "slot accounting" true
+    (r.E19.successes + r.E19.collisions + r.E19.idles = r.E19.slots)
+
+(* Satellite: shared-medium determinism.  The first multi-user step
+   semantics must preserve the engine's contract — outcomes, digest and
+   medium counters bit-identical across jobs counts and repeats. *)
+let prop_mac_jobs_deterministic =
+  QCheck.Test.make ~count:6
+    ~name:"net: shared-medium run is jobs- and repeat-deterministic"
+    QCheck.(pair (2 -- 5) (int_bound 1000))
+    (fun (users, seed) ->
+      let base = E19.run_mac ~jobs:1 ~users ~seed () in
+      List.for_all
+        (fun jobs ->
+          let r = E19.run_mac ~jobs ~users ~seed () in
+          r.E19.report.Session.Engine.digest
+          = base.E19.report.Session.Engine.digest
+          && r.E19.report.Session.Engine.outcomes
+             = base.E19.report.Session.Engine.outcomes
+          && (r.E19.slots, r.E19.successes, r.E19.collisions, r.E19.idles)
+             = (base.E19.slots, base.E19.successes, base.E19.collisions,
+                base.E19.idles))
+        [ 1; 2; 4 ])
+
+(* Satellite: crash-restart equivalence for session groups.  A station
+   fleet interrupted by chaos kills reaches the same goal states as the
+   uninterrupted fleet — the medium is part of the world, not of any
+   incarnation, and checkpoints survive restarts. *)
+let final_states (r : E19.mac_run) =
+  Array.map
+    (function
+      | Session.Engine.Done { state; _ } -> Some state
+      | _ -> None)
+    r.E19.report.Session.Engine.outcomes
+
+let prop_mac_crash_restart_reaches_same_state =
+  QCheck.Test.make ~count:6
+    ~name:"net: killed+restarted stations = uninterrupted (jobs 1/2/4)"
+    QCheck.(pair (1 -- 30) (1 -- 30))
+    (fun (k1, k2) ->
+      let users = 3 in
+      let baseline = E19.run_mac ~users ~seed:17 () in
+      let states = final_states baseline in
+      if Array.exists (( = ) None) states then
+        QCheck.Test.fail_report "baseline did not complete";
+      let chaos =
+        match
+          Session.Chaos.of_string ~alphabet:5
+            (Printf.sprintf "kill@%d,%d%%2=0" k1 (k1 + k2))
+        with
+        | Ok c -> c
+        | Error e -> QCheck.Test.fail_report e
+      in
+      List.for_all
+        (fun jobs ->
+          final_states (E19.run_mac ~jobs ~chaos ~users ~seed:17 ()) = states)
+        [ 1; 2; 4 ])
+
+(* --- suite ------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "link",
+        [
+          Alcotest.test_case "builders" `Quick test_link_builders;
+          Alcotest.test_case "imperfection spec" `Quick
+            test_link_imperfection_spec;
+        ] );
+      ( "topo",
+        [
+          Alcotest.test_case "scenarios and routes" `Quick test_topo_scenarios;
+          Alcotest.test_case "informed delivers" `Quick
+            test_topo_informed_delivers;
+          Alcotest.test_case "universal recovers" `Quick
+            test_topo_wrong_dialect_fails_universal_recovers;
+        ] );
+      ( "forward",
+        [
+          Alcotest.test_case "clean" `Quick test_forward_clean;
+          Alcotest.test_case "wrong dialect stalls" `Quick
+            test_forward_wrong_dialect_stalls;
+          Alcotest.test_case "lossy+dup" `Quick test_forward_lossy_dup;
+          Alcotest.test_case "noisy wire" `Quick test_forward_noisy_wire;
+          Alcotest.test_case "universal" `Quick test_forward_universal;
+        ] );
+      ( "medium",
+        [
+          Alcotest.test_case "slot semantics" `Quick
+            test_medium_slot_semantics;
+          Alcotest.test_case "sticky attempts, quiet restarts" `Quick
+            test_medium_first_attempt_sticks_and_restart_clears;
+        ] );
+      ( "mac",
+        [
+          Alcotest.test_case "group completes" `Quick test_mac_group_completes;
+          QCheck_alcotest.to_alcotest prop_mac_jobs_deterministic;
+          QCheck_alcotest.to_alcotest prop_mac_crash_restart_reaches_same_state;
+        ] );
+    ]
