@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: `make check`.
 
-.PHONY: all build test check ci bench bench-par bench-sense bench-session bench-compile bench-trace bench-net bench-check clean
+.PHONY: all build test check ci bench bench-par bench-sense bench-session bench-sched bench-compile bench-trace bench-net bench-check clean
 
 all: build
 
@@ -22,6 +22,9 @@ ci: check
 	dune exec bin/main.exe -- run e17 --jobs 2
 	GOALCOM_E19_TRIALS=10 dune exec bin/main.exe -- run e19 --jobs 2
 	dune exec bin/main.exe -- serve --sessions 24 --mix net --jobs 2
+	dune exec bin/main.exe -- serve --sessions 2000 --jobs 1 --arrivals poisson:2.5 --class-weights "printing=3,maze-corridor=1" | grep '^digest' > /tmp/sched-1.digest
+	dune exec bin/main.exe -- serve --sessions 2000 --jobs 2 --arrivals poisson:2.5 --class-weights "printing=3,maze-corridor=1" | grep '^digest' > /tmp/sched-2.digest
+	cmp /tmp/sched-1.digest /tmp/sched-2.digest
 	dune exec bin/main.exe -- chaos run --sessions 120 --jobs 2 --repeat 2 --check
 	GOALCOM_E18_SESSIONS=60 dune exec bin/main.exe -- run e18 --jobs 2
 	dune exec bin/main.exe -- warm record --sessions 18 --out /tmp/warm.jsonl
@@ -69,6 +72,25 @@ bench-sense:
 # the gate re-runs at the same scale and pins the counts exactly.
 bench-session:
 	BENCH_ONLY=session dune exec --profile release bench/main.exe
+
+# Scheduling smoke: the fair-share engine under Poisson arrivals with
+# weighted admission classes must report bit-identical outcome digests
+# at jobs 1, 2 and 4 — domain-sharded quanta are an implementation
+# detail, never an observable — then the bench gate re-checks the
+# storm speedup ceiling and the allocation-per-round figure against
+# the committed BENCH_session.json.
+bench-sched:
+	set -e; \
+	for j in 1 2 4; do \
+	  dune exec --profile release bin/main.exe -- serve --sessions 2000 \
+	    --jobs $$j --arrivals poisson:2.5 \
+	    --class-weights "printing=3,maze-corridor=1" \
+	    | grep '^digest' > /tmp/sched-$$j.digest; \
+	done; \
+	cmp /tmp/sched-1.digest /tmp/sched-2.digest; \
+	cmp /tmp/sched-1.digest /tmp/sched-4.digest; \
+	echo "bench-sched: jobs 1/2/4 $$(cat /tmp/sched-1.digest) identical"
+	BENCH_CHECK_ROUNDS=5 BENCH_CHECK_BUDGET=0.01 dune exec --profile release bench/main.exe -- --check
 
 # Rewrites just BENCH_compile.json: the flat-table strategy walk vs the
 # interpreted Mealy walk over a 512-slot Levin prefix, with the

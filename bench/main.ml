@@ -1174,7 +1174,11 @@ let session_conditions =
     };
   ]
 
-(* [(cname, [(jobs, (report, seconds))])] *)
+(* [(cname, [(jobs, (report, seconds, minor_words))])].  Minor-heap
+   words are only meaningful at jobs 1 (the exact sequential path — at
+   higher widths the counter misses what worker domains allocate), and
+   there they are deterministic: the allocation gate reads the jobs=1
+   figure. *)
 let measure_session () =
   List.map
     (fun (c : E18_chaos_matrix.condition) ->
@@ -1182,11 +1186,13 @@ let measure_session () =
         List.map
           (fun jobs ->
             let t0 = Unix.gettimeofday () in
+            let mw0 = Gc.minor_words () in
             let report =
               E18_chaos_matrix.run_condition ~jobs ~sessions:session_sessions
                 ~seed c
             in
-            (jobs, (report, Unix.gettimeofday () -. t0)))
+            let mw = Gc.minor_words () -. mw0 in
+            (jobs, (report, Unix.gettimeofday () -. t0, mw)))
           session_jobs ))
     session_conditions
 
@@ -1195,10 +1201,10 @@ let session_mismatches runs =
   List.filter_map
     (fun (cname, by_jobs) ->
       match by_jobs with
-      | (_, ((base : Session_engine.report), _)) :: rest ->
+      | (_, ((base : Session_engine.report), _, _)) :: rest ->
           if
             List.for_all
-              (fun (_, ((r : Session_engine.report), _)) ->
+              (fun (_, ((r : Session_engine.report), _, _)) ->
                 String.equal r.Session_engine.digest
                   base.Session_engine.digest)
               rest
@@ -1233,6 +1239,20 @@ let session_counts (r : Session_engine.report) =
    higher throughput is never misread as a regression. *)
 let sessions_per_sec t = float_of_int session_sessions /. t
 
+(* Allocation per session-round, from the jobs=1 run. *)
+let session_minor_words_per_round by_jobs =
+  let (r : Session_engine.report), _, mw = List.assoc 1 by_jobs in
+  if r.Session_engine.total_rounds = 0 then 0.
+  else mw /. float_of_int r.Session_engine.total_rounds
+
+(* Parallel speedup as a percentage: jobs=4 wall clock over jobs=1
+   (< 100 means jobs 4 is faster).  The storm figure is hard-gated
+   below 100 — the whole point of domain-sharded quanta. *)
+let session_speedup_pct by_jobs =
+  let _, t1, _ = List.assoc 1 by_jobs in
+  let _, t4, _ = List.assoc 4 by_jobs in
+  100. *. t4 /. t1
+
 (* Flattened to the gate's vocabulary — the same names
    Bench_gate.metrics_of_json extracts from BENCH_session.json. *)
 let session_metrics runs =
@@ -1241,27 +1261,52 @@ let session_metrics runs =
   { name = "session_mismatch_pct"; value = mismatch_pct }
   :: List.concat_map
        (fun (cname, by_jobs) ->
-         let (r : Session_engine.report), _ = List.assoc 1 by_jobs in
+         let (r : Session_engine.report), _, _ = List.assoc 1 by_jobs in
          List.map
            (fun (field, v) ->
              { name = Printf.sprintf "%s/%s" cname field; value = v })
            (session_counts r)
          @ List.map
-             (fun (jobs, (_, t)) ->
+             (fun (jobs, (_, t, _)) ->
                { name = Printf.sprintf "%s/jobs%d_ms" cname jobs;
                  value = t *. 1e3 })
-             by_jobs)
+             by_jobs
+         @ [
+             { name = Printf.sprintf "%s/minor_words_per_round" cname;
+               value = session_minor_words_per_round by_jobs };
+             { name = Printf.sprintf "%s/jobs4_vs_jobs1_pct" cname;
+               value = session_speedup_pct by_jobs };
+           ])
        runs
 
+(* The absolute ceiling the storm speedup is held to regardless of the
+   committed baseline: jobs 4 must beat jobs 1 (judged with zero
+   tolerance, like the trace gates). *)
+let session_gates =
+  [
+    { Goalcom_obs.Bench_gate.name = "storm/jobs4_vs_jobs1_pct"; value = 100. };
+  ]
+
 (* Determinism makes every count exact, so only the wall-clock
-   timings get the cross-host default tolerance. *)
+   timings, the speedup ratio and the allocation figure carry
+   tolerance: timings get the loose cross-host default, the ratio the
+   _pct default (its absolute ceiling is the hard gate above), and
+   minor-words — deterministic on a host, but sensitive to stdlib /
+   compiler versions — a tight 15%. *)
 let session_tol name =
   let module Gate = Goalcom_obs.Bench_gate in
-  if Filename.check_suffix name "_ms" then Gate.default_tol_pct name else 0.
+  if name = "session_mismatch_pct" then 0.
+  else if Filename.check_suffix name "_ms" then Gate.default_tol_pct name
+  else if Filename.check_suffix name "jobs4_vs_jobs1_pct" then
+    Gate.default_tol_pct name
+  else if Filename.check_suffix name "minor_words_per_round" then 15.
+  else 0.
 
 let session_slack name =
   let module Gate = Goalcom_obs.Bench_gate in
-  if Filename.check_suffix name "_ms" then Gate.default_slack name else 0.
+  if Filename.check_suffix name "_ms" then Gate.default_slack name
+  else if Filename.check_suffix name "jobs4_vs_jobs1_pct" then 10.
+  else 0.
 
 let print_session () =
   print_endline "\n==================================================";
@@ -1273,13 +1318,16 @@ let print_session () =
     List.concat_map
       (fun (cname, by_jobs) ->
         List.map
-          (fun (jobs, ((r : Session_engine.report), t)) ->
+          (fun (jobs, ((r : Session_engine.report), t, _)) ->
             let open Session_engine in
             [
               cname;
               string_of_int jobs;
               Printf.sprintf "%.0f" (t *. 1e3);
               Printf.sprintf "%.0f" (sessions_per_sec t);
+              (if jobs = 1 then
+                 Printf.sprintf "%.0f" (session_minor_words_per_round by_jobs)
+               else "-");
               string_of_int r.completed;
               string_of_int r.shed;
               string_of_int r.restarts;
@@ -1299,7 +1347,7 @@ let print_session () =
          (Printf.sprintf "session engine, %d sessions per condition"
             session_sessions)
        ~columns:
-         [ "condition"; "jobs"; "wall ms"; "sess/s"; "done"; "shed";
+         [ "condition"; "jobs"; "wall ms"; "sess/s"; "mw/rd"; "done"; "shed";
            "restarts"; "trips"; "give-ups"; "p50 rds"; "p99 rds";
            "p999 rds"; "digest" ]
        rows);
@@ -1310,18 +1358,24 @@ let print_session () =
     else Printf.sprintf "%.2f" v
   in
   let entry (cname, by_jobs) =
-    let r, _ = List.assoc 1 by_jobs in
+    let r, _, _ = List.assoc 1 by_jobs in
     let fields =
       List.map (fun (f, v) -> Printf.sprintf "\"%s\": %s" f (num v))
         (session_counts r)
       @ List.concat_map
-          (fun (jobs, (_, t)) ->
+          (fun (jobs, (_, t, _)) ->
             [
               Printf.sprintf "\"jobs%d_ms\": %.1f" jobs (t *. 1e3);
               Printf.sprintf "\"jobs%d_sessions_per_sec\": %.1f" jobs
                 (sessions_per_sec t);
             ])
           by_jobs
+      @ [
+          Printf.sprintf "\"minor_words_per_round\": %.1f"
+            (session_minor_words_per_round by_jobs);
+          Printf.sprintf "\"jobs4_vs_jobs1_pct\": %.1f"
+            (session_speedup_pct by_jobs);
+        ]
     in
     Printf.sprintf "    {\"name\": %S, %s}" cname (String.concat ", " fields)
   in
@@ -1938,8 +1992,34 @@ let check () =
           (List.length session_conditions)
           (String.concat "/" (List.map string_of_int session_jobs));
         let runs = measure_session () in
+        let fresh = session_metrics runs in
+        let gated (m : Gate.metric) =
+          List.exists
+            (fun (g : Gate.metric) -> g.name = m.name)
+            session_gates
+        in
+        let hard =
+          (* The engine clamps its pool width to the hardware, so on a
+             single-thread host jobs 4 runs the jobs 1 path and the
+             ratio is parity plus noise — the absolute ceiling is only
+             judged where parallelism can actually show. *)
+          if Goalcom_par.Pool.hardware_jobs () > 1 then
+            Gate.compare_metrics
+              ~tol_pct:(fun _ -> 0.)
+              ~slack:(fun _ -> 0.)
+              ~baseline:session_gates ~fresh ()
+          else begin
+            Printf.printf
+              "bench --check: single hardware thread, jobs 4 clamps to \
+               jobs 1 — skipping the storm speedup hard gate\n\
+               %!";
+            []
+          end
+        in
         Gate.compare_metrics ~tol_pct:session_tol ~slack:session_slack
-          ~baseline:session_baseline ~fresh:(session_metrics runs) ()
+          ~baseline:(List.filter (fun m -> not (gated m)) session_baseline)
+          ~fresh ()
+        @ hard
   in
   let compile_cmp =
     match Gate.load_file "BENCH_compile.json" with

@@ -591,17 +591,65 @@ let budget_arg =
            ~doc:"Rounds per incarnation before the supervisor wedge-kills \
                  it (0 disables).")
 
+let arrivals_arg =
+  Arg.(value & opt string "bang"
+       & info [ "arrivals" ] ~docv:"SPEC"
+           ~doc:"Arrival process: bang (the whole population arrives at \
+                 tick 1), a bare integer N (N sessions per tick), \
+                 poisson:R (open-loop Poisson arrivals at mean rate R \
+                 per tick) or mmpp:R1,R2,..[:P] (Markov-modulated \
+                 Poisson cycling through the rates with per-tick hop \
+                 probability P, default 0.1).  Sampling is seeded and \
+                 deterministic.")
+
+let class_weights_arg =
+  Arg.(value & opt string ""
+       & info [ "class-weights" ] ~docv:"SPEC"
+           ~doc:"Fair-share admission classes as \
+                 CLASS=WEIGHT[,CLASS=WEIGHT..] over server classes \
+                 (e.g. printing=3,maze-corridor=1).  Queued sessions \
+                 are served by weighted deficit round-robin, so an \
+                 open breaker blocks only its own class; unlisted \
+                 classes share a default queue of weight 1.  Empty: \
+                 one FIFO queue.")
+
+let parse_arrivals s =
+  match Session.Arrival.of_string s with
+  | Ok a -> a
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+
+let parse_class_weights s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           match String.index_opt part '=' with
+           | Some i -> (
+               let cname = String.trim (String.sub part 0 i) in
+               let w =
+                 String.trim
+                   (String.sub part (i + 1) (String.length part - i - 1))
+               in
+               match int_of_string_opt w with
+               | Some w when w >= 1 && cname <> "" -> (cname, w)
+               | _ ->
+                   Printf.eprintf
+                     "--class-weights: bad entry %S (want CLASS=WEIGHT \
+                      with WEIGHT >= 1)\n"
+                     part;
+                   exit 1)
+           | None ->
+               Printf.eprintf
+                 "--class-weights: bad entry %S (want CLASS=WEIGHT)\n" part;
+               exit 1)
+
 let serve_cmd =
   let quantum_arg =
     Arg.(value & opt int 32
          & info [ "quantum" ] ~docv:"R"
              ~doc:"Rounds each running session advances per scheduler tick.")
-  in
-  let arrivals_arg =
-    Arg.(value & opt int 0
-         & info [ "arrivals" ] ~docv:"N"
-             ~doc:"Sessions arriving per tick (0: the whole population \
-                   arrives at tick 1).")
   in
   let deadline_arg =
     Arg.(value & opt int 0
@@ -609,13 +657,15 @@ let serve_cmd =
              ~doc:"Ticks from arrival before an unfinished session is \
                    abandoned (0 disables).")
   in
-  let run sessions mix max_live queue quantum arrivals deadline budget
-      warm_path stats stats_every seed jobs =
+  let run sessions mix max_live queue quantum arrivals class_weights deadline
+      budget warm_path stats stats_every seed jobs =
     apply_jobs jobs;
     let quantum = match mix with `Net -> 1 | `E18 -> quantum in
+    let arrivals = parse_arrivals arrivals in
+    let classes = parse_class_weights class_weights in
     let config =
-      Session.Engine.config ~quantum ~max_live ~queue_capacity:queue
-        ~arrivals_per_tick:arrivals ~round_budget:budget ~deadline ()
+      Session.Engine.config ~quantum ~max_live ~queue_capacity:queue ~arrivals
+        ~classes ~round_budget:budget ~deadline ()
     in
     let warm = Option.map warm_load warm_path in
     let specs, groups = population_of_mix ?warm ~sessions mix in
@@ -644,8 +694,9 @@ let serve_cmd =
              engine (no chaos): admission control, restart supervision, \
              per-class circuit breakers.")
     Term.(const run $ sessions_arg ~default:256 $ mix_arg $ max_live_arg
-          $ queue_arg $ quantum_arg $ arrivals_arg $ deadline_arg $ budget_arg
-          $ warm_arg $ stats_arg $ stats_every_arg $ seed_arg $ jobs_arg)
+          $ queue_arg $ quantum_arg $ arrivals_arg $ class_weights_arg
+          $ deadline_arg $ budget_arg $ warm_arg $ stats_arg $ stats_every_arg
+          $ seed_arg $ jobs_arg)
 
 let chaos_run_cmd =
   let schedule_arg =
@@ -685,18 +736,21 @@ let chaos_run_cmd =
                    invariant check of --check is skipped if the ring \
                    evicted events (a truncated prefix is not a run).")
   in
-  let run sessions mix schedule max_live queue budget repeat check trace ring
-      warm_path stats stats_every seed jobs =
+  let run sessions mix schedule max_live queue arrivals class_weights budget
+      repeat check trace ring warm_path stats stats_every seed jobs =
     apply_jobs jobs;
     let chaos =
       match Session.Chaos.of_string ~alphabet:6 schedule with
       | Ok c -> c
       | Error e -> Printf.eprintf "%s\n" e; exit 1
     in
+    let arrivals = parse_arrivals arrivals in
+    let classes = parse_class_weights class_weights in
     let config =
       Session.Engine.config
         ?quantum:(match mix with `Net -> Some 1 | `E18 -> None)
-        ~max_live ~queue_capacity:queue ~round_budget:budget ()
+        ~max_live ~queue_capacity:queue ~arrivals ~classes
+        ~round_budget:budget ()
     in
     let warm = Option.map warm_load warm_path in
     (* Rebuilt per run: net-mix groups close over mutable media whose
@@ -790,9 +844,9 @@ let chaos_run_cmd =
        ~doc:"Run the session population under a chaos schedule and report \
              completion, shedding, restarts and breaker activity.")
     Term.(const run $ sessions_arg ~default:500 $ mix_arg $ schedule_arg
-          $ max_live_arg $ queue_arg $ budget_arg $ repeat_arg $ check_arg
-          $ trace_arg $ ring_arg $ warm_arg $ stats_arg $ stats_every_arg
-          $ seed_arg $ jobs_arg)
+          $ max_live_arg $ queue_arg $ arrivals_arg $ class_weights_arg
+          $ budget_arg $ repeat_arg $ check_arg $ trace_arg $ ring_arg
+          $ warm_arg $ stats_arg $ stats_every_arg $ seed_arg $ jobs_arg)
 
 let chaos_matrix_cmd =
   let run sessions seed jobs =

@@ -33,7 +33,7 @@ module Stepper = struct
     mutable halted : bool;
     mutable drain_left : int;
     mutable prev_acts : acts;
-    mutable rounds_rev : History.Round.t list;
+    builder : History.Builder.t;
     mutable result : History.t option;
   }
 
@@ -71,11 +71,13 @@ module Stepper = struct
       server_inst;
       world_inst;
       initial_world_view = World.Instance.view world_inst;
+      builder =
+        History.Builder.create
+          ~initial_world_view:(World.Instance.view world_inst);
       round = 1;
       halted = false;
       drain_left = config.drain;
       prev_acts = (silence2, silence2, silence2);
-      rounds_rev = [];
       result = None;
     }
 
@@ -98,10 +100,7 @@ module Stepper = struct
       Trace.handle_emit h (Trace.Emit { round; src; dst; msg })
 
   let finish t =
-    let history =
-      History.make ~initial_world_view:t.initial_world_view
-        (List.rev t.rounds_rev)
-    in
+    let history = History.Builder.finish t.builder in
     let h = Trace.handle () in
     if Trace.handle_enabled h then
       Trace.handle_emit h
@@ -179,7 +178,7 @@ module Stepper = struct
             ( (user_act.to_server, user_act.to_world),
               (server_act.to_user, server_act.to_world),
               (world_act.to_user, world_act.to_server) );
-          t.rounds_rev <- round_record :: t.rounds_rev;
+          History.Builder.add t.builder round_record;
           true
         end
 

@@ -99,9 +99,9 @@ let step j v =
 let final_verdict t history =
   let j, verdict = start t (History.initial_world_view history) in
   let _, verdict =
-    List.fold_left
-      (fun (j, _) (r : History.Round.t) -> step j r.world_view)
-      (j, verdict) (History.rounds history)
+    History.fold_rounds history
+      ~f:(fun (j, _) (r : History.Round.t) -> step j r.world_view)
+      ~init:(j, verdict)
   in
   verdict
 
@@ -138,11 +138,11 @@ let violations t history =
        each round's verdict judges the prefix ending there. *)
     let j, _ = start t (History.initial_world_view history) in
     let _, acc =
-      List.fold_left
-        (fun (j, acc) (r : History.Round.t) ->
+      History.fold_rounds history
+        ~f:(fun (j, acc) (r : History.Round.t) ->
           let j, verdict = step j r.world_view in
           (j, if verdict = `Violation then r.index :: acc else acc))
-        (j, []) (History.rounds history)
+        ~init:(j, [])
     in
     List.rev acc
   end
@@ -157,8 +157,8 @@ let violations t history =
 let violations_prefix t history =
   if t.finite_ then violations t history
   else begin
-    let rounds = Array.of_list (History.rounds history) in
-    let n = Array.length rounds in
+    let n = History.length history in
+    let rounds = Array.init n (History.round_exn history) in
     match t.repr with
     | Compact_pred acceptable ->
         let acc = ref [] in

@@ -32,9 +32,9 @@ let drop_latest k t =
    user's round-r sends with the round-(r-1) incoming messages, matching
    exactly what the user's strategy observed when it acted. *)
 let fold_events h ~init ~f =
-  let rec go prev_s2u prev_w2u acc = function
-    | [] -> acc
-    | (r : History.Round.t) :: rest ->
+  let acc, _, _ =
+    History.fold_rounds h ~init:(init, Msg.Silence, Msg.Silence)
+      ~f:(fun (acc, prev_s2u, prev_w2u) (r : History.Round.t) ->
         let e =
           {
             round = r.index;
@@ -45,9 +45,9 @@ let fold_events h ~init ~f =
             halted = r.user_halted;
           }
         in
-        go r.server_to_user r.world_to_user (f acc e) rest
+        (f acc e, r.server_to_user, r.world_to_user))
   in
-  go Msg.Silence Msg.Silence init (History.rounds h)
+  acc
 
 let of_history h = fold_events h ~init:empty ~f:extend
 

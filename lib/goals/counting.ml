@@ -232,12 +232,10 @@ let universal_user ?schedule ?stats ?(params = default_params) ~alphabet
     ~sensing ()
 
 let claim_requests history =
-  Goalcom_prelude.Listx.count
-    (fun (r : History.Round.t) ->
+  History.fold_rounds history ~init:0 ~f:(fun n (r : History.Round.t) ->
       (* A claim request's payload is a bare CNF (Pair (Int, Seq)); a
          round request's is Pair (cnf, prefix).  Both arrive dialected,
          but the payload shape is dialect-invariant. *)
       match r.user_to_server with
-      | Msg.Pair (Msg.Sym _, Msg.Pair (Msg.Int _, Msg.Seq _)) -> true
-      | _ -> false)
-    (History.rounds history)
+      | Msg.Pair (Msg.Sym _, Msg.Pair (Msg.Int _, Msg.Seq _)) -> n + 1
+      | _ -> n)

@@ -217,22 +217,24 @@ let sensing =
 
 let bad_answers history =
   let formula =
-    List.find_map
-      (fun (r : History.Round.t) ->
-        match r.world_view with
-        | Msg.Pair (Msg.Text _, cnf_msg) -> Codec.cnf_opt cnf_msg
-        | _ -> None)
-      (History.rounds history)
+    History.fold_rounds history ~init:None
+      ~f:(fun acc (r : History.Round.t) ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match r.world_view with
+            | Msg.Pair (Msg.Text _, cnf_msg) -> Codec.cnf_opt cnf_msg
+            | _ -> None))
   in
   match formula with
   | None -> 0
   | Some cnf ->
-      Goalcom_prelude.Listx.count
-        (fun (r : History.Round.t) ->
-          match answer_of_server_msg ~num_vars:cnf.Cnf.num_vars r.server_to_user with
-          | Some a -> not (Cnf.eval cnf a)
-          | None -> false)
-        (History.rounds history)
+      History.fold_rounds history ~init:0 ~f:(fun n (r : History.Round.t) ->
+          match
+            answer_of_server_msg ~num_vars:cnf.Cnf.num_vars r.server_to_user
+          with
+          | Some a -> if Cnf.eval cnf a then n else n + 1
+          | None -> n)
 
 let universal_user ?schedule ?checkpoint ?stats ~alphabet dialects =
   Universal.finite ?schedule ?checkpoint ?stats

@@ -58,6 +58,16 @@ let default_jobs () =
           | Some j when j > 0 -> j
           | _ -> 1))
 
+(* Re-read per call: tests override GOALCOM_HW_JOBS with putenv to
+   exercise multi-domain paths on single-core CI boxes. *)
+let hardware_jobs () =
+  match Sys.getenv_opt "GOALCOM_HW_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j > 0 -> j
+      | _ -> invalid_arg "Pool.hardware_jobs: GOALCOM_HW_JOBS wants a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
 let new_deque () = { dq_lock = Mutex.create (); items = [] }
 
 let pop_own d =

@@ -87,6 +87,15 @@ val set_default_jobs : int -> unit
 (** Set the ambient width (the CLI's [--jobs] lands here).
     @raise Invalid_argument if [jobs <= 0]. *)
 
+val hardware_jobs : unit -> int
+(** How many domains this host can usefully run: [GOALCOM_HW_JOBS]
+    from the environment (re-read per call — tests override it), else
+    [Domain.recommended_domain_count ()].  Callers that spawn one
+    long-lived task per domain (the session engine's sharded quantum)
+    clamp their width to this — oversubscribing domains on a small
+    host turns the minor-GC stop-the-world sync into pure overhead.
+    @raise Invalid_argument on a malformed [GOALCOM_HW_JOBS]. *)
+
 val active_batches : unit -> int
 (** Number of multi-domain batches currently executing, across all
     pools.  Used by [Trace] to reject cross-domain sink installation

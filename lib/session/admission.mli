@@ -1,18 +1,36 @@
-(** Admission control: bounded live set, bounded queue, load shedding.
+(** Admission control: bounded live set, weighted fair-share queues,
+    load shedding.
 
-    At most [max_live] sessions run at once; arrivals beyond that wait
-    in a FIFO queue of at most [queue_capacity]; arrivals beyond
-    {e that} are shed — refused outright, a terminal outcome.  The
-    primitives are split so the engine can interleave its breaker gate:
-    check {!has_capacity}, consult the class breaker, then {!claim} the
-    slot (or {!enqueue} / shed).  Driven in session-id order, the
-    structure's evolution is deterministic. *)
+    At most [max_live] sessions run at once.  Arrivals beyond that
+    wait in per-class FIFO queues (a session's class is its
+    [server_class]; names without a configured class share the
+    implicit ["default"] class) under one shared [queue_capacity];
+    arrivals beyond {e that} are shed — refused outright, a terminal
+    outcome.
+
+    Queues are served by weighted deficit round-robin: {!promote}
+    visits the classes cyclically from a cursor that persists across
+    ticks, crediting each class's deficit with its weight per pass and
+    spending one credit per admission, so service is proportional to
+    weight under contention.  A class whose head is blocked (its
+    breaker is open — [try_start] said no) is set aside for the rest
+    of the call {e without} stalling the other classes: head-of-line
+    blocking is confined to the class.  With a single class of weight
+    1 the schedule reduces exactly to the old global FIFO.
+
+    The primitives are split so the engine can interleave its breaker
+    gate: check {!has_capacity}, consult the class breaker, then
+    {!claim} the slot (or {!enqueue} / shed).  Driven in session-id
+    order, the structure's evolution is deterministic. *)
 
 type t
 
-val make : max_live:int -> queue_capacity:int -> t
-(** @raise Invalid_argument if [max_live < 1] or
-    [queue_capacity < 0]. *)
+val make :
+  ?classes:(string * int) list -> max_live:int -> queue_capacity:int -> unit -> t
+(** [classes] are [(name, weight)] pairs; a ["default"] class of
+    weight 1 is appended unless one is given.  @raise Invalid_argument
+    if [max_live < 1], [queue_capacity < 0], a weight is [< 1], or a
+    class name repeats. *)
 
 val has_capacity : t -> bool
 
@@ -20,21 +38,29 @@ val claim : t -> unit
 (** Take a live slot.  @raise Invalid_argument when full — callers
     check {!has_capacity} first. *)
 
-val enqueue : t -> int -> bool
-(** Join the queue; [false] means no room — the session is counted
-    shed. *)
+val enqueue : t -> cname:string -> int -> bool
+(** Join [cname]'s queue ([cname] need not be configured — unknown
+    names share the default class); [false] means the shared capacity
+    is exhausted — the session is counted shed. *)
 
-val peek_queued : t -> int option
-(** Head of the queue, not removed (the engine checks breaker gates
-    and session liveness before popping). *)
-
-val pop_queued : t -> int
-(** Remove and return the queue head; does {e not} claim a slot.
-    @raise Invalid_argument on an empty queue. *)
+val promote : t -> terminal:(int -> bool) -> try_start:(int -> bool) -> unit
+(** Serve the queues: drop every leading [terminal] id from every
+    class (regardless of capacity), then admit ids in weighted
+    round-robin order while {!has_capacity} holds and some class is
+    serviceable.  [try_start id] makes the actual admission decision
+    (breaker gate + incarnation start + {!claim}); returning [false]
+    marks the id's class blocked for the rest of this call.  Callback
+    order is deterministic for a deterministic queue state. *)
 
 val release : t -> unit
 (** A slot-holding session ended (any outcome); frees its slot. *)
 
 val live : t -> int
+
 val queued : t -> int
+(** Total across classes. *)
+
+val queued_in : t -> string -> int
+(** One class's backlog ([cname] resolved like {!enqueue}). *)
+
 val shed_count : t -> int

@@ -44,7 +44,8 @@ type config = {
   quantum : int;
   max_live : int;
   queue_capacity : int;
-  arrivals_per_tick : int;
+  arrivals : Arrival.t;
+  classes : (string * int) list;
   round_budget : int;
   deadline : int;
   max_ticks : int;
@@ -54,18 +55,28 @@ type config = {
 }
 
 let config ?(quantum = 32) ?(max_live = 64) ?(queue_capacity = 4096)
-    ?(arrivals_per_tick = 0) ?(round_budget = 0) ?(deadline = 0)
-    ?(max_ticks = 10_000) ?(policy = Policy.default) ?(breaker_threshold = 5)
-    ?(breaker_cooldown = 8) () =
+    ?arrivals_per_tick ?arrivals ?(classes = []) ?(round_budget = 0)
+    ?(deadline = 0) ?(max_ticks = 10_000) ?(policy = Policy.default)
+    ?(breaker_threshold = 5) ?(breaker_cooldown = 8) () =
   if quantum < 1 then invalid_arg "Engine.config: quantum must be >= 1";
   if max_ticks < 1 then invalid_arg "Engine.config: max_ticks must be >= 1";
-  if round_budget < 0 || deadline < 0 || arrivals_per_tick < 0 then
-    invalid_arg "Engine.config: negative budget/deadline/arrivals";
+  if round_budget < 0 || deadline < 0 then
+    invalid_arg "Engine.config: negative budget/deadline";
+  let arrivals =
+    (* [?arrivals] wins; the integer knob is kept for callers predating
+       rate processes (0 = everything at tick 1, as before). *)
+    match (arrivals, arrivals_per_tick) with
+    | Some a, _ -> a
+    | None, None | None, Some 0 -> Arrival.Bang
+    | None, Some k when k > 0 -> Arrival.Constant k
+    | None, Some _ -> invalid_arg "Engine.config: negative arrivals"
+  in
   {
     quantum;
     max_live;
     queue_capacity;
-    arrivals_per_tick;
+    arrivals;
+    classes;
     round_budget;
     deadline;
     max_ticks;
@@ -175,8 +186,8 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?(groups = [])
         })
   in
   let adm =
-    Admission.make ~max_live:config.max_live
-      ~queue_capacity:config.queue_capacity
+    Admission.make ~classes:config.classes ~max_live:config.max_live
+      ~queue_capacity:config.queue_capacity ()
   in
   let breakers : (string, Breaker.t) Hashtbl.t = Hashtbl.create 7 in
   let breaker_of s =
@@ -263,19 +274,25 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?(groups = [])
      referees judged at truncation). *)
   let achieved_view (goal : Goal.t) history =
     let init = History.initial_world_view history in
-    let last () =
-      match History.world_views_rev history with v :: _ -> v | [] -> init
+    let len = History.length history in
+    (* Walk the same view sequence the list-based code walked: the
+       initial view again at position 0, then one view per round,
+       indexed straight out of the history's chunks. *)
+    let view_at j =
+      if j = 0 then init
+      else (History.round_exn history (j - 1)).History.Round.world_view
     in
     match Referee.start goal.Goal.referee init with
     | _, `Ok -> init
     | judge, `Violation ->
-        let rec go judge = function
-          | [] -> last ()
-          | v :: rest ->
-              let judge, verdict = Referee.step judge v in
-              if verdict = `Ok then v else go judge rest
+        let rec go judge j =
+          if j > len then view_at len
+          else begin
+            let judge, verdict = Referee.step judge (view_at j) in
+            if verdict = `Ok then view_at j else go judge (j + 1)
+          end
         in
-        go judge (List.rev (History.world_views_rev history))
+        go judge 0
   in
   let succeed s ~tick history =
     emit_breaker_change s ~tick (Breaker.record_success (breaker_of s));
@@ -289,8 +306,17 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?(groups = [])
   let terminal s = match s.phase with Terminal _ -> true | _ -> false in
   let all_terminal () = Array.for_all terminal sessions in
   let next_arrival = ref 0 in
+  (* Split after every per-session stream: runs whose arrival process
+     draws nothing (Bang / Constant) keep their historical digests. *)
+  let arrival_rng = Rng.split root in
+  let arrival_state = Arrival.start config.arrivals in
   let tick = ref 0 in
-  Goalcom_par.Pool.with_pool ~jobs (fun pool ->
+  (* One long-lived shard task per domain: oversubscribing domains
+     past the hardware turns the minor-GC stop-the-world sync into
+     pure overhead, so the pool width is clamped to the host (results
+     are bit-identical for every width — only wall-clock changes). *)
+  let width = max 1 (min jobs (Goalcom_par.Pool.hardware_jobs ())) in
+  Goalcom_par.Pool.with_pool ~jobs:width (fun pool ->
       while (not (all_terminal ())) && !tick < config.max_ticks do
         incr tick;
         let tick = !tick in
@@ -313,8 +339,8 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?(groups = [])
           sessions;
         (* 3. arrivals *)
         let batch =
-          if config.arrivals_per_tick = 0 then if tick = 1 then n else 0
-          else config.arrivals_per_tick
+          Arrival.draw config.arrivals arrival_state ~rng:arrival_rng ~tick
+            ~remaining:(n - !next_arrival)
         in
         for _ = 1 to batch do
           if !next_arrival < n then begin
@@ -333,7 +359,8 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?(groups = [])
               sup s ~tick "admit" "live";
               start_incarnation s ~tick ~restarted:false
             end
-            else if Admission.enqueue adm s.id then begin
+            else if Admission.enqueue adm ~cname:s.spec.server_class s.id
+            then begin
               s.phase <- Waiting;
               sup s ~tick "admit" "queued"
             end
@@ -343,64 +370,66 @@ let run ?(chaos = Chaos.none) ?(config = default_config) ?jobs ?(groups = [])
             end
           end
         done;
-        (* 4. promote from the queue (head-of-line blocking on open
-           breakers is deliberate; see Admission). *)
-        let continue = ref true in
-        while !continue && Admission.has_capacity adm do
-          match Admission.peek_queued adm with
-          | None -> continue := false
-          | Some id ->
-              let s = sessions.(id) in
-              if terminal s then ignore (Admission.pop_queued adm)
-              else if try_begin s ~tick ~restarted:false then begin
-                ignore (Admission.pop_queued adm);
-                Admission.claim adm
-              end
-              else continue := false
-        done;
-        (* 5. the parallel quantum *)
+        (* 4. promote from the queues: weighted deficit round-robin
+           over the admission classes; every leading terminal id is
+           drained in one pass, and an open breaker blocks only its
+           own class (see Admission). *)
+        Admission.promote adm
+          ~terminal:(fun id -> terminal sessions.(id))
+          ~try_start:(fun id ->
+            let s = sessions.(id) in
+            if try_begin s ~tick ~restarted:false then begin
+              Admission.claim adm;
+              true
+            end
+            else false);
+        (* 5. the parallel quantum, sharded: the runnable set is split
+           into [width] contiguous id-range batches and each domain
+           advances its whole shard for the quantum — one multi-
+           millisecond task per domain instead of one sub-millisecond
+           task per session, so the pool's per-task overhead stops
+           dominating.  Shard boundaries cannot affect outcomes: a
+           shard only advances steppers nothing else touches, trace
+           events land in per-session buffers (replayed in id order),
+           and the round-count bookkeeping is per-session too. *)
         let running =
-          Array.to_list sessions
-          |> List.filter_map (fun s ->
-                 match s.phase with
-                 | Running st -> Some (s, st, Exec.Stepper.rounds_executed st)
-                 | _ -> None)
-        in
-        let tasks =
           Array.of_list
-            (List.map
-               (fun (_, st, _) ->
-                 fun () ->
-                   let quantum () =
-                     let rec go k =
-                       if Exec.Stepper.finished st then ()
-                       else if Exec.Stepper.finishing st then
-                         ignore (Exec.Stepper.step st)
-                       else if k > 0 then
-                         if Exec.Stepper.step st then go (k - 1) else ()
-                     in
-                     go config.quantum
-                   in
-                   if tracing then begin
-                     let acc = ref [] in
-                     Trace.with_sink (fun ev -> acc := ev :: !acc) quantum;
-                     List.rev !acc
-                   end
-                   else begin
-                     quantum ();
-                     []
-                   end)
-               running)
+            (Array.to_list sessions
+            |> List.filter_map (fun s ->
+                   match s.phase with
+                   | Running st -> Some (s, st)
+                   | _ -> None))
         in
-        let events = Goalcom_par.Pool.run pool tasks in
-        List.iteri
-          (fun i (s, st, before) ->
-            if tracing then
-              List.iter (fun ev -> s.buf := ev :: !(s.buf)) events.(i);
-            let delta = Exec.Stepper.rounds_executed st - before in
-            s.inc_rounds <- s.inc_rounds + delta;
-            s.rounds_total <- s.rounds_total + delta)
-          running;
+        let m = Array.length running in
+        let shards = min m width in
+        let tasks =
+          Array.init shards (fun k ->
+              let lo = m * k / shards and hi = m * (k + 1) / shards in
+              fun () ->
+                for i = lo to hi - 1 do
+                  let s, st = running.(i) in
+                  let before = Exec.Stepper.rounds_executed st in
+                  let quantum () =
+                    let rec go k =
+                      if Exec.Stepper.finished st then ()
+                      else if Exec.Stepper.finishing st then
+                        ignore (Exec.Stepper.step st)
+                      else if k > 0 then
+                        if Exec.Stepper.step st then go (k - 1) else ()
+                    in
+                    go config.quantum
+                  in
+                  if tracing then
+                    Trace.with_sink
+                      (fun ev -> s.buf := ev :: !(s.buf))
+                      quantum
+                  else quantum ();
+                  let delta = Exec.Stepper.rounds_executed st - before in
+                  s.inc_rounds <- s.inc_rounds + delta;
+                  s.rounds_total <- s.rounds_total + delta
+                done)
+        in
+        ignore (Goalcom_par.Pool.run pool tasks : unit array);
         (* 6a. group arbiters: one slot per tick per live group.  The
            parallel quantum only staged per-member state (each member
            touches its own cells); everything cross-member — winner

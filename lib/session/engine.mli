@@ -71,8 +71,11 @@ type group = {
 type config = {
   quantum : int;  (** rounds per session per tick *)
   max_live : int;  (** concurrently running sessions *)
-  queue_capacity : int;  (** waiting room; overflow is shed *)
-  arrivals_per_tick : int;  (** 0 = everything arrives at tick 1 *)
+  queue_capacity : int;  (** waiting room (shared by all classes); overflow is shed *)
+  arrivals : Arrival.t;  (** how many sessions arrive per tick *)
+  classes : (string * int) list;
+      (** fair-share [(server_class, weight)] admission classes; see
+          {!Admission}.  [[]] = one FIFO queue, as before *)
   round_budget : int;  (** rounds per incarnation before a wedge kill; 0 = off *)
   deadline : int;  (** ticks from arrival to forced termination; 0 = off *)
   max_ticks : int;  (** scheduler runs at most this many ticks *)
@@ -86,6 +89,8 @@ val config :
   ?max_live:int ->
   ?queue_capacity:int ->
   ?arrivals_per_tick:int ->
+  ?arrivals:Arrival.t ->
+  ?classes:(string * int) list ->
   ?round_budget:int ->
   ?deadline:int ->
   ?max_ticks:int ->
@@ -95,9 +100,11 @@ val config :
   unit ->
   config
 (** Defaults: [quantum = 32], [max_live = 64], [queue_capacity = 4096],
-    [arrivals_per_tick = 0], [round_budget = 0], [deadline = 0],
-    [max_ticks = 10_000], [policy = Policy.default],
-    [breaker_threshold = 5], [breaker_cooldown = 8]. *)
+    [arrivals = Arrival.Bang], [classes = \[\]], [round_budget = 0],
+    [deadline = 0], [max_ticks = 10_000], [policy = Policy.default],
+    [breaker_threshold = 5], [breaker_cooldown = 8].
+    [?arrivals_per_tick] is the historical integer knob ([0] = [Bang],
+    [k > 0] = [Constant k]); [?arrivals] wins when both are given. *)
 
 val default_config : config
 

@@ -189,7 +189,13 @@ let test_history_accessors () =
   Alcotest.(check bool) "views_rev reverses" true
     (History.world_views_rev h = List.rev (History.world_views h));
   let p = History.prefix 2 h in
-  Alcotest.(check int) "prefix" 2 (History.length p)
+  Alcotest.(check int) "prefix" 2 (History.length p);
+  Alcotest.(check int) "oversized prefix is the whole history"
+    (History.length h)
+    (History.length (History.prefix (History.length h + 5) h));
+  Alcotest.check_raises "negative prefix"
+    (Invalid_argument "History.prefix: negative n (-1)") (fun () ->
+      ignore (History.prefix (-1) h))
 
 let test_history_validation () =
   Alcotest.check_raises "bad index"

@@ -526,6 +526,122 @@ let prop_history_prefix_views =
       History.world_views (History.prefix cut h)
       = Listx.take (cut + 1) (History.world_views h))
 
+(* --- Chunked History vs the list model --------------------------------
+
+   History stores rounds in chunked arrays; these properties pin every
+   observable to what the plain list representation gives: the round
+   list itself, world views (both directions), halt bookkeeping,
+   prefixes at random cuts (spanning chunk boundaries: lengths run past
+   64 * 2), the reconstructed trace, and the incremental Builder path
+   against the one-shot [make]. *)
+
+let round_of_payload i (a, b, halted) : History.Round.t =
+  let msg k = if k = 0 then Msg.Silence else Msg.Int k in
+  {
+    History.Round.index = i + 1;
+    user_to_server = msg a;
+    user_to_world = msg (a + 1);
+    server_to_user = msg b;
+    server_to_world = Msg.Silence;
+    world_to_user = msg (b + 2);
+    world_to_server = Msg.Silence;
+    world_view = Msg.Int (a + b);
+    user_halted = halted;
+  }
+
+let rounds_gen =
+  QCheck.(
+    list_of_size
+      Gen.(0 -- 150)
+      (triple (int_bound 3) (int_bound 3)
+         (map (fun n -> n = 0) (int_bound 9))))
+
+(* The pre-chunking trace reconstruction, verbatim: the list fold the
+   chunked [History.trace_events] must agree with. *)
+let trace_events_list_model ~initial_world_view:_ (rounds : History.Round.t list) =
+  let emit round src dst msg acc =
+    if Msg.is_silence msg then acc
+    else Trace.Emit { round; src; dst; msg } :: acc
+  in
+  let events, halt_seen =
+    List.fold_left
+      (fun (acc, halt_seen) (r : History.Round.t) ->
+        let acc = Trace.Round_start { round = r.index } :: acc in
+        let acc =
+          emit r.index Trace.User Trace.Server r.user_to_server acc
+          |> emit r.index Trace.User Trace.World r.user_to_world
+          |> emit r.index Trace.Server Trace.User r.server_to_user
+          |> emit r.index Trace.Server Trace.World r.server_to_world
+          |> emit r.index Trace.World Trace.User r.world_to_user
+          |> emit r.index Trace.World Trace.Server r.world_to_server
+        in
+        if r.user_halted && not halt_seen then
+          (Trace.Halt { round = r.index } :: acc, true)
+        else (acc, halt_seen))
+      ([], false) rounds
+  in
+  List.rev
+    (Trace.Run_end { rounds = List.length rounds; halted = halt_seen } :: events)
+
+let prop_history_chunks_equal_list_model =
+  QCheck.Test.make ~count:120 ~name:"History: chunked storage = list model"
+    QCheck.(pair rounds_gen (int_bound 160))
+    (fun (payloads, cut) ->
+      let rounds = List.mapi round_of_payload payloads in
+      let init = Msg.Int 0 in
+      let h = History.make ~initial_world_view:init rounds in
+      let n = List.length rounds in
+      History.rounds h = rounds
+      && History.length h = n
+      && History.world_views h
+         = init :: List.map (fun (r : History.Round.t) -> r.world_view) rounds
+      && History.world_views_rev h = List.rev (History.world_views h)
+      && History.halted h
+         = List.exists (fun (r : History.Round.t) -> r.user_halted) rounds
+      && History.halt_round h
+         = List.find_map
+             (fun (r : History.Round.t) ->
+               if r.user_halted then Some r.index else None)
+             rounds
+      && History.fold_rounds h ~init:[] ~f:(fun acc r -> r :: acc)
+         = List.rev rounds
+      && List.for_all
+           (fun i -> History.round_exn h i = List.nth rounds i)
+           (if n = 0 then [] else [ 0; n / 2; n - 1 ])
+      && History.trace_events h
+         = trace_events_list_model ~initial_world_view:init rounds
+      &&
+      let p = History.prefix cut h in
+      let cut = min cut n in
+      History.rounds p = Listx.take cut rounds
+      && History.length p = cut
+      && History.halt_round p
+         = List.find_map
+             (fun (r : History.Round.t) ->
+               if r.user_halted then Some r.index else None)
+             (Listx.take cut rounds)
+      && History.halted p
+         = List.exists
+             (fun (r : History.Round.t) -> r.user_halted)
+             (Listx.take cut rounds))
+
+let prop_history_builder_equals_make =
+  QCheck.Test.make ~count:120 ~name:"History: Builder.add* = make of the same list"
+    rounds_gen
+    (fun payloads ->
+      let rounds = List.mapi round_of_payload payloads in
+      let init = Msg.Int 0 in
+      let b = History.Builder.create ~initial_world_view:init in
+      List.iter (History.Builder.add b) rounds;
+      let incremental = History.Builder.finish b in
+      let oneshot = History.make ~initial_world_view:init rounds in
+      History.rounds incremental = History.rounds oneshot
+      && History.length incremental = History.length oneshot
+      && History.Builder.length b = List.length rounds
+      && History.halt_round incremental = History.halt_round oneshot
+      && History.world_views incremental = History.world_views oneshot
+      && History.trace_events incremental = History.trace_events oneshot)
+
 let prop_multi_session_count =
   QCheck.Test.make ~count:40 ~name:"Multi_session: completed sessions = floor(horizon/len)"
     QCheck.(pair (int_bound 1_000_000) (pair (5 -- 20) (1 -- 6)))
@@ -596,6 +712,8 @@ let suite =
       prop_exec_silent_after_halt;
       prop_exec_drain_bound;
       prop_history_prefix_views;
+      prop_history_chunks_equal_list_model;
+      prop_history_builder_equals_make;
       prop_multi_session_count;
       prop_halt_on_positive_immediate;
       prop_gf_field_laws;

@@ -9,6 +9,11 @@ open Goalcom_prelude
 open Goalcom_session
 open Goalcom_harness
 
+(* The container running CI may report a single core; the engine clamps
+   its pool width to the hardware, so without this override the
+   jobs=2/4 determinism pins would silently all run single-domain. *)
+let () = Unix.putenv "GOALCOM_HW_JOBS" "4"
+
 (* --- Policy ----------------------------------------------------------- *)
 
 let test_policy_gives_up () =
@@ -86,32 +91,171 @@ let test_breaker_disabled () =
 
 (* --- Admission -------------------------------------------------------- *)
 
+(* Promote everything promotable, recording the admission order. *)
+let promote_all ?(terminal = fun _ -> false) ?(blocked = fun _ -> false) a =
+  let order = ref [] in
+  Admission.promote a ~terminal ~try_start:(fun id ->
+      if blocked id then false
+      else begin
+        Admission.claim a;
+        order := id :: !order;
+        true
+      end);
+  List.rev !order
+
 let test_admission_slots_and_queue () =
-  let a = Admission.make ~max_live:2 ~queue_capacity:2 in
+  let a = Admission.make ~max_live:2 ~queue_capacity:2 () in
   Alcotest.(check bool) "has capacity" true (Admission.has_capacity a);
   Admission.claim a;
   Admission.claim a;
   Alcotest.(check bool) "full" false (Admission.has_capacity a);
-  Alcotest.(check bool) "enqueue 10" true (Admission.enqueue a 10);
-  Alcotest.(check bool) "enqueue 11" true (Admission.enqueue a 11);
-  Alcotest.(check bool) "queue full sheds" false (Admission.enqueue a 12);
+  Alcotest.(check bool) "enqueue 10" true (Admission.enqueue a ~cname:"x" 10);
+  Alcotest.(check bool) "enqueue 11" true (Admission.enqueue a ~cname:"x" 11);
+  Alcotest.(check bool) "queue full sheds" false (Admission.enqueue a ~cname:"x" 12);
   Alcotest.(check int) "one shed" 1 (Admission.shed_count a);
   Alcotest.(check int) "two queued" 2 (Admission.queued a);
   Admission.release a;
   Alcotest.(check bool) "slot freed" true (Admission.has_capacity a);
-  Alcotest.(check (option int)) "fifo head" (Some 10) (Admission.peek_queued a);
-  Alcotest.(check int) "pop head" 10 (Admission.pop_queued a);
-  Alcotest.(check (option int)) "next head" (Some 11) (Admission.peek_queued a)
+  (* one free slot: promote serves exactly the FIFO head *)
+  Alcotest.(check (list int)) "fifo order" [ 10 ] (promote_all a);
+  Alcotest.(check int) "one left queued" 1 (Admission.queued a)
 
 let test_admission_validation () =
   Alcotest.check_raises "max_live 0"
     (Invalid_argument "Admission.make: max_live must be >= 1") (fun () ->
-      ignore (Admission.make ~max_live:0 ~queue_capacity:1));
-  let a = Admission.make ~max_live:1 ~queue_capacity:0 in
+      ignore (Admission.make ~max_live:0 ~queue_capacity:1 ()));
+  Alcotest.check_raises "weight 0"
+    (Invalid_argument "Admission.make: class a weight must be >= 1") (fun () ->
+      ignore (Admission.make ~classes:[ ("a", 0) ] ~max_live:1 ~queue_capacity:1 ()));
+  Alcotest.check_raises "duplicate class"
+    (Invalid_argument "Admission.make: duplicate class a") (fun () ->
+      ignore
+        (Admission.make ~classes:[ ("a", 1); ("a", 2) ] ~max_live:1
+           ~queue_capacity:1 ()));
+  let a = Admission.make ~max_live:1 ~queue_capacity:0 () in
   Admission.claim a;
   Alcotest.check_raises "claim past capacity"
     (Invalid_argument "Admission.claim: live set full") (fun () ->
       Admission.claim a)
+
+let test_admission_wdrr_weights () =
+  (* weight 2 : 1 — service interleaves 2 from [a] per 1 from [b] *)
+  let a =
+    Admission.make ~classes:[ ("a", 2); ("b", 1) ] ~max_live:6
+      ~queue_capacity:16 ()
+  in
+  List.iter (fun id -> ignore (Admission.enqueue a ~cname:"a" id)) [ 0; 1; 2; 3 ];
+  List.iter (fun id -> ignore (Admission.enqueue a ~cname:"b" id)) [ 10; 11; 12 ];
+  Alcotest.(check int) "a backlog" 4 (Admission.queued_in a "a");
+  Alcotest.(check (list int)) "weighted interleave" [ 0; 1; 10; 2; 3; 11 ]
+    (promote_all a);
+  Alcotest.(check int) "b keeps its tail" 1 (Admission.queued_in a "b")
+
+let test_admission_blocked_class_no_starvation () =
+  (* class [a]'s breaker is open: [b] (and the default class) must keep
+     being served — the head-of-line blocking the old single FIFO
+     exhibited stays confined to [a]. *)
+  let a =
+    Admission.make ~classes:[ ("a", 1); ("b", 1) ] ~max_live:8
+      ~queue_capacity:16 ()
+  in
+  List.iter (fun id -> ignore (Admission.enqueue a ~cname:"a" id)) [ 0; 1 ];
+  List.iter (fun id -> ignore (Admission.enqueue a ~cname:"b" id)) [ 10; 11 ];
+  List.iter (fun id -> ignore (Admission.enqueue a ~cname:"other" id)) [ 20 ];
+  let order = promote_all ~blocked:(fun id -> id < 10) a in
+  Alcotest.(check (list int)) "b and default served" [ 10; 20; 11 ] order;
+  Alcotest.(check int) "a still queued" 2 (Admission.queued_in a "a")
+
+let test_admission_drains_leading_terminals () =
+  (* Regression: the old engine popped one dead head per tick, and only
+     when a slot was free.  One promote call must drop every leading
+     terminal id from every class even with zero capacity. *)
+  let a = Admission.make ~max_live:1 ~queue_capacity:8 () in
+  Admission.claim a;
+  List.iter (fun id -> ignore (Admission.enqueue a ~cname:"x" id)) [ 1; 2; 3 ];
+  let tried = ref 0 in
+  Admission.promote a
+    ~terminal:(fun id -> id < 3)
+    ~try_start:(fun _ ->
+      incr tried;
+      false);
+  Alcotest.(check int) "no capacity: nothing tried" 0 !tried;
+  Alcotest.(check int) "dead heads gone in one pass" 1 (Admission.queued a)
+
+(* --- Arrival ---------------------------------------------------------- *)
+
+let arrival_of spec =
+  match Arrival.of_string spec with
+  | Ok a -> a
+  | Error e -> Alcotest.fail e
+
+let test_arrival_parse () =
+  Alcotest.(check bool) "bang" true (arrival_of "bang" = Arrival.Bang);
+  Alcotest.(check bool) "0 is bang" true (arrival_of "0" = Arrival.Bang);
+  Alcotest.(check bool) "bare int" true (arrival_of "7" = Arrival.Constant 7);
+  Alcotest.(check bool) "constant:N" true
+    (arrival_of "constant:3" = Arrival.Constant 3);
+  Alcotest.(check bool) "poisson" true (arrival_of "poisson:2.5" = Arrival.Poisson 2.5);
+  (match arrival_of "mmpp:1,8:0.2" with
+  | Arrival.Mmpp { rates; switch } ->
+      Alcotest.(check bool) "mmpp rates" true (rates = [| 1.; 8. |]);
+      Alcotest.(check bool) "mmpp switch" true (switch = 0.2)
+  | _ -> Alcotest.fail "mmpp did not parse");
+  List.iter
+    (fun bad ->
+      match Arrival.of_string bad with
+      | Ok _ -> Alcotest.failf "%S parsed" bad
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error names the module" bad)
+            true
+            (String.length e > 0))
+    [ "-3"; "poisson:-1"; "poisson:x"; "mmpp:1"; "mmpp:1,2:7"; "sometimes" ];
+  (* to_string round-trips through of_string *)
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Arrival.to_string a ^ " round-trips")
+        true
+        (arrival_of (Arrival.to_string a) = a))
+    [
+      Arrival.Bang;
+      Arrival.Constant 5;
+      Arrival.Poisson 3.25;
+      Arrival.Mmpp { rates = [| 0.5; 12. |]; switch = 0.125 };
+    ]
+
+let test_arrival_draws () =
+  let draw_seq a ~seed ~ticks ~remaining =
+    let rng = Rng.make seed in
+    let st = Arrival.start a in
+    List.init ticks (fun i -> Arrival.draw a st ~rng ~tick:(i + 1) ~remaining)
+  in
+  Alcotest.(check (list int)) "bang fires once"
+    [ 10; 0; 0 ]
+    (draw_seq Arrival.Bang ~seed:1 ~ticks:3 ~remaining:10);
+  Alcotest.(check (list int)) "constant"
+    [ 3; 3; 3 ]
+    (draw_seq (Arrival.Constant 3) ~seed:1 ~ticks:3 ~remaining:5);
+  Alcotest.(check (list int)) "constant clamps to remaining"
+    [ 2; 2 ]
+    (draw_seq (Arrival.Constant 3) ~seed:1 ~ticks:2 ~remaining:2);
+  let p1 = draw_seq (Arrival.Poisson 4.) ~seed:42 ~ticks:50 ~remaining:1000 in
+  let p2 = draw_seq (Arrival.Poisson 4.) ~seed:42 ~ticks:50 ~remaining:1000 in
+  Alcotest.(check (list int)) "poisson deterministic" p1 p2;
+  let mean = float_of_int (List.fold_left ( + ) 0 p1) /. 50. in
+  Alcotest.(check bool) "poisson mean plausible" true (mean > 2. && mean < 6.);
+  let m1 =
+    draw_seq (Arrival.Mmpp { rates = [| 0.5; 20. |]; switch = 0.3 }) ~seed:7
+      ~ticks:60 ~remaining:1000
+  in
+  let m2 =
+    draw_seq (Arrival.Mmpp { rates = [| 0.5; 20. |]; switch = 0.3 }) ~seed:7
+      ~ticks:60 ~remaining:1000
+  in
+  Alcotest.(check (list int)) "mmpp deterministic" m1 m2;
+  Alcotest.(check bool) "mmpp visits both regimes" true
+    (List.exists (fun n -> n > 8) m1 && List.exists (fun n -> n <= 2) m1)
 
 (* --- Chaos ------------------------------------------------------------ *)
 
@@ -236,6 +380,56 @@ let test_engine_deterministic_across_repeats () =
   Alcotest.(check string) "digest" r1.Engine.digest r2.Engine.digest;
   Alcotest.(check bool) "outcomes" true (r1.Engine.outcomes = r2.Engine.outcomes)
 
+(* Fair-share classes + an open-loop arrival process: the determinism
+   contract must survive the WDRR scheduler and the Poisson sampler's
+   RNG stream, across jobs counts, repeats and chaos. *)
+let run_fairshare ?(chaos = "") ~jobs ~seed () =
+  let config =
+    Engine.config ~quantum:16 ~max_live:4 ~queue_capacity:64
+      ~arrivals:(Arrival.Poisson 2.5)
+      ~classes:[ ("printing", 3); ("maze-corridor", 1) ]
+      ()
+  in
+  let run () =
+    if chaos = "" then Engine.run ~config ~jobs ~specs:(mix 18) ~seed ()
+    else Engine.run ~chaos:(chaos_of chaos) ~config ~jobs ~specs:(mix 18) ~seed ()
+  in
+  run ()
+
+let test_engine_fairshare_deterministic () =
+  List.iter
+    (fun chaos ->
+      let d1 = (run_fairshare ~chaos ~jobs:1 ~seed:13 ()).Engine.digest in
+      List.iter
+        (fun jobs ->
+          let r = run_fairshare ~chaos ~jobs ~seed:13 () in
+          Alcotest.(check string)
+            (Printf.sprintf "digest chaos=%S jobs=%d" chaos jobs)
+            d1 r.Engine.digest)
+        [ 2; 4 ];
+      let r = run_fairshare ~chaos ~jobs:2 ~seed:13 () in
+      Alcotest.(check string)
+        (Printf.sprintf "repeat chaos=%S" chaos)
+        d1 r.Engine.digest)
+    [ ""; chaos_spec_small ]
+
+let test_engine_fairshare_completes () =
+  let r = run_fairshare ~jobs:2 ~seed:31 () in
+  Alcotest.(check int) "all done" 18 r.Engine.completed;
+  Alcotest.(check int) "no shed" 0 r.Engine.shed
+
+(* An [arrivals_per_tick] integer still means what it meant. *)
+let test_engine_arrivals_compat () =
+  let digest_of config =
+    (Engine.run ~config ~jobs:1 ~specs:(mix 8) ~seed:17 ()).Engine.digest
+  in
+  Alcotest.(check string) "0 = bang"
+    (digest_of (Engine.config ~arrivals_per_tick:0 ()))
+    (digest_of (Engine.config ~arrivals:Arrival.Bang ()));
+  Alcotest.(check string) "k = constant k"
+    (digest_of (Engine.config ~arrivals_per_tick:2 ()))
+    (digest_of (Engine.config ~arrivals:(Arrival.Constant 2) ()))
+
 (* --- qcheck: crash-restart equivalence (satellite) --------------------
 
    A supervised session interrupted by chaos kills (a
@@ -286,6 +480,11 @@ let suite =
     ("breaker disabled", `Quick, test_breaker_disabled);
     ("admission slots and queue", `Quick, test_admission_slots_and_queue);
     ("admission validation", `Quick, test_admission_validation);
+    ("admission wdrr weights", `Quick, test_admission_wdrr_weights);
+    ("admission blocked class no starvation", `Quick, test_admission_blocked_class_no_starvation);
+    ("admission drains leading terminals", `Quick, test_admission_drains_leading_terminals);
+    ("arrival parse", `Quick, test_arrival_parse);
+    ("arrival draws", `Quick, test_arrival_draws);
     ("chaos parse and targets", `Quick, test_chaos_parse_and_target);
     ("chaos parse errors", `Quick, test_chaos_parse_errors);
     ("engine calm run completes", `Quick, test_engine_all_complete);
@@ -294,6 +493,9 @@ let suite =
     ("engine deadline", `Quick, test_engine_deadline);
     ("engine deterministic across jobs", `Quick, test_engine_deterministic_across_jobs);
     ("engine deterministic across repeats", `Quick, test_engine_deterministic_across_repeats);
+    ("engine fair-share deterministic", `Quick, test_engine_fairshare_deterministic);
+    ("engine fair-share completes", `Quick, test_engine_fairshare_completes);
+    ("engine arrivals compat", `Quick, test_engine_arrivals_compat);
     QCheck_alcotest.to_alcotest prop_crash_restart_reaches_same_state;
   ]
 
